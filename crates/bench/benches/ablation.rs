@@ -1,0 +1,174 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * **recording detail** — what each level of per-packet recording
+//!   (counts / PC trace / memory trace / micro-architectural models)
+//!   costs on top of bare execution;
+//! * **routing-table size** — how the radix and LC-trie applications
+//!   scale with table size (the paper's radix-vs-trie contrast at
+//!   different operating points);
+//! * **flow-table buckets** — chain length vs bucket-array size, the
+//!   classic space/time trade in the classification application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::apps::AppId;
+use packetbench::framework::Detail;
+use packetbench::WorkloadConfig;
+use packetbench_bench::{bench_for, TRACE_SEED};
+
+fn recording_detail(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let details: [(&str, Detail); 4] = [
+        ("counts", Detail::counts()),
+        (
+            "pc_trace",
+            Detail {
+                pc_trace: true,
+                ..Detail::counts()
+            },
+        ),
+        ("mem_trace", Detail::with_mem_trace()),
+        ("full", Detail::full()),
+    ];
+    let mut group = c.benchmark_group("ablation_detail");
+    group.sample_size(10);
+    for (name, detail) in details {
+        let mut bench = bench_for(AppId::Tsa, &config);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+        let packets = trace.take_packets(32);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut n = 0u64;
+                for p in &packets {
+                    n += bench.process_packet(p, detail).unwrap().stats.instret;
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn routing_table_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_table_size");
+    group.sample_size(10);
+    for routes in [256usize, 1024, 4096] {
+        for id in [AppId::Ipv4Radix, AppId::Ipv4Trie] {
+            let config = WorkloadConfig {
+                radix_routes: routes,
+                trie_routes: routes,
+                ..WorkloadConfig::default()
+            };
+            let mut bench = bench_for(id, &config);
+            let mut trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+            let packets = trace.take_packets(32);
+            group.bench_with_input(
+                BenchmarkId::new(id.slug(), routes),
+                &packets,
+                |b, packets| {
+                    b.iter(|| {
+                        let mut n = 0u64;
+                        for p in packets {
+                            n += bench
+                                .process_packet(p, Detail::counts())
+                                .unwrap()
+                                .stats
+                                .instret;
+                        }
+                        n
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn flow_buckets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_flow_buckets");
+    group.sample_size(10);
+    for buckets in [64u32, 1024, 8192] {
+        let config = WorkloadConfig {
+            flow_buckets: buckets,
+            ..WorkloadConfig::default()
+        };
+        let mut bench = bench_for(AppId::FlowClass, &config);
+        let mut trace = SyntheticTrace::new(TraceProfile::cos(), TRACE_SEED);
+        let packets = trace.take_packets(256);
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &packets, |b, packets| {
+            b.iter(|| {
+                let mut n = 0u64;
+                for p in packets {
+                    n += bench
+                        .process_packet(p, Detail::counts())
+                        .unwrap()
+                        .stats
+                        .instret;
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cache_size_cycles(c: &mut Criterion) {
+    // Sweep the data-cache size and report modelled cycles per packet for
+    // the radix application — the instruction-store / memory-size design
+    // axis the paper's section V-D discusses. The criterion timing here
+    // is host overhead; the interesting output is printed once per size.
+    use npsim::uarch::{CacheConfig, UarchConfig};
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("ablation_dcache_size");
+    group.sample_size(10);
+    for kib in [1usize, 8, 64] {
+        let mut bench = bench_for(AppId::Ipv4Radix, &config);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+        let packets = trace.take_packets(16);
+        // Report the modelled CPI once.
+        let uconf = UarchConfig {
+            dcache: CacheConfig {
+                size_bytes: kib * 1024,
+                line_bytes: 32,
+                associativity: 2,
+            },
+            ..UarchConfig::default()
+        };
+        let detail = Detail {
+            uarch: true,
+            uarch_config: Some(uconf),
+            ..Detail::counts()
+        };
+        let mut cycles = 0u64;
+        let mut insts = 0u64;
+        for p in &packets {
+            let r = bench.process_packet(p, detail).unwrap();
+            let u = r.stats.uarch.unwrap();
+            cycles += u.cycles;
+            insts += r.stats.instret;
+        }
+        println!(
+            "# dcache {kib} KiB: modelled CPI {:.2} over {insts} instructions",
+            cycles as f64 / insts as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(kib), &packets, |b, packets| {
+            b.iter(|| {
+                let mut n = 0u64;
+                for p in packets {
+                    n += bench.process_packet(p, detail).unwrap().stats.instret;
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    recording_detail,
+    routing_table_size,
+    flow_buckets,
+    cache_size_cycles
+);
+criterion_main!(benches);

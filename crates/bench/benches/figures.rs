@@ -1,0 +1,73 @@
+//! Criterion benches behind the paper's figures: the per-packet detail
+//! collection (PC and memory traces for Figs. 6/9) and the per-trace
+//! block analyses (Figs. 7/8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::analysis::{memory_sequence, InstructionPattern};
+use packetbench::apps::AppId;
+use packetbench::framework::Detail;
+use packetbench::WorkloadConfig;
+use packetbench_bench::{analyze, bench_for, TRACE_SEED};
+
+fn fig6_instruction_pattern(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("fig6_pattern");
+    group.sample_size(10);
+    for id in [AppId::Ipv4Radix, AppId::FlowClass] {
+        let mut bench = bench_for(id, &config);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+        let packet = trace.next_packet();
+        let record = bench.process_packet(&packet, Detail::full()).unwrap();
+        group.bench_function(id.slug(), |b| {
+            b.iter(|| {
+                InstructionPattern::from_pc_trace(
+                    bench.app().image().program(),
+                    &record.stats.pc_trace,
+                )
+                .unique_instructions()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig9_memory_sequence(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("fig9_sequence");
+    group.sample_size(10);
+    for id in [AppId::Ipv4Radix, AppId::FlowClass] {
+        let mut bench = bench_for(id, &config);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+        let packet = trace.next_packet();
+        let record = bench.process_packet(&packet, Detail::full()).unwrap();
+        group.bench_function(id.slug(), |b| {
+            b.iter(|| memory_sequence(&record).len())
+        });
+    }
+    group.finish();
+}
+
+fn fig7_fig8_block_analyses(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("fig78_blocks");
+    group.sample_size(10);
+    for id in [AppId::Ipv4Radix, AppId::FlowClass] {
+        let analysis = analyze(id, TraceProfile::mra(), 100, Detail::counts(), &config);
+        group.bench_function(format!("{}_probabilities", id.slug()), |b| {
+            b.iter(|| analysis.block_probabilities().len())
+        });
+        group.bench_function(format!("{}_coverage_curve", id.slug()), |b| {
+            b.iter(|| analysis.coverage_curve().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig6_instruction_pattern,
+    fig9_memory_sequence,
+    fig7_fig8_block_analyses
+);
+criterion_main!(benches);

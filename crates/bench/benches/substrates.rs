@@ -1,0 +1,159 @@
+//! Criterion benches of the substrates themselves: the golden-model
+//! lookup structures, the anonymizers, checksums, the NP32 interpreter,
+//! and the trace formats. These quantify the building blocks the
+//! framework composes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrace::checksum;
+use nettrace::pcap::{PcapReader, PcapWriter};
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::LinkType;
+use nproute::lctrie::LcTrie;
+use nproute::radix::RadixTree;
+use nproute::TableGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn lpm_structures(c: &mut Criterion) {
+    let table = TableGenerator::new(1, 16).generate(2048);
+    let radix = RadixTree::build(&table);
+    let trie = LcTrie::build(&table);
+    let mut rng = StdRng::seed_from_u64(2);
+    let addrs: Vec<u32> = (0..512).map(|_| rng.gen()).collect();
+
+    let mut group = c.benchmark_group("lpm_lookup");
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            addrs
+                .iter()
+                .filter_map(|&a| table.lookup_linear(a))
+                .count()
+        })
+    });
+    group.bench_function("radix", |b| {
+        b.iter(|| addrs.iter().filter_map(|&a| radix.lookup(a)).count())
+    });
+    group.bench_function("lctrie", |b| {
+        b.iter(|| addrs.iter().filter_map(|&a| trie.lookup(a)).count())
+    });
+    group.finish();
+}
+
+fn flow_table_ops(c: &mut Criterion) {
+    let mut trace = SyntheticTrace::new(TraceProfile::cos(), 3);
+    let keys: Vec<flowclass::FlowKey> = (0..1000)
+        .map(|_| flowclass::FlowKey::from_l3(trace.next_packet().l3()).unwrap())
+        .collect();
+    c.bench_function("flow_table_process_1000", |b| {
+        b.iter(|| {
+            let mut table = flowclass::FlowTable::new(1024, 4096);
+            for k in &keys {
+                table.process(*k, 40);
+            }
+            table.flow_count()
+        })
+    });
+}
+
+fn anonymizers(c: &mut Criterion) {
+    let full = ipanon::PrefixPreserving::new(7);
+    let tsa = ipanon::Tsa::new(7);
+    let mut group = c.benchmark_group("anonymize_1k");
+    group.bench_function("full_bit_by_bit", |b| {
+        b.iter(|| (0..1000u32).map(|i| full.anonymize(i * 2654435761)).sum::<u32>())
+    });
+    group.bench_function("tsa_tables", |b| {
+        b.iter(|| (0..1000u32).map(|i| tsa.anonymize(i * 2654435761)).sum::<u32>())
+    });
+    group.finish();
+    c.bench_function("tsa_table_build", |b| {
+        b.iter(|| ipanon::Tsa::new(criterion::black_box(9)).anonymize(1))
+    });
+}
+
+fn checksums(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1500u32).map(|i| i as u8).collect();
+    c.bench_function("checksum_1500B", |b| {
+        b.iter(|| checksum::checksum(criterion::black_box(&data)))
+    });
+    c.bench_function("checksum_incremental_update", |b| {
+        b.iter(|| checksum::update(criterion::black_box(0x1234), 0x4006, 0x3f06))
+    });
+}
+
+fn trace_formats(c: &mut Criterion) {
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 5);
+    let packets = trace.take_packets(256);
+    c.bench_function("pcap_write_read_256", |b| {
+        b.iter(|| {
+            let mut file = Vec::new();
+            let mut writer = PcapWriter::new(&mut file, LinkType::Raw, 65535).unwrap();
+            for p in &packets {
+                writer.write_packet(p).unwrap();
+            }
+            writer.into_inner().unwrap();
+            PcapReader::new(&file[..]).unwrap().count()
+        })
+    });
+    c.bench_function("synth_generate_1000", |b| {
+        b.iter(|| {
+            SyntheticTrace::new(TraceProfile::mra(), 9)
+                .take_packets(1000)
+                .len()
+        })
+    });
+}
+
+fn interpreter(c: &mut Criterion) {
+    // Raw NP32 interpreter speed on a tight loop: the cost floor under
+    // every simulated instruction in the tables.
+    use npsim::isa::{reg, Inst, Op};
+    use npsim::{Cpu, Memory, MemoryMap, Program, RunConfig};
+    let map = MemoryMap::default();
+    let program = Program::new(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
+            Inst::lui(reg::T1, 2),                           // 131072 iterations
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1),   // loop:
+            Inst::with_imm(Op::Lw, reg::T2, reg::GP, 0),
+            Inst::branch(Op::Blt, reg::T0, reg::T1, -12),
+            Inst::jr(reg::RA),
+        ],
+        map.text_base,
+    );
+    let mut group = c.benchmark_group("np32_interpreter");
+    group.bench_function("loop_393k_insts", |b| {
+        b.iter(|| {
+            let mut mem = Memory::new();
+            let mut cpu = Cpu::new(&program, map);
+            cpu.run(&mut mem, &RunConfig::default()).unwrap().instret
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("loop_with_uarch", "393k"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut mem = Memory::new();
+                let mut cpu = Cpu::new(&program, map);
+                let config = RunConfig {
+                    uarch: Some(npsim::uarch::UarchConfig::default()),
+                    ..RunConfig::default()
+                };
+                cpu.run(&mut mem, &config).unwrap().instret
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    lpm_structures,
+    flow_table_ops,
+    anonymizers,
+    checksums,
+    trace_formats,
+    interpreter
+);
+criterion_main!(benches);

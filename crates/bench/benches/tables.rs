@@ -1,0 +1,88 @@
+//! Criterion benches behind the paper's tables: per-packet processing
+//! cost for every application x trace pair (Tables II/III are *simulated*
+//! instruction/memory counts; host wall-clock per packet tracks the same
+//! quantity because the interpreter does work proportional to it), and
+//! the aggregation paths behind Tables IV-VI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::apps::AppId;
+use packetbench::framework::Detail;
+use packetbench::WorkloadConfig;
+use packetbench_bench::{analyze, bench_for, TRACE_SEED};
+
+fn per_packet_processing(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("table2_per_packet");
+    group.sample_size(10);
+    for id in AppId::ALL {
+        for profile in TraceProfile::all() {
+            let mut bench = bench_for(id, &config);
+            let mut trace = SyntheticTrace::new(profile, TRACE_SEED);
+            let packets = trace.take_packets(64);
+            group.bench_with_input(
+                BenchmarkId::new(id.slug(), profile.name),
+                &packets,
+                |b, packets| {
+                    b.iter(|| {
+                        let mut total = 0u64;
+                        for p in packets {
+                            total += bench
+                                .process_packet(p, Detail::counts())
+                                .expect("packet runs")
+                                .stats
+                                .instret;
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn table4_coverage(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("table4_coverage");
+    group.sample_size(10);
+    for id in AppId::ALL {
+        group.bench_function(id.slug(), |b| {
+            b.iter(|| {
+                let a = analyze(
+                    id,
+                    TraceProfile::mra(),
+                    50,
+                    Detail::with_mem_trace(),
+                    &config,
+                );
+                (a.instr_memory_bytes(), a.data_memory_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table5_histograms(c: &mut Criterion) {
+    let config = WorkloadConfig::default();
+    let mut group = c.benchmark_group("table5_histogram");
+    group.sample_size(10);
+    for id in [AppId::Ipv4Trie, AppId::FlowClass] {
+        let analysis = analyze(id, TraceProfile::cos(), 500, Detail::counts(), &config);
+        group.bench_function(id.slug(), |b| {
+            b.iter(|| {
+                let h = analysis.instruction_histogram();
+                (h.top_k(3), h.min(), h.max(), h.mean())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    per_packet_processing,
+    table4_coverage,
+    table5_histograms
+);
+criterion_main!(benches);

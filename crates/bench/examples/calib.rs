@@ -1,0 +1,28 @@
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::config::WorkloadConfig;
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+
+fn main() {
+    let config = WorkloadConfig::default();
+    for id in AppId::ALL {
+        for profile in TraceProfile::all() {
+            let app = App::build(id, &config).unwrap();
+            let mut bench = PacketBench::with_config(app, &config).unwrap();
+            let mut trace = SyntheticTrace::new(profile, 42);
+            let (mut sum, mut pk, mut npk, mut min, mut max) = (0u64, 0u64, 0u64, u64::MAX, 0u64);
+            let n = 2000;
+            for _ in 0..n {
+                let p = trace.next_packet();
+                let r = bench.process_verified(&p, Detail::counts()).unwrap();
+                sum += r.stats.instret;
+                pk += r.stats.mem.packet_total();
+                npk += r.stats.mem.non_packet_total();
+                min = min.min(r.stats.instret);
+                max = max.max(r.stats.instret);
+            }
+            println!("{:<22} {:<4} avg={:>6} min={:>6} max={:>6} pkt_mem={:>4} npkt_mem={:>5}",
+                id.name(), profile.name, sum/n, min, max, pk/n, npk/n);
+        }
+    }
+}

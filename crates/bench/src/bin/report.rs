@@ -1,0 +1,15 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! report [--quick] [all|table1|table2|table3|table4|table5|table6|
+//!         fig3|fig4|fig5|fig6|fig7|fig8|fig9|uarch]
+//! ```
+//!
+//! `--quick` shrinks the packet counts (for smoke tests); the default
+//! counts are the paper's (10,000 packets for Tables II/III, 1,000 MRA
+//! packets for Table IV, 100,000 COS packets for Tables V/VI, 500 MRA
+//! packets for the figures).
+
+fn main() {
+    packetbench_bench::report_main();
+}

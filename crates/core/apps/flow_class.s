@@ -1,0 +1,195 @@
+; Flow Classification: 5-tuple extraction, hashing, and chained hash-table
+; update (paper section IV-A) — the core of firewalls, NAT, and monitors.
+;
+; The 5-tuple is staged into an in-memory key buffer (as the C
+; implementation the paper measures does), hashed, and looked up in a
+; bucket array with linked-list chains; an existing flow's counters are
+; updated in place, a new flow is allocated from the node pool with head
+; insertion. Layout constants (FC_*) come from
+; flowclass::layout::LAYOUT_EQUS; FC_BUCKET_MASK is injected from the
+; workload configuration.
+;
+; Entry: a0 = packet (layer 3), a1 = captured length.
+; Exit:  a0 = flow packet count after update (1 = new flow),
+;        or 0 after sys SYS_DROP if the node pool is exhausted.
+
+        .equ SYS_SEND, 1
+        .equ SYS_DROP, 2
+
+        .text
+main:
+        ; ---- minimal header sanity (classification, not forwarding) ----
+        lbu  t0, 0(a0)
+        srli t1, t0, 4
+        li   t2, 4
+        bne  t1, t2, bad_packet
+        andi s7, t0, 15              ; IHL in words
+        li   t2, 5
+        blt  s7, t2, bad_packet
+
+        ; ---- total length (byte counter) and tos/ttl (monitored fields) ----
+        lbu  t1, 2(a0)
+        lbu  t2, 3(a0)
+        slli t1, t1, 8
+        or   s6, t1, t2              ; s6 = total length
+        lbu  t1, 1(a0)               ; TOS: monitored
+        lbu  t2, 8(a0)               ; TTL: monitored
+
+        ; ---- source address ----
+        lbu  s0, 12(a0)
+        lbu  t1, 13(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 14(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 15(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+
+        ; ---- destination address ----
+        lbu  s1, 16(a0)
+        lbu  t1, 17(a0)
+        slli s1, s1, 8
+        or   s1, s1, t1
+        lbu  t1, 18(a0)
+        slli s1, s1, 8
+        or   s1, s1, t1
+        lbu  t1, 19(a0)
+        slli s1, s1, 8
+        or   s1, s1, t1
+
+        ; ---- protocol and ports (non-first fragments carry no ports) ----
+        lbu  s2, 9(a0)               ; protocol
+        lbu  t1, 6(a0)               ; flags / fragment offset
+        lbu  t2, 7(a0)
+        andi t1, t1, 0x1F
+        slli t1, t1, 8
+        or   t1, t1, t2              ; fragment offset
+        bnez t1, portless
+        li   t3, 6                   ; TCP
+        beq  s2, t3, ports
+        li   t3, 17                  ; UDP
+        beq  s2, t3, ports
+portless:
+        li   s4, 0                   ; port-less protocol or fragment
+        j    staged
+ports:
+        slli t0, s7, 2               ; header length
+        add  t0, t0, a0              ; transport header
+        lbu  s4, 0(t0)
+        lbu  t1, 1(t0)
+        slli s4, s4, 8
+        or   s4, s4, t1              ; source port
+        lbu  t1, 2(t0)
+        lbu  t2, 3(t0)
+        slli t1, t1, 8
+        or   t1, t1, t2              ; destination port
+        slli s4, s4, 16
+        or   s4, s4, t1              ; ports word
+
+staged:
+        ; ---- stage the 5-tuple into the key buffer ----
+        la   t0, state_ptr
+        lw   s3, 0(t0)               ; table header
+        addi t0, s3, FC_HDR_KEYBUF
+        sw   s0, FC_KEY_SRC(t0)
+        sw   s1, FC_KEY_DST(t0)
+        sw   s4, FC_KEY_PORTS(t0)
+        sw   s2, FC_KEY_PROTO(t0)
+
+        ; ---- hash (reads the staged key back, as the C code does) ----
+        lw   t1, FC_KEY_SRC(t0)
+        lw   t2, FC_KEY_DST(t0)
+        lw   t3, FC_KEY_PORTS(t0)
+        lw   t4, FC_KEY_PROTO(t0)
+        slli t5, t2, 16
+        srli t6, t2, 16
+        or   t5, t5, t6              ; rotl(dst, 16)
+        xor  t1, t1, t5
+        xor  t1, t1, t3
+        li   t5, 0x9E3779B1
+        mul  t1, t1, t5
+        srli t5, t1, 17
+        xor  t1, t1, t5
+        xor  t1, t1, t4
+
+        ; ---- bucket ----
+        li   t5, FC_BUCKET_MASK
+        and  t1, t1, t5
+        slli t1, t1, 2
+        lw   t5, FC_HDR_BUCKETS(s3)
+        add  s5, t5, t1              ; bucket slot address
+        lw   t6, 0(s5)               ; chain head
+
+        ; ---- walk the chain: memcmp the 8 address bytes, then the
+        ;      ports and protocol words (as the C implementation does) ----
+walk:
+        beqz t6, insert
+        addi t2, s3, FC_HDR_KEYBUF   ; staged key
+        li   t3, 0                   ; byte index
+cmp_loop:
+        li   t4, 8
+        bgeu t3, t4, cmp_words
+        add  t4, t2, t3
+        lbu  t4, 0(t4)               ; key byte
+        add  t5, t6, t3
+        lbu  t5, FC_NODE_SRC(t5)     ; node byte
+        bne  t4, t5, next
+        addi t3, t3, 1
+        j    cmp_loop
+cmp_words:
+        lw   t0, FC_NODE_PORTS(t6)
+        bne  t0, s4, next
+        lw   t0, FC_NODE_PROTO(t6)
+        bne  t0, s2, next
+        ; hit: bump counters
+        lw   t0, FC_NODE_PKTS(t6)
+        addi t0, t0, 1
+        sw   t0, FC_NODE_PKTS(t6)
+        lw   t1, FC_NODE_BYTES(t6)
+        add  t1, t1, s6
+        sw   t1, FC_NODE_BYTES(t6)
+        move a0, t0
+        ret
+next:
+        lw   t6, FC_NODE_NEXT(t6)
+        j    walk
+
+        ; ---- new flow: allocate from the pool, memcpy the staged key
+        ;      into the node, initialize counters, head-insert ----
+insert:
+        lw   t0, FC_HDR_FREE(s3)
+        lw   t1, FC_HDR_POOL_END(s3)
+        bgeu t0, t1, exhausted
+        addi t1, t0, FC_NODE_SIZE
+        sw   t1, FC_HDR_FREE(s3)
+        addi t2, s3, FC_HDR_KEYBUF
+        li   t3, 0                   ; byte index
+copy_key:
+        li   t4, 16
+        bgeu t3, t4, key_copied
+        add  t4, t2, t3
+        lbu  t4, 0(t4)
+        add  t5, t0, t3
+        sb   t4, FC_NODE_SRC(t5)
+        addi t3, t3, 1
+        j    copy_key
+key_copied:
+        li   t1, 1
+        sw   t1, FC_NODE_PKTS(t0)
+        sw   s6, FC_NODE_BYTES(t0)
+        lw   t1, 0(s5)               ; old head
+        sw   t1, FC_NODE_NEXT(t0)
+        sw   t0, 0(s5)               ; new head
+        li   a0, 1
+        ret
+
+exhausted:
+bad_packet:
+        li   a0, 0
+        sys  SYS_DROP
+        ret
+
+        .data
+state_ptr:  .word 0

@@ -1,0 +1,251 @@
+; IPv4-radix: RFC1812-compliant packet forwarding with a BSD-style radix
+; routing structure (paper section IV-A).
+;
+; The lookup is deliberately "straightforward unoptimized", mirroring the
+; BSD rn_match cost profile: a probe descent driven by byte-indexed key
+; accesses through a per-node step function, a masked byte-by-byte leaf
+; comparison, and netmask-list backtracking with one masked re-descent per
+; table netmask, longest first. The layout constants (RX_*) are injected
+; by the framework from nproute::radix::LAYOUT_EQUS, so assembly and
+; serializer cannot drift apart.
+;
+; Entry: a0 = packet (layer 3), a1 = captured length.
+; Exit:  a0 = next hop (after sys SYS_SEND) or 0 (after sys SYS_DROP).
+
+        .equ SYS_SEND, 1
+        .equ SYS_DROP, 2
+
+        .text
+main:
+        addi sp, sp, -8
+        sw   ra, 0(sp)
+
+        ; ---- RFC1812 sanity: version, IHL, total length ----
+        lbu  t0, 0(a0)
+        srli t1, t0, 4
+        li   t2, 4
+        bne  t1, t2, drop
+        andi s7, t0, 15              ; IHL in words
+        li   t2, 5
+        blt  s7, t2, drop
+        lbu  t1, 2(a0)
+        lbu  t2, 3(a0)
+        slli t1, t1, 8
+        or   t1, t1, t2              ; total length
+        slli t2, s7, 2
+        blt  t1, t2, drop
+
+        ; ---- verify header checksum (ones-complement over IHL*2 halfwords;
+        ;      the sum is endian-insensitive, so lhu halfwords are fine) ----
+        li   t4, 0
+        move t5, a0
+        slli t6, s7, 1
+csum_loop:
+        lhu  t0, 0(t5)
+        add  t4, t4, t0
+        addi t5, t5, 2
+        addi t6, t6, -1
+        bnez t6, csum_loop
+csum_fold:
+        srli t0, t4, 16
+        beqz t0, csum_done
+        li   t1, 0xFFFF
+        and  t4, t4, t1
+        add  t4, t4, t0
+        j    csum_fold
+csum_done:
+        li   t0, 0xFFFF
+        bne  t4, t0, drop
+
+        ; ---- RFC1812 source-address validation ----
+        lbu  t0, 12(a0)
+        lbu  t1, 13(a0)
+        slli t2, t0, 8
+        or   t2, t2, t1
+        lbu  t1, 14(a0)
+        slli t2, t2, 8
+        or   t2, t2, t1
+        lbu  t1, 15(a0)
+        slli t2, t2, 8
+        or   t2, t2, t1              ; source address
+        li   t3, 127
+        beq  t0, t3, drop            ; loopback source
+        beqz t2, drop                ; 0.0.0.0
+        li   t3, -1
+        beq  t2, t3, drop            ; limited broadcast
+
+        ; ---- TTL check, decrement, incremental checksum update (RFC1624) ----
+        lbu  s8, 8(a0)               ; old TTL
+        li   t1, 1
+        bleu s8, t1, drop
+        addi t0, s8, -1
+        sb   t0, 8(a0)
+        lbu  t1, 9(a0)               ; protocol (shares the checksum word)
+        slli t2, s8, 8
+        or   t2, t2, t1              ; m  (old word, big-endian value)
+        slli t3, t0, 8
+        or   t3, t3, t1              ; m' (new word)
+        lbu  t4, 10(a0)
+        lbu  t5, 11(a0)
+        slli t4, t4, 8
+        or   t4, t4, t5              ; HC
+        li   t6, 0xFFFF
+        xor  t4, t4, t6              ; ~HC
+        xor  t2, t2, t6              ; ~m
+        add  t4, t4, t2
+        add  t4, t4, t3
+upd_fold:
+        srli t1, t4, 16
+        beqz t1, upd_done
+        and  t4, t4, t6
+        add  t4, t4, t1
+        j    upd_fold
+upd_done:
+        xor  t4, t4, t6              ; HC'
+        srli t1, t4, 8
+        sb   t1, 10(a0)
+        sb   t4, 11(a0)
+
+        ; ---- build the sockaddr-style search key in memory ----
+        la   t5, key_buf
+        lbu  t0, 16(a0)
+        sb   t0, 0(t5)
+        lbu  t0, 17(a0)
+        sb   t0, 1(t5)
+        lbu  t0, 18(a0)
+        sb   t0, 2(t5)
+        lbu  t0, 19(a0)
+        sb   t0, 3(t5)
+        ; s0 = destination as a register value (for word compares)
+        lbu  s0, 16(a0)
+        lbu  t1, 17(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 18(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 19(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+
+        ; ---- probe descent to a leaf ----
+        la   t0, state_ptr
+        lw   s3, 0(t0)               ; structure header
+        lw   s1, RX_HDR_ROOT(s3)     ; current node
+        li   s2, 0                   ; depth
+probe:
+        li   t0, 32
+        bgeu s2, t0, probe_done
+        move a2, s1
+        move a3, s2
+        jal  rn_step
+        beqz a4, probe_done
+        move s1, a4
+        addi s2, s2, 1
+        j    probe
+probe_done:
+        lw   t0, RX_NODE_ROUTE(s1)
+        beqz t0, backtrack
+        move a2, t0
+        jal  route_match
+        bnez a3, found
+
+        ; ---- netmask backtracking: one masked re-descent per netmask ----
+backtrack:
+        lw   s4, RX_HDR_MASKS(s3)
+        lw   s5, RX_MASK_COUNT(s4)   ; netmask count
+        addi s4, s4, RX_MASK_ENTRIES
+        li   s6, 0                   ; netmask index
+bt_loop:
+        bgeu s6, s5, drop            ; exhausted: no route
+        slli t0, s6, 3
+        add  t0, t0, s4
+        lw   s2, 4(t0)               ; netmask length = target depth
+        lw   s1, RX_HDR_ROOT(s3)
+        li   s8, 0                   ; depth
+bt_descend:
+        bgeu s8, s2, bt_at_depth
+        move a2, s1
+        move a3, s8
+        jal  rn_step
+        beqz a4, bt_next             ; fell off the trie: netmask fails
+        move s1, a4
+        addi s8, s8, 1
+        j    bt_descend
+bt_at_depth:
+        lw   t0, RX_NODE_ROUTE(s1)
+        beqz t0, bt_next
+        lw   t1, RX_RT_LEN(t0)
+        bne  t1, s2, bt_next
+        move a2, t0
+        jal  route_match
+        bnez a3, found
+bt_next:
+        addi s6, s6, 1
+        j    bt_loop
+
+drop:
+        li   a0, 0
+        sys  SYS_DROP
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+found:
+        move a0, a4
+        sys  SYS_SEND
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+
+; rn_step: one radix traversal step, BSD style — the decision bit is
+; fetched from the in-memory search key, byte-indexed.
+;   in: a2 = node, a3 = depth   out: a4 = child (0 = none)
+rn_step:
+        srli t2, a3, 3
+        la   t3, key_buf
+        add  t3, t3, t2
+        lbu  t4, 0(t3)               ; key byte
+        andi t5, a3, 7
+        li   t6, 7
+        sub  t6, t6, t5
+        srl  t4, t4, t6
+        andi t4, t4, 1               ; decision bit
+        lw   t5, RX_NODE_LEFT(a2)
+        lw   t6, RX_NODE_RIGHT(a2)
+        beqz t4, rn_left
+        move a4, t6
+        jr   ra
+rn_left:
+        move a4, t5
+        jr   ra
+
+; route_match: masked byte-by-byte key comparison, sockaddr style.
+;   in: a2 = route entry, key_buf = search key
+;   out: a3 = 1 on match (a4 = next hop), else a3 = 0
+route_match:
+        li   a3, 0
+        li   t2, 0                   ; byte index
+rm_loop:
+        li   t3, 4
+        bgeu t2, t3, rm_match
+        la   t3, key_buf
+        add  t3, t3, t2
+        lbu  t3, 0(t3)               ; search key byte (big-endian order)
+        li   t4, 3
+        sub  t4, t4, t2              ; little-endian byte offset
+        add  t5, a2, t4
+        lbu  t6, RX_RT_KEY(t5)
+        lbu  t4, RX_RT_MASK(t5)
+        and  t3, t3, t4
+        bne  t3, t6, rm_done
+        addi t2, t2, 1
+        j    rm_loop
+rm_match:
+        li   a3, 1
+        lw   a4, RX_RT_NH(a2)
+rm_done:
+        jr   ra
+
+        .data
+state_ptr:  .word 0
+key_buf:    .space 8

@@ -1,0 +1,161 @@
+; IPv4-trie: RFC1812-compliant packet forwarding with an LC-trie lookup
+; (Nilsson & Karlsson), the paper's optimized forwarding implementation
+; (section IV-A).
+;
+; The RFC1812 steps are identical to IPv4-radix; only the lookup differs:
+; a handful of indexed array probes through the level-compressed trie and
+; one final masked comparison against the leaf prefix. Layout constants
+; (LC_*) are injected from nproute::lctrie::LAYOUT_EQUS.
+;
+; Entry: a0 = packet (layer 3), a1 = captured length.
+; Exit:  a0 = next hop (after sys SYS_SEND) or 0 (after sys SYS_DROP).
+
+        .equ SYS_SEND, 1
+        .equ SYS_DROP, 2
+
+        .text
+main:
+        ; ---- RFC1812 sanity: version, IHL, total length ----
+        lbu  t0, 0(a0)
+        srli t1, t0, 4
+        li   t2, 4
+        bne  t1, t2, drop
+        andi s7, t0, 15              ; IHL in words
+        li   t2, 5
+        blt  s7, t2, drop
+        lbu  t1, 2(a0)
+        lbu  t2, 3(a0)
+        slli t1, t1, 8
+        or   t1, t1, t2              ; total length
+        slli t2, s7, 2
+        blt  t1, t2, drop
+
+        ; ---- verify header checksum ----
+        li   t4, 0
+        move t5, a0
+        slli t6, s7, 1
+csum_loop:
+        lhu  t0, 0(t5)
+        add  t4, t4, t0
+        addi t5, t5, 2
+        addi t6, t6, -1
+        bnez t6, csum_loop
+csum_fold:
+        srli t0, t4, 16
+        beqz t0, csum_done
+        li   t1, 0xFFFF
+        and  t4, t4, t1
+        add  t4, t4, t0
+        j    csum_fold
+csum_done:
+        li   t0, 0xFFFF
+        bne  t4, t0, drop
+
+        ; ---- RFC1812 source-address validation ----
+        lbu  t0, 12(a0)
+        lbu  t1, 13(a0)
+        slli t2, t0, 8
+        or   t2, t2, t1
+        lbu  t1, 14(a0)
+        slli t2, t2, 8
+        or   t2, t2, t1
+        lbu  t1, 15(a0)
+        slli t2, t2, 8
+        or   t2, t2, t1              ; source address
+        li   t3, 127
+        beq  t0, t3, drop            ; loopback source
+        beqz t2, drop                ; 0.0.0.0
+        li   t3, -1
+        beq  t2, t3, drop            ; limited broadcast
+
+        ; ---- TTL check, decrement, incremental checksum update ----
+        lbu  s8, 8(a0)
+        li   t1, 1
+        bleu s8, t1, drop
+        addi t0, s8, -1
+        sb   t0, 8(a0)
+        lbu  t1, 9(a0)
+        slli t2, s8, 8
+        or   t2, t2, t1
+        slli t3, t0, 8
+        or   t3, t3, t1
+        lbu  t4, 10(a0)
+        lbu  t5, 11(a0)
+        slli t4, t4, 8
+        or   t4, t4, t5
+        li   t6, 0xFFFF
+        xor  t4, t4, t6
+        xor  t2, t2, t6
+        add  t4, t4, t2
+        add  t4, t4, t3
+upd_fold:
+        srli t1, t4, 16
+        beqz t1, upd_done
+        and  t4, t4, t6
+        add  t4, t4, t1
+        j    upd_fold
+upd_done:
+        xor  t4, t4, t6
+        srli t1, t4, 8
+        sb   t1, 10(a0)
+        sb   t4, 11(a0)
+
+        ; ---- destination address ----
+        lbu  s0, 16(a0)
+        lbu  t1, 17(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 18(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 19(a0)
+        slli s0, s0, 8
+        or   s0, s0, t1
+
+        ; ---- LC-trie lookup ----
+        la   t0, state_ptr
+        lw   s3, 0(t0)               ; structure header
+        lw   s4, LC_HDR_TRIE(s3)     ; trie array
+        lw   s5, LC_HDR_LEAVES(s3)   ; leaf entries
+        lw   t1, 0(s4)               ; root node
+        li   t2, 0                   ; pos
+trie_loop:
+        srli t3, t1, LC_BRANCH_SHIFT ; branch
+        beqz t3, trie_leaf
+        srli t4, t1, LC_SKIP_SHIFT
+        andi t4, t4, LC_SKIP_MASK
+        add  t2, t2, t4              ; pos += skip
+        sll  t5, s0, t2              ; dst << pos
+        li   t6, 32
+        sub  t6, t6, t3
+        srl  t5, t5, t6              ; branch-bit index
+        li   t6, LC_ADR_MASK
+        and  t6, t1, t6
+        add  t6, t6, t5
+        slli t6, t6, 2
+        add  t6, t6, s4
+        lw   t1, 0(t6)               ; child node
+        add  t2, t2, t3              ; pos += branch
+        j    trie_loop
+trie_leaf:
+        li   t6, LC_ADR_MASK
+        and  t6, t1, t6              ; leaf index
+        slli t4, t6, 3
+        slli t5, t6, 2
+        add  t4, t4, t5              ; * LC_LEAF_SIZE (12)
+        add  t4, t4, s5
+        lw   t5, LC_LEAF_MASK(t4)
+        lw   t6, LC_LEAF_KEY(t4)
+        and  t5, t5, s0
+        bne  t5, t6, drop            ; prefix mismatch: no route
+        lw   a0, LC_LEAF_NH(t4)
+        sys  SYS_SEND
+        ret
+
+drop:
+        li   a0, 0
+        sys  SYS_DROP
+        ret
+
+        .data
+state_ptr:  .word 0

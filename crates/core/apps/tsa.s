@@ -1,0 +1,150 @@
+; TSA: top-hashed subtree-replicated prefix-preserving IP address
+; anonymization, plus layer-3/4 header collection (paper section IV-A).
+;
+; For every packet the application (1) copies the 36 captured header bytes
+; into the next record of an in-memory collection ring, then (2) replaces
+; the source and destination addresses in the record with their
+; anonymized forms: the top 16 bits translate through a precomputed
+; prefix-preserving table, the low 16 bits walk the replicated flip-bit
+; subtree. Layout constants (TSA_*) come from ipanon::LAYOUT_EQUS.
+;
+; Entry: a0 = packet (layer 3), a1 = captured length.
+; Exit:  a0 = anonymized destination address.
+
+        .text
+main:
+        addi sp, sp, -8
+        sw   ra, 0(sp)
+
+        la   t0, state_ptr
+        lw   s3, 0(t0)               ; table header
+
+        ; ---- pick the next record slot (ring of TSA_RECORD_RING) ----
+        lw   s4, TSA_HDR_RECORDS(s3)
+        lw   t1, TSA_HDR_COUNT(s3)
+        li   t2, TSA_RECORD_RING
+        addi t2, t2, -1
+        and  t2, t1, t2              ; count % ring
+        slli t3, t2, 5
+        slli t4, t2, 3
+        add  t3, t3, t4
+        slli t4, t2, 2
+        add  t3, t3, t4              ; * TSA_RECORD_SIZE (44 = 32 + 8 + 4)
+        add  s5, s4, t3              ; record slot
+        addi t1, t1, 1
+        sw   t1, TSA_HDR_COUNT(s3)
+        sw   t1, 0(s5)               ; record sequence number
+        sw   zero, 4(s5)
+
+        ; ---- collect the l3/l4 headers as halfwords; how much layer-4
+        ;      header exists depends on the transport protocol ----
+        lbu  t6, 9(a0)               ; protocol
+        li   s6, 36                  ; TCP: IP header + 16 bytes of TCP
+        li   t4, 6
+        beq  t6, t4, len_done
+        li   s6, 28                  ; UDP: IP header + 8 bytes
+        li   t4, 17
+        beq  t6, t4, len_done
+        li   s6, 24                  ; other: IP header + 4 bytes
+len_done:
+        li   t5, 0
+copy_loop:
+        bgeu t5, s6, copy_done
+        add  t6, a0, t5
+        lhu  t4, 0(t6)
+        add  t6, s5, t5
+        sh   t4, 8(t6)
+        addi t5, t5, 2
+        j    copy_loop
+copy_done:
+
+        ; ---- anonymize the source address (record offset 8 + 12) ----
+        lbu  s0, 20(s5)
+        lbu  t1, 21(s5)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 22(s5)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 23(s5)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        jal  anonymize
+        srli t0, a4, 24
+        sb   t0, 20(s5)
+        srli t0, a4, 16
+        sb   t0, 21(s5)
+        srli t0, a4, 8
+        sb   t0, 22(s5)
+        sb   a4, 23(s5)
+
+        ; ---- anonymize the destination address (record offset 8 + 16) ----
+        lbu  s0, 24(s5)
+        lbu  t1, 25(s5)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 26(s5)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        lbu  t1, 27(s5)
+        slli s0, s0, 8
+        or   s0, s0, t1
+        jal  anonymize
+        srli t0, a4, 24
+        sb   t0, 24(s5)
+        srli t0, a4, 16
+        sb   t0, 25(s5)
+        srli t0, a4, 8
+        sb   t0, 26(s5)
+        sb   a4, 27(s5)
+
+        move a0, a4
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        jr   ra
+
+; anonymize: s0 = address -> a4 = anonymized address.
+; Top 16 bits through the table, low 16 bits through the replicated
+; subtree bitmap (heap-indexed: level i, path p -> bit 2^i + p).
+anonymize:
+        lw   t0, TSA_HDR_TOP(s3)
+        srli t1, s0, 16
+        slli t1, t1, 1
+        add  t1, t1, t0
+        lhu  t2, 0(t1)               ; anonymized top half
+        lw   t3, TSA_HDR_SUBTREE(s3)
+        li   t4, 0xFFFF
+        and  t4, s0, t4              ; low half
+        li   t5, 0                   ; level i
+        li   t6, 0                   ; anonymized low half
+anon_loop:
+        li   t0, 16
+        bgeu t5, t0, anon_done
+        li   t0, 16
+        sub  t0, t0, t5
+        srl  t0, t4, t0              ; path = low >> (16 - i)
+        li   t1, 1
+        sll  t1, t1, t5
+        add  t0, t0, t1              ; heap index
+        srli t1, t0, 3
+        add  t1, t1, t3
+        lbu  t1, 0(t1)               ; bitmap byte
+        andi t0, t0, 7
+        srl  t1, t1, t0
+        andi t1, t1, 1               ; flip bit
+        li   t0, 15
+        sub  t0, t0, t5
+        srl  t7, t4, t0
+        andi t7, t7, 1               ; original bit
+        xor  t7, t7, t1
+        sll  t7, t7, t0
+        or   t6, t6, t7
+        addi t5, t5, 1
+        j    anon_loop
+anon_done:
+        slli a4, t2, 16
+        or   a4, a4, t6
+        jr   ra
+
+        .data
+state_ptr:  .word 0

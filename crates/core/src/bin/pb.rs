@@ -1,0 +1,285 @@
+//! `pb` — the PacketBench command-line tool.
+//!
+//! ```text
+//! pb apps                          list applications
+//! pb traces                        list trace profiles
+//! pb disasm --app <app>            disassemble an application
+//! pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
+//!        [--verify] [--uarch] [--seed <n>]
+//! pb anonymize <in.pcap> <out.pcap> [--seed <n>]
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use nettrace::pcap::{PcapReader, PcapWriter};
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Packet;
+use packetbench::analysis::TraceAnalysis;
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::WorkloadConfig;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pb: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        options: HashMap::new(),
+        flags: Vec::new(),
+    };
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Flags that take no value.
+            if matches!(name, "verify" | "uarch" | "help") {
+                args.flags.push(name.to_string());
+            } else {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                args.options.insert(name.to_string(), value.clone());
+                i += 1;
+            }
+        } else if let Some(name) = a.strip_prefix('-') {
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| format!("-{name} needs a value"))?;
+            args.options.insert(name.to_string(), value.clone());
+            i += 1;
+        } else {
+            args.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        print_usage();
+        return Ok(());
+    };
+    let args = parse_args(&raw[1..])?;
+    if args.flags.iter().any(|f| f == "help") {
+        print_usage();
+        return Ok(());
+    }
+    match command.as_str() {
+        "apps" => cmd_apps(),
+        "traces" => cmd_traces(),
+        "disasm" => cmd_disasm(&args),
+        "run" => cmd_run(&args),
+        "anonymize" => cmd_anonymize(&args),
+        other => Err(format!("unknown command `{other}` (try `pb` for usage)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pb — PacketBench workload characterization
+
+USAGE:
+  pb apps                          list applications
+  pb traces                        list trace profiles
+  pb disasm --app <app>            disassemble an application
+  pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
+         [--verify] [--uarch] [--seed <n>]
+  pb anonymize <in.pcap> <out.pcap> [--seed <n>]"
+    );
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("{:<10} {:<22} description", "slug", "name");
+    for id in AppId::WITH_EXTENSIONS {
+        let what = match id {
+            AppId::Ipv4Radix => "RFC1812 forwarding, BSD-style radix lookup (unoptimized)",
+            AppId::Ipv4Trie => "RFC1812 forwarding, LC-trie lookup (optimized)",
+            AppId::FlowClass => "5-tuple flow classification, chained hash table",
+            AppId::Tsa => "prefix-preserving anonymization + header collection",
+            AppId::IpsecEnc => "XTEA payload encryption (payload-processing extension)",
+        };
+        println!("{:<10} {:<22} {what}", id.slug(), id.name());
+    }
+    Ok(())
+}
+
+fn cmd_traces() -> Result<(), String> {
+    println!(
+        "{:<6} {:<20} {:>12} {:>10} {:>10}",
+        "name", "type", "packets", "flows", "new-flow%"
+    );
+    for p in TraceProfile::all() {
+        println!(
+            "{:<6} {:<20} {:>12} {:>10} {:>9.1}%",
+            p.name,
+            p.link_description(),
+            p.nominal_packets,
+            p.max_flows,
+            p.new_flow_prob * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn app_from(args: &Args) -> Result<AppId, String> {
+    let name = args
+        .options
+        .get("app")
+        .ok_or("missing --app (see `pb apps`)")?;
+    AppId::by_name(name).ok_or_else(|| format!("unknown application `{name}`"))
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let id = app_from(args)?;
+    let app = App::build(id, &WorkloadConfig::default()).map_err(|e| e.to_string())?;
+    println!("; {} — {} instructions", id.name(), app.image().program().len());
+    print!("{}", npasm::disassemble(app.image().program()));
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let id = app_from(args)?;
+    let n: usize = args
+        .options
+        .get("n")
+        .map(|v| v.parse().map_err(|_| format!("bad -n value `{v}`")))
+        .transpose()?
+        .unwrap_or(1000);
+    let seed: u64 = args
+        .options
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let verify = args.flags.iter().any(|f| f == "verify");
+    let uarch = args.flags.iter().any(|f| f == "uarch");
+
+    // Packet source: pcap file or synthetic profile.
+    let packets: Vec<Packet> = if let Some(path) = args.options.get("pcap") {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        PcapReader::new(BufReader::new(file))
+            .map_err(|e| e.to_string())?
+            .take(n)
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?
+    } else {
+        let profile_name = args.options.get("trace").map(String::as_str).unwrap_or("MRA");
+        let profile = TraceProfile::by_name(profile_name)
+            .ok_or_else(|| format!("unknown trace profile `{profile_name}`"))?;
+        SyntheticTrace::new(profile, seed).take_packets(n)
+    };
+
+    let config = WorkloadConfig::default();
+    let app = App::build(id, &config).map_err(|e| e.to_string())?;
+    let mut bench = PacketBench::with_config(app, &config).map_err(|e| e.to_string())?;
+    let block_map = bench.block_map().clone();
+    let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
+    let detail = Detail {
+        uarch,
+        ..Detail::counts()
+    };
+
+    let mut cycles = 0u64;
+    for (i, packet) in packets.iter().enumerate() {
+        let record = if verify {
+            bench.process_verified(packet, detail)
+        } else {
+            bench.process_packet(packet, detail)
+        }
+        .map_err(|e| format!("packet {i}: {e}"))?;
+        if let Some(u) = record.stats.uarch {
+            cycles += u.cycles;
+        }
+        analysis.add(&block_map, &record);
+    }
+
+    println!("application:            {}", id.name());
+    println!("packets:                {}", analysis.packets());
+    println!("avg instructions:       {:.1}", analysis.avg_instructions());
+    println!(
+        "avg memory accesses:    {:.1} packet + {:.1} non-packet",
+        analysis.avg_packet_mem(),
+        analysis.avg_non_packet_mem()
+    );
+    let hist = analysis.instruction_histogram();
+    print!("modes:                  ");
+    for (v, share) in hist.top_k(3) {
+        print!("{v} ({:.1}%)  ", share * 100.0);
+    }
+    println!();
+    if uarch && analysis.packets() > 0 {
+        println!(
+            "modelled CPI:           {:.2}",
+            cycles as f64 / (analysis.avg_instructions() * analysis.packets() as f64)
+        );
+    }
+    if verify {
+        println!("golden-model check:     all packets verified");
+    }
+    Ok(())
+}
+
+fn cmd_anonymize(args: &Args) -> Result<(), String> {
+    let [input, output] = args.positional.as_slice() else {
+        return Err("usage: pb anonymize <in.pcap> <out.pcap>".into());
+    };
+    let seed: u64 = args
+        .options
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
+        .transpose()?
+        .unwrap_or(0xfeed);
+
+    let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let link = reader.link();
+    let out = File::create(output).map_err(|e| format!("{output}: {e}"))?;
+    let mut writer =
+        PcapWriter::new(BufWriter::new(out), link, 65535).map_err(|e| e.to_string())?;
+
+    let anonymizer = ipanon::Tsa::new(seed);
+    let mut count = 0u64;
+    for packet in reader {
+        let mut packet = packet.map_err(|e| e.to_string())?;
+        let l3 = packet.l3_mut();
+        if l3.len() >= 20 && l3[0] >> 4 == 4 {
+            let src = u32::from_be_bytes([l3[12], l3[13], l3[14], l3[15]]);
+            let dst = u32::from_be_bytes([l3[16], l3[17], l3[18], l3[19]]);
+            l3[12..16].copy_from_slice(&anonymizer.anonymize(src).to_be_bytes());
+            l3[16..20].copy_from_slice(&anonymizer.anonymize(dst).to_be_bytes());
+            // Addresses changed: fix the header checksum.
+            if let Ok(mut header) = nettrace::ip::Ipv4Header::parse(l3) {
+                header.finalize();
+                header.write(&mut l3[..20]);
+            }
+        }
+        writer.write_packet(&packet).map_err(|e| e.to_string())?;
+        count += 1;
+    }
+    writer
+        .into_inner()
+        .map_err(|e| e.to_string())?
+        .into_inner()
+        .map_err(|e| e.to_string())?;
+    println!("anonymized {count} packets: {input} -> {output}");
+    Ok(())
+}

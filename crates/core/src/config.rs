@@ -1,0 +1,72 @@
+//! Workload configuration: table sizes, seeds, and keys.
+
+/// Everything an application's `init()` needs to build its state.
+///
+/// The defaults mirror the paper's setup in spirit: a backbone-scale table
+/// for the unoptimized radix application (the paper uses MAE-WEST) and a
+/// deliberately small table for the LC-trie (the paper notes "we use a
+/// small routing table for this particular application", which is what
+/// makes its Table IV data-memory footprint small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Seed for routing-table generation.
+    pub table_seed: u64,
+    /// Prefixes in the radix application's routing table.
+    pub radix_routes: usize,
+    /// Prefixes in the LC-trie application's routing table.
+    pub trie_routes: usize,
+    /// Distinct next hops (router ports).
+    pub ports: u32,
+    /// Flow-table buckets (power of two).
+    pub flow_buckets: u32,
+    /// Flow-table node capacity.
+    pub flow_capacity: u32,
+    /// TSA anonymization key.
+    pub tsa_key: u64,
+    /// XTEA key for the IPsec-enc payload application (an extension
+    /// beyond the paper's four header-processing workloads).
+    pub xtea_key: [u32; 4],
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            table_seed: 0x5eed_0001,
+            radix_routes: 2048,
+            trie_routes: 160,
+            ports: 16,
+            flow_buckets: 8192,
+            flow_capacity: 65_536,
+            tsa_key: 0x7ea5_0a0a_5317_c0de,
+            xtea_key: [0x0123_4567, 0x89ab_cdef, 0xfedc_ba98, 0x7654_3210],
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A scaled-down configuration for fast unit tests.
+    pub fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            radix_routes: 256,
+            trie_routes: 64,
+            flow_buckets: 256,
+            flow_capacity: 2048,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = WorkloadConfig::default();
+        assert!(c.flow_buckets.is_power_of_two());
+        assert!(c.radix_routes > c.trie_routes);
+        let s = WorkloadConfig::small();
+        assert!(s.radix_routes < c.radix_routes);
+        assert_eq!(s.tsa_key, c.tsa_key);
+    }
+}

@@ -1,0 +1,87 @@
+//! Framework error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building applications and running packets through the
+/// framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// An application failed to assemble — a bug in the embedded `.s`
+    /// source.
+    Assembly(npasm::AsmError),
+    /// The simulator faulted while processing a packet.
+    Sim(npsim::SimError),
+    /// A packet the application cannot be handed (e.g. truncated below an
+    /// IPv4 header).
+    BadPacket(nettrace::TraceError),
+    /// The assembled application lacks a `main` symbol.
+    NoEntryPoint {
+        /// The application name.
+        app: &'static str,
+    },
+    /// A golden-model verification mismatch (used by
+    /// [`crate::framework::PacketBench::process_verified`]).
+    Mismatch {
+        /// What disagreed.
+        what: String,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Assembly(e) => write!(f, "application failed to assemble: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation fault: {e}"),
+            BenchError::BadPacket(e) => write!(f, "unusable packet: {e}"),
+            BenchError::NoEntryPoint { app } => {
+                write!(f, "application `{app}` has no `main` symbol")
+            }
+            BenchError::Mismatch { what } => write!(f, "golden-model mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Assembly(e) => Some(e),
+            BenchError::Sim(e) => Some(e),
+            BenchError::BadPacket(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<npasm::AsmError> for BenchError {
+    fn from(e: npasm::AsmError) -> BenchError {
+        BenchError::Assembly(e)
+    }
+}
+
+impl From<npsim::SimError> for BenchError {
+    fn from(e: npsim::SimError) -> BenchError {
+        BenchError::Sim(e)
+    }
+}
+
+impl From<nettrace::TraceError> for BenchError {
+    fn from(e: nettrace::TraceError) -> BenchError {
+        BenchError::BadPacket(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = BenchError::from(npsim::SimError::PcOutOfRange { pc: 4 });
+        assert!(e.to_string().contains("simulation fault"));
+        assert!(e.source().is_some());
+        assert!(BenchError::NoEntryPoint { app: "x" }.source().is_none());
+        assert!(!BenchError::Mismatch { what: "nh".into() }.to_string().is_empty());
+    }
+}

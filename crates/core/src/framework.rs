@@ -1,0 +1,502 @@
+//! The PacketBench framework: packet staging, application invocation, and
+//! the framework side of the API (paper §III).
+//!
+//! Per packet, the framework copies the layer-3 bytes into simulated
+//! packet memory, seeds the argument registers (`a0` = packet pointer,
+//! `a1` = captured length), and runs the application to its return. The
+//! `sys` instruction is the API boundary: `send`, `drop`, and
+//! `write_packet_to_file` trap to host-side handlers whose work — like
+//! the framework's own — is never counted in the statistics (the paper's
+//! *selective accounting*).
+
+use nettrace::{Packet, Timestamp};
+use npsim::bblock::BlockMap;
+use npsim::{
+    reg, Cpu, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome,
+};
+
+use crate::apps::App;
+use crate::config::WorkloadConfig;
+use crate::error::BenchError;
+
+/// API call numbers (the PacketBench API of paper §III-B).
+pub mod sys {
+    /// `send_packet(next_hop)` — forward the packet.
+    pub const SEND: u32 = 1;
+    /// `drop_packet()` — discard the packet.
+    pub const DROP: u32 = 2;
+    /// `write_packet_to_file(ptr, len, file)` — append to an output trace.
+    pub const WRITE: u32 = 3;
+}
+
+/// What the application decided to do with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// `send_packet` with this next hop.
+    Forwarded(u32),
+    /// `drop_packet`.
+    Dropped,
+    /// The handler returned without a forwarding verdict (classification
+    /// and measurement applications).
+    Returned,
+}
+
+/// How much to record per packet. Counts are always collected; the traces
+/// are opt-in because they dominate memory for long runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Detail {
+    /// Record the executed-PC sequence (paper Fig. 6).
+    pub pc_trace: bool,
+    /// Record every data-memory access (paper Fig. 9, Table IV).
+    pub mem_trace: bool,
+    /// Attach the micro-architectural models.
+    pub uarch: bool,
+    /// Geometry/timing for the micro-architectural models; `None` uses
+    /// [`npsim::uarch::UarchConfig::default`]. Only read when `uarch` is
+    /// set.
+    pub uarch_config: Option<npsim::uarch::UarchConfig>,
+}
+
+impl Detail {
+    /// Counts only — the cheap default for long trace runs.
+    pub fn counts() -> Detail {
+        Detail::default()
+    }
+
+    /// Everything on — for single-packet deep dives.
+    pub fn full() -> Detail {
+        Detail {
+            pc_trace: true,
+            mem_trace: true,
+            uarch: true,
+            uarch_config: None,
+        }
+    }
+
+    /// Counts plus memory-access events (Table IV coverage runs).
+    pub fn with_mem_trace() -> Detail {
+        Detail {
+            mem_trace: true,
+            ..Detail::default()
+        }
+    }
+
+    fn run_config(self) -> RunConfig {
+        RunConfig {
+            record_pc_trace: self.pc_trace,
+            record_mem_trace: self.mem_trace,
+            uarch: self
+                .uarch
+                .then(|| self.uarch_config.unwrap_or_default()),
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Everything recorded about one packet's processing.
+#[derive(Debug, Clone)]
+pub struct PacketRecord {
+    /// Raw simulator statistics (instruction counts, executed set,
+    /// region-classified memory accesses, optional traces).
+    pub stats: RunStats,
+    /// The application's verdict.
+    pub verdict: Verdict,
+    /// The application's `a0` on return (next hop, flow count, or
+    /// anonymized address, depending on the application).
+    pub return_value: u32,
+}
+
+struct FrameworkSys<'a> {
+    verdict: Verdict,
+    out: &'a mut Vec<Packet>,
+    clock: u32,
+}
+
+impl SysHandler for FrameworkSys<'_> {
+    fn sys(
+        &mut self,
+        code: u32,
+        regs: &mut [u32; 32],
+        mem: &mut Memory,
+    ) -> Result<SysOutcome, SimError> {
+        match code {
+            sys::SEND => {
+                self.verdict = Verdict::Forwarded(regs[reg::A0.index()]);
+                Ok(SysOutcome::Continue)
+            }
+            sys::DROP => {
+                self.verdict = Verdict::Dropped;
+                Ok(SysOutcome::Continue)
+            }
+            sys::WRITE => {
+                let ptr = regs[reg::A0.index()];
+                let len = regs[reg::A1.index()].min(0xffff) as usize;
+                let data = mem.read_bytes(ptr, len);
+                self.out
+                    .push(Packet::from_l3(Timestamp::new(self.clock, 0), data));
+                Ok(SysOutcome::Continue)
+            }
+            other => Err(SimError::UnknownSyscall { code: other, pc: 0 }),
+        }
+    }
+}
+
+/// The framework engine: owns simulated memory and an initialized
+/// application, and runs packets through it.
+#[derive(Debug)]
+pub struct PacketBench {
+    app: App,
+    mem: Memory,
+    map: MemoryMap,
+    entry: u32,
+    block_map: BlockMap,
+    out_packets: Vec<Packet>,
+    packets_processed: u64,
+}
+
+impl PacketBench {
+    /// Initializes the framework around an application, running its
+    /// (uncounted, host-side) `init()` with the default workload
+    /// configuration embedded in the app.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for forward
+    /// compatibility with configurable memory maps.
+    pub fn new(app: App) -> Result<PacketBench, BenchError> {
+        PacketBench::with_config(app, &WorkloadConfig::default())
+    }
+
+    /// Initializes the framework with an explicit workload configuration
+    /// (must be the one the app was built with for sizes to line up).
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketBench::new`].
+    pub fn with_config(mut app: App, config: &WorkloadConfig) -> Result<PacketBench, BenchError> {
+        let map = app.map();
+        let mut mem = Memory::new();
+        app.init(&mut mem, config);
+        let entry = app.entry();
+        let block_map = BlockMap::build(app.image().program());
+        Ok(PacketBench {
+            app,
+            mem,
+            map,
+            entry,
+            block_map,
+            out_packets: Vec::new(),
+            packets_processed: 0,
+        })
+    }
+
+    /// The application under test.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// The static basic-block partition of the application.
+    pub fn block_map(&self) -> &BlockMap {
+        &self.block_map
+    }
+
+    /// Simulated memory (application state lives here between packets).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Packets the application emitted via `write_packet_to_file`.
+    pub fn output_packets(&self) -> &[Packet] {
+        &self.out_packets
+    }
+
+    /// Packets processed so far.
+    pub fn packets_processed(&self) -> u64 {
+        self.packets_processed
+    }
+
+    /// Runs one packet through the application.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the capture is shorter than an IPv4 header, or if the
+    /// simulation faults (a bug in the application).
+    pub fn process_packet(
+        &mut self,
+        packet: &Packet,
+        detail: Detail,
+    ) -> Result<PacketRecord, BenchError> {
+        let l3 = packet.l3();
+        if l3.len() < 20 {
+            return Err(BenchError::BadPacket(
+                nettrace::TraceError::MalformedPacket {
+                    reason: "capture shorter than an IPv4 header",
+                },
+            ));
+        }
+        // Stage the packet; clear a pad region beyond it so a shorter
+        // packet never sees the previous packet's bytes.
+        self.mem.write_bytes(self.map.packet_base, l3);
+        self.mem
+            .zero_range(self.map.packet_base + l3.len() as u32, 64);
+
+        let program = self.app.image().program();
+        let mut cpu = Cpu::new(program, self.map);
+        cpu.pc = self.entry;
+        cpu.set_reg(reg::A0, self.map.packet_base);
+        cpu.set_reg(reg::A1, l3.len() as u32);
+
+        self.packets_processed += 1;
+        let mut handler = FrameworkSys {
+            verdict: Verdict::Returned,
+            out: &mut self.out_packets,
+            clock: self.packets_processed as u32,
+        };
+        let stats = cpu.run_with(&mut self.mem, &detail.run_config(), &mut handler)?;
+        Ok(PacketRecord {
+            stats,
+            verdict: handler.verdict,
+            return_value: cpu.reg(reg::A0),
+        })
+    }
+
+    /// Runs one packet and checks the result against the application's
+    /// golden model.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PacketBench::process_packet`] can fail with, plus
+    /// [`BenchError::Mismatch`] when the application and its golden model
+    /// disagree — which the test suite treats as a simulator or assembly
+    /// bug.
+    pub fn process_verified(
+        &mut self,
+        packet: &Packet,
+        detail: Detail,
+    ) -> Result<PacketRecord, BenchError> {
+        let record = self.process_packet(packet, detail)?;
+        let l3 = packet.l3().to_vec();
+        self.app.verify(&l3, &record, &self.mem)?;
+        Ok(record)
+    }
+
+    /// Runs `packets` through the application, calling `visit` with each
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing packet.
+    pub fn run_trace<I, F>(
+        &mut self,
+        packets: I,
+        detail: Detail,
+        mut visit: F,
+    ) -> Result<(), BenchError>
+    where
+        I: IntoIterator<Item = Packet>,
+        F: FnMut(u64, PacketRecord),
+    {
+        for (i, packet) in packets.into_iter().enumerate() {
+            let record = self.process_packet(&packet, detail)?;
+            visit(i as u64, record);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppId;
+    use nettrace::synth::{SyntheticTrace, TraceProfile};
+
+    fn bench(id: AppId) -> PacketBench {
+        let config = WorkloadConfig::small();
+        let app = App::build(id, &config).unwrap();
+        PacketBench::with_config(app, &config).unwrap()
+    }
+
+    #[test]
+    fn trie_forwards_and_is_verified() {
+        let mut b = bench(AppId::Ipv4Trie);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 3);
+        for _ in 0..50 {
+            let p = trace.next_packet();
+            let r = b.process_verified(&p, Detail::counts()).expect("verified");
+            assert!(matches!(r.verdict, Verdict::Forwarded(_)));
+            assert!(r.stats.instret > 100, "{}", r.stats.instret);
+            assert!(r.stats.instret < 600, "{}", r.stats.instret);
+        }
+    }
+
+    #[test]
+    fn radix_forwards_and_is_verified() {
+        let mut b = bench(AppId::Ipv4Radix);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 3);
+        for _ in 0..20 {
+            let p = trace.next_packet();
+            let r = b.process_verified(&p, Detail::counts()).expect("verified");
+            assert!(matches!(r.verdict, Verdict::Forwarded(_)));
+            assert!(
+                r.stats.instret > 500,
+                "radix should be expensive, got {}",
+                r.stats.instret
+            );
+        }
+    }
+
+    #[test]
+    fn flow_counts_and_is_verified() {
+        let mut b = bench(AppId::FlowClass);
+        let mut trace = SyntheticTrace::new(TraceProfile::cos(), 5);
+        let mut saw_repeat = false;
+        for _ in 0..200 {
+            let p = trace.next_packet();
+            let r = b.process_verified(&p, Detail::counts()).expect("verified");
+            if r.return_value > 1 {
+                saw_repeat = true;
+            }
+        }
+        assert!(saw_repeat, "200 packets must revisit some flow");
+    }
+
+    #[test]
+    fn tsa_anonymizes_and_is_verified() {
+        let mut b = bench(AppId::Tsa);
+        let mut trace = SyntheticTrace::new(TraceProfile::odu(), 7);
+        for _ in 0..50 {
+            let p = trace.next_packet();
+            let r = b.process_verified(&p, Detail::counts()).expect("verified");
+            assert_eq!(r.verdict, Verdict::Returned);
+        }
+        assert_eq!(b.packets_processed(), 50);
+    }
+
+    #[test]
+    fn ttl_is_decremented_and_checksum_stays_valid() {
+        let mut b = bench(AppId::Ipv4Trie);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 11);
+        let p = trace.next_packet();
+        let ttl_before = p.l3()[8];
+        b.process_verified(&p, Detail::counts()).unwrap();
+        let out = b.mem().read_bytes(b.app.map().packet_base, 20);
+        assert_eq!(out[8], ttl_before - 1);
+        assert!(nettrace::checksum::verify(&out));
+    }
+
+    #[test]
+    fn short_packet_rejected() {
+        let mut b = bench(AppId::Ipv4Trie);
+        let p = Packet::from_l3(Timestamp::default(), vec![0x45; 10]);
+        assert!(matches!(
+            b.process_packet(&p, Detail::counts()),
+            Err(BenchError::BadPacket(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_is_dropped() {
+        let mut b = bench(AppId::Ipv4Radix);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 13);
+        let mut p = trace.next_packet();
+        p.l3_mut()[10] ^= 0xff; // corrupt checksum
+        let r = b.process_packet(&p, Detail::counts()).unwrap();
+        assert_eq!(r.verdict, Verdict::Dropped);
+    }
+
+    #[test]
+    fn ttl_one_is_dropped() {
+        let mut b = bench(AppId::Ipv4Trie);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 17);
+        let mut p = trace.next_packet();
+        {
+            let l3 = p.l3_mut();
+            let mut h = nettrace::ip::Ipv4Header::parse(l3).unwrap();
+            h.ttl = 1;
+            h.finalize();
+            h.write(&mut l3[..20]);
+        }
+        let r = b.process_packet(&p, Detail::counts()).unwrap();
+        assert_eq!(r.verdict, Verdict::Dropped);
+    }
+
+    #[test]
+    fn detail_traces_populate() {
+        let mut b = bench(AppId::FlowClass);
+        let mut trace = SyntheticTrace::new(TraceProfile::lan(), 19);
+        let p = trace.next_packet();
+        let r = b.process_packet(&p, Detail::full()).unwrap();
+        assert_eq!(r.stats.pc_trace.len() as u64, r.stats.instret);
+        assert!(!r.stats.mem_trace.is_empty());
+        assert!(r.stats.uarch.is_some());
+        let packet_events = r
+            .stats
+            .mem_trace
+            .iter()
+            .filter(|e| e.region == npsim::Region::Packet)
+            .count() as u64;
+        assert_eq!(packet_events, r.stats.mem.packet_total());
+    }
+}
+
+#[cfg(test)]
+mod ipsec_tests {
+    use super::*;
+    use crate::apps::AppId;
+    use nettrace::synth::{SyntheticTrace, TraceProfile};
+
+    #[test]
+    fn ipsec_encrypts_and_is_verified() {
+        let config = WorkloadConfig::small();
+        let app = App::build(AppId::IpsecEnc, &config).unwrap();
+        let mut b = PacketBench::with_config(app, &config).unwrap();
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 41);
+        for _ in 0..40 {
+            let p = trace.next_packet();
+            let r = b.process_verified(&p, Detail::counts()).expect("verified");
+            assert!(matches!(r.verdict, Verdict::Forwarded(_)));
+        }
+    }
+
+    #[test]
+    fn ipsec_cost_scales_with_packet_size() {
+        // The PPA signature: instructions per packet grow linearly with
+        // payload size, unlike every header-processing application.
+        let config = WorkloadConfig::small();
+        let app = App::build(AppId::IpsecEnc, &config).unwrap();
+        let mut b = PacketBench::with_config(app, &config).unwrap();
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 43);
+        let mut samples: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..60 {
+            let p = trace.next_packet();
+            let r = b.process_verified(&p, Detail::counts()).unwrap();
+            samples.push((p.l3().len(), r.stats.instret));
+        }
+        samples.sort();
+        let (small_len, small_cost) = samples[0];
+        let (large_len, large_cost) = *samples.last().unwrap();
+        assert!(large_len > small_len * 2, "need size spread in the trace");
+        assert!(
+            large_cost > small_cost * 2,
+            "cost must scale with size: {small_len}B -> {small_cost}, {large_len}B -> {large_cost}"
+        );
+        // And packet-memory traffic scales with the payload too (4
+        // accesses per 8-byte block: two loads, two stores), unlike the
+        // near-constant packet traffic of the header applications.
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 44);
+        loop {
+            let p = trace.next_packet();
+            if p.l3().len() < 100 {
+                continue;
+            }
+            let blocks = ((p.l3().len() - 20) / 8) as u64;
+            let r = b.process_verified(&p, Detail::counts()).unwrap();
+            assert!(
+                r.stats.mem.packet_total() >= 4 * blocks,
+                "{} accesses for {blocks} blocks",
+                r.stats.mem.packet_total()
+            );
+            break;
+        }
+    }
+}

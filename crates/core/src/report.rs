@@ -1,0 +1,336 @@
+//! Text rendering of the paper's tables and figures.
+//!
+//! Each `render_*` function takes computed analysis data and returns the
+//! table/figure as a plain-text block shaped like the paper's layout, so
+//! the benchmark harness (`packetbench-bench`, binary `report`) can
+//! regenerate every exhibit of the evaluation section.
+
+use std::fmt::Write as _;
+
+use nettrace::synth::TraceProfile;
+
+use crate::analysis::{Histogram, InstructionPattern, MemSeqPoint, TraceAnalysis};
+use crate::apps::AppId;
+
+/// Renders Table I: the trace inventory.
+pub fn render_table1(profiles: &[TraceProfile]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I: Packet Traces Used to Evaluate Applications");
+    let _ = writeln!(out, "{:<8} {:<20} {:>12}", "Trace", "Type", "Packets");
+    for p in profiles {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<20} {:>12}",
+            p.name,
+            p.link_description(),
+            p.nominal_packets
+        );
+    }
+    out
+}
+
+/// Renders Table II: average instructions per packet, apps x traces.
+/// `cells[app][trace]` in [`AppId::ALL`] x trace order.
+pub fn render_table2(traces: &[&str], cells: &[[f64; 4]; 4]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table II: Average Number of Instructions per Packet Executed"
+    );
+    let _ = write!(out, "{:<8}", "Trace");
+    for app in AppId::ALL {
+        let _ = write!(out, " {:>20}", app.name());
+    }
+    let _ = writeln!(out);
+    let mut sums = [0.0f64; 4];
+    for (t, trace) in traces.iter().enumerate() {
+        let _ = write!(out, "{trace:<8}");
+        for (a, _) in AppId::ALL.iter().enumerate() {
+            let _ = write!(out, " {:>20.0}", cells[a][t]);
+            sums[a] += cells[a][t];
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<8}", "Average");
+    for sum in sums {
+        let _ = write!(out, " {:>20.0}", sum / traces.len() as f64);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// One Table III cell: average packet / non-packet accesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemCell {
+    /// Average accesses to packet memory.
+    pub packet: f64,
+    /// Average accesses to non-packet memory.
+    pub non_packet: f64,
+}
+
+/// Renders Table III: packet vs non-packet memory accesses.
+pub fn render_table3(traces: &[&str], cells: &[[MemCell; 4]; 4]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III: Average Accesses to Packet and Non-Packet Memory"
+    );
+    let _ = write!(out, "{:<8}", "Trace");
+    for app in AppId::ALL {
+        let _ = write!(out, " {:>24}", app.name());
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<8}", "");
+    for _ in AppId::ALL {
+        let _ = write!(out, " {:>12}{:>12}", "Packet", "Non-packet");
+    }
+    let _ = writeln!(out);
+    let mut sums = [[0.0f64; 2]; 4];
+    for (t, trace) in traces.iter().enumerate() {
+        let _ = write!(out, "{trace:<8}");
+        for (a, _) in AppId::ALL.iter().enumerate() {
+            let c = cells[a][t];
+            let _ = write!(out, " {:>12.0}{:>12.0}", c.packet, c.non_packet);
+            sums[a][0] += c.packet;
+            sums[a][1] += c.non_packet;
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<8}", "Average");
+    for s in sums {
+        let n = traces.len() as f64;
+        let _ = write!(out, " {:>12.0}{:>12.0}", s[0] / n, s[1] / n);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders Table IV: instruction and data memory sizes.
+pub fn render_table4(rows: &[(AppId, u64, u64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table IV: Instruction and Data Memory Sizes (bytes)");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>18} {:>18}",
+        "Application", "Instr. memory", "Data memory"
+    );
+    for &(app, instr, data) in rows {
+        let _ = writeln!(out, "{:<22} {:>18} {:>18}", app.name(), instr, data);
+    }
+    out
+}
+
+/// Renders Table V or VI: the top-3 / min / max / average of a per-packet
+/// count distribution, one row per application.
+pub fn render_variation_table(title: &str, rows: &[(AppId, Histogram)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>18} {:>18} {:>18} {:>16} {:>16} {:>9}",
+        "Application", "1st", "2nd", "3rd", "Minimum", "Maximum", "Average"
+    );
+    for (app, hist) in rows {
+        let top = hist.top_k(3);
+        let fmt_share = |pair: Option<&(u64, f64)>| -> String {
+            match pair {
+                Some(&(v, share)) => format!("{v} ({:.2}%)", share * 100.0),
+                None => "-".to_string(),
+            }
+        };
+        let fmt_edge = |pair: Option<(u64, f64)>| -> String {
+            match pair {
+                Some((v, share)) => format!("{v} ({:.2}%)", share * 100.0),
+                None => "-".to_string(),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>18} {:>18} {:>18} {:>16} {:>16} {:>9.0}",
+            app.name(),
+            fmt_share(top.first()),
+            fmt_share(top.get(1)),
+            fmt_share(top.get(2)),
+            fmt_edge(hist.min()),
+            fmt_edge(hist.max()),
+            hist.mean()
+        );
+    }
+    out
+}
+
+/// Renders Figs. 3/4/5: a per-packet series as `packet value` rows.
+pub fn render_series(title: &str, values: impl Iterator<Item = u64>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "packet value");
+    for (i, v) in values.enumerate() {
+        let _ = writeln!(out, "{i} {v}");
+    }
+    out
+}
+
+/// Renders Fig. 6: the instruction pattern of one packet.
+pub fn render_instruction_pattern(title: &str, pattern: &InstructionPattern) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "instruction unique_index");
+    for &(step, unique) in pattern.points() {
+        let _ = writeln!(out, "{step} {unique}");
+    }
+    let _ = writeln!(out, "# unique instructions: {}", pattern.unique_instructions());
+    out
+}
+
+/// Renders Fig. 7: basic-block execution probabilities.
+pub fn render_block_probabilities(title: &str, probs: &[f64]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "block probability");
+    for (b, p) in probs.iter().enumerate() {
+        let _ = writeln!(out, "{b} {p:.4}");
+    }
+    out
+}
+
+/// Renders Fig. 8: the packet-coverage curve, plus the detected "sweet
+/// spot" (first block count reaching 90% coverage).
+pub fn render_coverage_curve(title: &str, curve: &[(usize, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "blocks packet_coverage");
+    for &(k, c) in curve {
+        let _ = writeln!(out, "{k} {c:.4}");
+    }
+    if let Some(&(k, _)) = curve.iter().find(|&&(_, c)| c >= 0.9) {
+        let _ = writeln!(out, "# 90% coverage at {k} basic blocks");
+    }
+    out
+}
+
+/// Renders Fig. 9: the data-memory access sequence of one packet
+/// (+1 = packet memory, -1 = non-packet memory, as the paper plots it).
+pub fn render_memory_sequence(title: &str, seq: &[MemSeqPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "instruction region(+1 packet/-1 non-packet) rw");
+    for p in seq {
+        let region = if p.packet { 1 } else { -1 };
+        let _ = writeln!(out, "{} {} {}", p.step, region, p.kind);
+    }
+    out
+}
+
+/// Convenience: Table II/III cell values from an analysis.
+pub fn table23_cells(analysis: &TraceAnalysis) -> (f64, MemCell) {
+    (
+        analysis.avg_instructions(),
+        MemCell {
+            packet: analysis.avg_packet_mem(),
+            non_packet: analysis.avg_non_packet_mem(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_traces() {
+        let text = render_table1(&TraceProfile::all());
+        assert!(text.contains("MRA"));
+        assert!(text.contains("4643333"));
+        assert!(text.contains("Ethernet"));
+    }
+
+    #[test]
+    fn table2_averages_rows() {
+        let cells = [[100.0; 4], [10.0; 4], [20.0; 4], [30.0; 4]];
+        let text = render_table2(&["MRA", "COS", "ODU", "LAN"], &cells);
+        assert!(text.contains("IPv4-radix"));
+        assert!(text.contains("Average"));
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn variation_table_formats_shares() {
+        let hist = Histogram::collect([10u64, 10, 12, 13].into_iter());
+        let text =
+            render_variation_table("Table V: Variation", &[(AppId::Ipv4Trie, hist)]);
+        assert!(text.contains("10 (50.00%)"));
+        assert!(text.contains("13 ("));
+    }
+
+    #[test]
+    fn coverage_curve_marks_sweet_spot() {
+        let curve = vec![(1, 0.2), (2, 0.85), (3, 0.95), (4, 1.0)];
+        let text = render_coverage_curve("Fig 8", &curve);
+        assert!(text.contains("90% coverage at 3"));
+    }
+
+    #[test]
+    fn series_renders_rows() {
+        let text = render_series("Fig 3", [5u64, 6].into_iter());
+        assert!(text.contains("0 5"));
+        assert!(text.contains("1 6"));
+    }
+
+    #[test]
+    fn instruction_pattern_renders_points_and_summary() {
+        use npsim::{Program, MemoryMap};
+        use npsim::isa::{reg, Inst, Op};
+        let map = MemoryMap::default();
+        let program = Program::new(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+                Inst::jr(reg::RA),
+            ],
+            map.text_base,
+        );
+        let trace = vec![map.text_base, map.text_base + 4];
+        let pattern = crate::analysis::InstructionPattern::from_pc_trace(&program, &trace);
+        let text = render_instruction_pattern("Fig 6", &pattern);
+        assert!(text.contains("0 0"));
+        assert!(text.contains("1 1"));
+        assert!(text.contains("unique instructions: 2"));
+    }
+
+    #[test]
+    fn block_probabilities_render_indexed() {
+        let text = render_block_probabilities("Fig 7", &[1.0, 0.25]);
+        assert!(text.contains("0 1.0000"));
+        assert!(text.contains("1 0.2500"));
+    }
+
+    #[test]
+    fn memory_sequence_renders_signed_regions() {
+        use crate::analysis::MemSeqPoint;
+        use npsim::AccessKind;
+        let seq = vec![
+            MemSeqPoint { step: 0, packet: true, kind: AccessKind::Read },
+            MemSeqPoint { step: 3, packet: false, kind: AccessKind::Write },
+        ];
+        let text = render_memory_sequence("Fig 9", &seq);
+        assert!(text.contains("0 1 R"));
+        assert!(text.contains("3 -1 W"));
+    }
+
+    #[test]
+    fn table3_formats_both_columns() {
+        let cells = [[MemCell { packet: 32.0, non_packet: 836.0 }; 4]; 4];
+        let text = render_table3(&["MRA", "COS", "ODU", "LAN"], &cells);
+        assert!(text.contains("Packet"));
+        assert!(text.contains("Non-packet"));
+        assert!(text.contains("836"));
+    }
+
+    #[test]
+    fn table4_lists_each_app() {
+        let rows = vec![(AppId::Ipv4Radix, 728, 4628), (AppId::Tsa, 452, 1926)];
+        let text = render_table4(&rows);
+        assert!(text.contains("IPv4-radix"));
+        assert!(text.contains("4628"));
+        assert!(text.contains("1926"));
+    }
+}

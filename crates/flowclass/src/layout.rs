@@ -1,0 +1,171 @@
+//! Simulated-memory layout of the flow table for the NP32 application.
+//!
+//! ```text
+//! header (at image base):
+//!   +0   bucket-array pointer
+//!   +4   free-node pointer (bump allocator cursor)
+//!   +8   pool end (exclusive; equal means exhausted)
+//!   +12  key staging buffer (16 bytes: src, dst, ports, proto) — the
+//!        application assembles the 5-tuple here before hashing, like the
+//!        C implementation the paper measures
+//! bucket array: `buckets` word-sized chain heads (0 = empty)
+//! node pool (32-byte nodes):
+//!   +0 src  +4 dst  +8 ports  +12 proto
+//!   +16 packet count  +20 byte count  +24 next pointer  +28 (pad)
+//! ```
+
+use npsim::Memory;
+
+/// `.equ` constants shared with the flow-classification assembly source.
+pub const LAYOUT_EQUS: &str = "\
+        .equ FC_HDR_BUCKETS, 0
+        .equ FC_HDR_FREE, 4
+        .equ FC_HDR_POOL_END, 8
+        .equ FC_HDR_KEYBUF, 12
+        .equ FC_KEY_SRC, 0
+        .equ FC_KEY_DST, 4
+        .equ FC_KEY_PORTS, 8
+        .equ FC_KEY_PROTO, 12
+        .equ FC_NODE_SRC, 0
+        .equ FC_NODE_DST, 4
+        .equ FC_NODE_PORTS, 8
+        .equ FC_NODE_PROTO, 12
+        .equ FC_NODE_PKTS, 16
+        .equ FC_NODE_BYTES, 20
+        .equ FC_NODE_NEXT, 24
+        .equ FC_NODE_SIZE, 32
+";
+
+/// Size of one pool node in bytes.
+pub const NODE_SIZE: u32 = 32;
+
+/// An initialized flow-table image in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowImage {
+    /// Header address.
+    pub header: u32,
+    /// Bucket array address.
+    pub buckets_base: u32,
+    /// Bucket count (power of two).
+    pub buckets: u32,
+    /// Node pool base.
+    pub pool_base: u32,
+    /// First address past the image.
+    pub end: u32,
+    /// Node capacity.
+    pub capacity: u32,
+}
+
+impl FlowImage {
+    /// Lays an empty flow table out at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two.
+    pub fn init(mem: &mut Memory, base: u32, buckets: u32, capacity: u32) -> FlowImage {
+        assert!(buckets.is_power_of_two(), "bucket count must be 2^n");
+        let header = base;
+        let buckets_base = header + 32;
+        let pool_base = buckets_base + 4 * buckets;
+        let end = pool_base + NODE_SIZE * capacity;
+
+        mem.write_u32(header, buckets_base);
+        mem.write_u32(header + 4, pool_base); // free pointer
+        mem.write_u32(header + 8, end); // pool end
+        for i in 0..buckets {
+            mem.write_u32(buckets_base + 4 * i, 0);
+        }
+        FlowImage {
+            header,
+            buckets_base,
+            buckets,
+            pool_base,
+            end,
+            capacity,
+        }
+    }
+
+    /// Reads the number of allocated flow nodes back out of memory.
+    pub fn flows_allocated(&self, mem: &Memory) -> u32 {
+        (mem.read_u32(self.header + 4) - self.pool_base) / NODE_SIZE
+    }
+
+    /// Reads a flow node's `(packets, bytes)` by walking the image — a
+    /// host-side reference used by the equivalence tests.
+    pub fn find_flow(
+        &self,
+        mem: &Memory,
+        key: &crate::FlowKey,
+    ) -> Option<(u32, u32)> {
+        let bucket = key.bucket(self.buckets);
+        let mut node = mem.read_u32(self.buckets_base + 4 * bucket);
+        while node != 0 {
+            if mem.read_u32(node) == key.src
+                && mem.read_u32(node + 4) == key.dst
+                && mem.read_u32(node + 8) == key.ports_word()
+                && mem.read_u32(node + 12) == u32::from(key.protocol)
+            {
+                return Some((mem.read_u32(node + 16), mem.read_u32(node + 20)));
+            }
+            node = mem.read_u32(node + 24);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowKey;
+
+    #[test]
+    fn init_writes_empty_table() {
+        let mut mem = Memory::new();
+        let image = FlowImage::init(&mut mem, 0x2200_0000, 64, 100);
+        assert_eq!(mem.read_u32(image.header), image.buckets_base);
+        assert_eq!(mem.read_u32(image.header + 4), image.pool_base);
+        assert_eq!(mem.read_u32(image.header + 8), image.end);
+        assert_eq!(image.flows_allocated(&mem), 0);
+        for i in 0..64 {
+            assert_eq!(mem.read_u32(image.buckets_base + 4 * i), 0);
+        }
+        assert!(image.find_flow(&mem, &FlowKey::default()).is_none());
+    }
+
+    #[test]
+    fn find_flow_walks_chains() {
+        let mut mem = Memory::new();
+        let image = FlowImage::init(&mut mem, 0x2200_0000, 4, 10);
+        let key = FlowKey {
+            src: 1,
+            dst: 2,
+            src_port: 3,
+            dst_port: 4,
+            protocol: 6,
+        };
+        // Hand-install a node the way the application would.
+        let node = image.pool_base;
+        mem.write_u32(node, key.src);
+        mem.write_u32(node + 4, key.dst);
+        mem.write_u32(node + 8, key.ports_word());
+        mem.write_u32(node + 12, u32::from(key.protocol));
+        mem.write_u32(node + 16, 5);
+        mem.write_u32(node + 20, 500);
+        mem.write_u32(node + 24, 0);
+        mem.write_u32(image.buckets_base + 4 * key.bucket(4), node);
+        mem.write_u32(image.header + 4, node + NODE_SIZE);
+
+        assert_eq!(image.find_flow(&mem, &key), Some((5, 500)));
+        assert_eq!(image.flows_allocated(&mem), 1);
+        let mut other = key;
+        other.src = 9;
+        assert!(image.find_flow(&mem, &other).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn buckets_validated() {
+        let mut mem = Memory::new();
+        let _ = FlowImage::init(&mut mem, 0, 12, 4);
+    }
+}

@@ -1,0 +1,298 @@
+//! # flowclass — 5-tuple flow classification
+//!
+//! The substrate behind the paper's Flow Classification application
+//! (§IV-A): packets are classified into flows by the 5-tuple (source and
+//! destination address, source and destination port, transport protocol);
+//! the tuple hashes into a bucket array and collisions are resolved with
+//! linked chains, whose per-flow counters are updated in place.
+//!
+//! The crate provides the [`FlowTable`] golden model — algorithmically
+//! identical, hash included, to what the NP32 assembly application executes
+//! — plus [`layout`] for initializing the simulated-memory image that
+//! application walks. The paper's observation that memory use *grows with
+//! the number of flows in the trace* (unlike the fixed-size routing and
+//! anonymization tables) falls straight out of this design.
+//!
+//! ```
+//! use flowclass::{FlowKey, FlowTable};
+//!
+//! let mut table = FlowTable::new(256, 1024);
+//! let key = FlowKey { src: 0x0a000001, dst: 0x0a000002, src_port: 4242, dst_port: 80, protocol: 6 };
+//! assert_eq!(table.process(key, 100), Some(1)); // first packet: new flow
+//! assert_eq!(table.process(key, 40), Some(2));  // second packet, same flow
+//! assert_eq!(table.flow_count(), 1);
+//! ```
+
+use nettrace::ip::{proto, Ipv4Header, TransportPorts};
+use nettrace::TraceError;
+
+pub mod layout;
+
+/// The classification 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FlowKey {
+    /// Source address (host order).
+    pub src: u32,
+    /// Destination address (host order).
+    pub dst: u32,
+    /// Source port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// Transport protocol number.
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Extracts the 5-tuple from a layer-3 packet. Non-first fragments
+    /// carry no transport header, so their ports are zero.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bytes do not begin with a valid IPv4 header.
+    pub fn from_l3(l3: &[u8]) -> Result<FlowKey, TraceError> {
+        let header = Ipv4Header::parse(l3)?;
+        let fragment = header.flags_frag & 0x1fff != 0;
+        let ports = if !fragment && l3.len() >= header.header_len() {
+            TransportPorts::parse(header.protocol, &l3[header.header_len()..])
+        } else {
+            TransportPorts::default()
+        };
+        Ok(FlowKey {
+            src: header.src_u32(),
+            dst: header.dst_u32(),
+            src_port: ports.src_port,
+            dst_port: ports.dst_port,
+            protocol: header.protocol,
+        })
+    }
+
+    /// Source and destination ports packed as the application stores them
+    /// (`src_port` in the high half-word).
+    pub fn ports_word(&self) -> u32 {
+        (u32::from(self.src_port) << 16) | u32::from(self.dst_port)
+    }
+
+    /// The classification hash — bit-for-bit the computation the NP32
+    /// application performs (shifts, xors, one multiply).
+    pub fn hash(&self) -> u32 {
+        let mut h = self.src;
+        h ^= self.dst.rotate_left(16);
+        h ^= self.ports_word();
+        h = h.wrapping_mul(0x9e37_79b1);
+        h ^= h >> 17;
+        h ^= u32::from(self.protocol);
+        h
+    }
+
+    /// The bucket index for a table with `buckets` buckets (power of two).
+    pub fn bucket(&self, buckets: u32) -> u32 {
+        debug_assert!(buckets.is_power_of_two());
+        self.hash() & (buckets - 1)
+    }
+
+    /// Whether this protocol carries ports the classifier can use.
+    pub fn has_ports(&self) -> bool {
+        self.protocol == proto::TCP || self.protocol == proto::UDP
+    }
+}
+
+/// Per-flow state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowState {
+    /// The flow's 5-tuple.
+    pub key: FlowKey,
+    /// Packets seen.
+    pub packets: u32,
+    /// Bytes seen (sum of IP total lengths).
+    pub bytes: u32,
+}
+
+/// The golden-model flow table: hash buckets with head-insertion chains,
+/// identical to the simulated-memory layout in [`layout`].
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    buckets: Vec<Option<usize>>, // head index into `nodes`
+    nodes: Vec<(FlowState, Option<usize>)>, // (state, next)
+    capacity: usize,
+}
+
+impl FlowTable {
+    /// Creates a table with `buckets` buckets (power of two) and room for
+    /// `capacity` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two.
+    pub fn new(buckets: u32, capacity: usize) -> FlowTable {
+        assert!(buckets.is_power_of_two(), "bucket count must be 2^n");
+        FlowTable {
+            buckets: vec![None; buckets as usize],
+            nodes: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> u32 {
+        self.buckets.len() as u32
+    }
+
+    /// Number of distinct flows seen.
+    pub fn flow_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Classifies one packet: finds or creates the flow and updates its
+    /// counters. Returns the flow's packet count after the update
+    /// (`Some(1)` means a fresh flow), or `None` if the node pool is
+    /// exhausted — the same observable the NP32 application returns in
+    /// `a0`.
+    pub fn process(&mut self, key: FlowKey, ip_bytes: u32) -> Option<u32> {
+        let bucket = key.bucket(self.bucket_count()) as usize;
+        let mut cursor = self.buckets[bucket];
+        while let Some(i) = cursor {
+            let (state, next) = &mut self.nodes[i];
+            if state.key == key {
+                state.packets += 1;
+                state.bytes = state.bytes.wrapping_add(ip_bytes);
+                return Some(state.packets);
+            }
+            cursor = *next;
+        }
+        if self.nodes.len() >= self.capacity {
+            return None;
+        }
+        // Head insertion, like the application.
+        let head = self.buckets[bucket];
+        self.nodes.push((
+            FlowState {
+                key,
+                packets: 1,
+                bytes: ip_bytes,
+            },
+            head,
+        ));
+        self.buckets[bucket] = Some(self.nodes.len() - 1);
+        Some(1)
+    }
+
+    /// Looks a flow up without modifying it.
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowState> {
+        let bucket = key.bucket(self.bucket_count()) as usize;
+        let mut cursor = self.buckets[bucket];
+        while let Some(i) = cursor {
+            let (state, next) = &self.nodes[i];
+            if state.key == *key {
+                return Some(state);
+            }
+            cursor = *next;
+        }
+        None
+    }
+
+    /// Iterates over all flows in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowState> {
+        self.nodes.iter().map(|(s, _)| s)
+    }
+
+    /// The length of the chain in `bucket` — chain-length distribution is
+    /// what drives the application's instruction-count variation.
+    pub fn chain_len(&self, bucket: u32) -> usize {
+        let mut n = 0;
+        let mut cursor = self.buckets[bucket as usize];
+        while let Some(i) = cursor {
+            n += 1;
+            cursor = self.nodes[i].1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u32) -> FlowKey {
+        FlowKey {
+            src: n,
+            dst: !n,
+            src_port: (n & 0xffff) as u16,
+            dst_port: 80,
+            protocol: proto::TCP,
+        }
+    }
+
+    #[test]
+    fn new_and_existing_flows() {
+        let mut t = FlowTable::new(64, 100);
+        assert_eq!(t.process(key(1), 40), Some(1));
+        assert_eq!(t.process(key(2), 40), Some(1));
+        assert_eq!(t.process(key(1), 60), Some(2));
+        assert_eq!(t.flow_count(), 2);
+        let s = t.get(&key(1)).unwrap();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.bytes, 100);
+        assert!(t.get(&key(3)).is_none());
+    }
+
+    #[test]
+    fn chains_resolve_collisions() {
+        let mut t = FlowTable::new(1, 100); // everything collides
+        for n in 0..50 {
+            assert_eq!(t.process(key(n), 1), Some(1));
+        }
+        assert_eq!(t.chain_len(0), 50);
+        for n in 0..50 {
+            assert_eq!(t.process(key(n), 1), Some(2), "flow {n}");
+        }
+        assert_eq!(t.flow_count(), 50);
+    }
+
+    #[test]
+    fn capacity_exhaustion_returns_none() {
+        let mut t = FlowTable::new(8, 2);
+        assert_eq!(t.process(key(1), 1), Some(1));
+        assert_eq!(t.process(key(2), 1), Some(1));
+        assert_eq!(t.process(key(3), 1), None);
+        // Existing flows still update.
+        assert_eq!(t.process(key(1), 1), Some(2));
+    }
+
+    #[test]
+    fn hash_differs_across_tuple_fields() {
+        let base = key(7);
+        let mut other = base;
+        other.dst_port = 443;
+        assert_ne!(base.hash(), other.hash());
+        let mut other = base;
+        other.protocol = proto::UDP;
+        assert_ne!(base.hash(), other.hash());
+        let mut other = base;
+        other.src ^= 1;
+        assert_ne!(base.hash(), other.hash());
+    }
+
+    #[test]
+    fn key_from_packet_bytes() {
+        use nettrace::synth::{SyntheticTrace, TraceProfile};
+        let mut trace = SyntheticTrace::new(TraceProfile::cos(), 4);
+        for _ in 0..100 {
+            let p = trace.next_packet();
+            let k = FlowKey::from_l3(p.l3()).unwrap();
+            let h = Ipv4Header::parse(p.l3()).unwrap();
+            assert_eq!(k.src, h.src_u32());
+            assert_eq!(k.dst, h.dst_u32());
+            if !k.has_ports() {
+                assert_eq!(k.ports_word(), 0);
+            }
+        }
+        assert!(FlowKey::from_l3(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n")]
+    fn bucket_count_must_be_power_of_two() {
+        let _ = FlowTable::new(12, 10);
+    }
+}

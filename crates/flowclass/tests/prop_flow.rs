@@ -1,0 +1,68 @@
+//! Property test: the chained-hash flow table behaves exactly like a
+//! `HashMap`-based model under arbitrary packet sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use flowclass::{FlowKey, FlowTable};
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    // A small universe so flows repeat.
+    (0u32..20, 0u32..20, 0u16..4, 0u16..4, prop_oneof![Just(6u8), Just(17u8), Just(1u8)])
+        .prop_map(|(src, dst, sp, dp, protocol)| FlowKey {
+            src,
+            dst,
+            src_port: sp * 1000,
+            dst_port: dp * 1000,
+            protocol,
+        })
+}
+
+proptest! {
+    #[test]
+    fn flow_table_matches_hashmap_model(
+        packets in proptest::collection::vec((arb_key(), 20u32..1500), 0..300),
+        buckets in prop_oneof![Just(1u32), Just(4), Just(64)],
+    ) {
+        let mut table = FlowTable::new(buckets, 10_000);
+        let mut model: HashMap<FlowKey, (u32, u32)> = HashMap::new();
+        for (key, bytes) in packets {
+            let entry = model.entry(key).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.wrapping_add(bytes);
+            let got = table.process(key, bytes);
+            prop_assert_eq!(got, Some(entry.0));
+        }
+        prop_assert_eq!(table.flow_count(), model.len());
+        for (key, &(packets, bytes)) in &model {
+            let state = table.get(key).expect("flow exists");
+            prop_assert_eq!(state.packets, packets);
+            prop_assert_eq!(state.bytes, bytes);
+        }
+    }
+
+    #[test]
+    fn capacity_limits_are_exact(
+        keys in proptest::collection::hash_set(arb_key(), 5..30),
+        capacity in 1usize..5,
+    ) {
+        let mut table = FlowTable::new(16, capacity);
+        let keys: Vec<FlowKey> = keys.into_iter().collect();
+        for (i, key) in keys.iter().enumerate() {
+            let got = table.process(*key, 1);
+            if i < capacity {
+                prop_assert_eq!(got, Some(1));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+        prop_assert_eq!(table.flow_count(), capacity.min(keys.len()));
+    }
+
+    #[test]
+    fn hash_is_stable_and_bucket_in_range(key in arb_key(), buckets in prop_oneof![Just(1u32), Just(256), Just(8192)]) {
+        prop_assert_eq!(key.hash(), key.hash());
+        prop_assert!(key.bucket(buckets) < buckets);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the anonymization invariants: prefix preservation
+//! (exactly — common prefixes survive, divergence points survive) and
+//! injectivity.
+
+use proptest::prelude::*;
+
+use ipanon::{common_prefix_len, PrefixPreserving, Tsa};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_scheme_preserves_prefix_length_exactly(key: u64, a: u32, b: u32) {
+        let anon = PrefixPreserving::new(key);
+        let before = common_prefix_len(a, b);
+        let after = common_prefix_len(anon.anonymize(a), anon.anonymize(b));
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn full_scheme_is_injective_pairwise(key: u64, a: u32, b: u32) {
+        prop_assume!(a != b);
+        let anon = PrefixPreserving::new(key);
+        prop_assert_ne!(anon.anonymize(a), anon.anonymize(b));
+    }
+
+    #[test]
+    fn full_scheme_is_deterministic(key: u64, addr: u32) {
+        let anon = PrefixPreserving::new(key);
+        prop_assert_eq!(anon.anonymize(addr), anon.anonymize(addr));
+    }
+}
+
+// TSA table construction is expensive (~1M PRF calls), so build a few
+// shared instances instead of one per case.
+fn tsas() -> &'static [Tsa; 2] {
+    use std::sync::OnceLock;
+    static TSAS: OnceLock<[Tsa; 2]> = OnceLock::new();
+    TSAS.get_or_init(|| [Tsa::new(0xfeed_f00d), Tsa::new(42)])
+}
+
+proptest! {
+    #[test]
+    fn tsa_preserves_prefix_length_exactly(which in 0usize..2, a: u32, b: u32) {
+        let tsa = &tsas()[which];
+        let before = common_prefix_len(a, b);
+        let after = common_prefix_len(tsa.anonymize(a), tsa.anonymize(b));
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn tsa_is_injective_pairwise(which in 0usize..2, a: u32, b: u32) {
+        prop_assume!(a != b);
+        let tsa = &tsas()[which];
+        prop_assert_ne!(tsa.anonymize(a), tsa.anonymize(b));
+    }
+
+    #[test]
+    fn tsa_replication_property(which in 0usize..2, top_a: u16, top_b: u16, low: u16) {
+        // The low 16 bits anonymize identically under every top prefix —
+        // the speed/privacy trade the paper's TSA makes.
+        let tsa = &tsas()[which];
+        let a = (u32::from(top_a) << 16) | u32::from(low);
+        let b = (u32::from(top_b) << 16) | u32::from(low);
+        prop_assert_eq!(tsa.anonymize(a) & 0xffff, tsa.anonymize(b) & 0xffff);
+    }
+
+    #[test]
+    fn tsa_agrees_with_full_scheme_on_divergence_structure(which in 0usize..2, a: u32, b: u32) {
+        // Both schemes preserve the divergence point, so they agree on
+        // *where* two anonymized addresses first differ.
+        let tsa = &tsas()[which];
+        let full = PrefixPreserving::new(0x1111);
+        prop_assert_eq!(
+            common_prefix_len(tsa.anonymize(a), tsa.anonymize(b)),
+            common_prefix_len(full.anonymize(a), full.anonymize(b))
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Trace-handling error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from parsing packets and reading or writing trace files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A pcap file whose magic number is not recognized.
+    BadMagic {
+        /// The magic read from the file.
+        magic: u32,
+    },
+    /// A truncated file header, record header, or record body.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A packet too short or malformed for the requested header.
+    MalformedPacket {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A record length that exceeds sanity bounds.
+    OversizedRecord {
+        /// The claimed length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic { magic } => {
+                write!(f, "unrecognized pcap magic {magic:#010x}")
+            }
+            TraceError::Truncated { what } => write!(f, "truncated {what}"),
+            TraceError::MalformedPacket { reason } => write!(f, "malformed packet: {reason}"),
+            TraceError::OversizedRecord { len } => {
+                write!(f, "record length {len} exceeds sanity bound")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_source_chains() {
+        let err = TraceError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(err.to_string().contains("i/o"));
+        assert!(err.source().is_some());
+        assert!(TraceError::BadMagic { magic: 5 }.to_string().contains("0x"));
+        assert!(TraceError::Truncated { what: "header" }.source().is_none());
+    }
+}

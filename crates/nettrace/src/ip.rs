@@ -1,0 +1,394 @@
+//! IPv4, TCP, and UDP header codecs.
+//!
+//! Headers are parsed from and serialized to network byte order. The
+//! structures are plain data (public fields) because the whole point of the
+//! framework is to poke at header fields.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum;
+use crate::error::TraceError;
+
+/// IP protocol numbers used by the workloads.
+pub mod proto {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// A parsed IPv4 header (without options beyond `ihl` accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// IP version (4).
+    pub version: u8,
+    /// Header length in 32-bit words (5 = no options).
+    pub ihl: u8,
+    /// Type of service / DSCP+ECN byte.
+    pub tos: u8,
+    /// Total datagram length in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Flags (3 bits) and fragment offset (13 bits).
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Transport protocol (see [`proto`]).
+    pub protocol: u8,
+    /// Header checksum as captured.
+    pub header_checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Size in bytes of an option-less header.
+    pub const BASE_LEN: usize = 20;
+
+    /// Parses the header at the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data` is shorter than the header or is not IPv4.
+    pub fn parse(data: &[u8]) -> Result<Ipv4Header, TraceError> {
+        if data.len() < Self::BASE_LEN {
+            return Err(TraceError::MalformedPacket {
+                reason: "shorter than an IPv4 header",
+            });
+        }
+        let version = data[0] >> 4;
+        let ihl = data[0] & 0x0f;
+        if version != 4 {
+            return Err(TraceError::MalformedPacket {
+                reason: "not IPv4",
+            });
+        }
+        if ihl < 5 {
+            return Err(TraceError::MalformedPacket {
+                reason: "IHL below 5",
+            });
+        }
+        Ok(Ipv4Header {
+            version,
+            ihl,
+            tos: data[1],
+            total_len: u16::from_be_bytes([data[2], data[3]]),
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            flags_frag: u16::from_be_bytes([data[6], data[7]]),
+            ttl: data[8],
+            protocol: data[9],
+            header_checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: Ipv4Addr::from(u32::from_be_bytes([data[12], data[13], data[14], data[15]])),
+            dst: Ipv4Addr::from(u32::from_be_bytes([data[16], data[17], data[18], data[19]])),
+        })
+    }
+
+    /// Serializes the header (20 bytes; options are not written) into
+    /// `out`, using the stored `header_checksum` verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Ipv4Header::BASE_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = (self.version << 4) | self.ihl;
+        out[1] = self.tos;
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        out[6..8].copy_from_slice(&self.flags_frag.to_be_bytes());
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        out[10..12].copy_from_slice(&self.header_checksum.to_be_bytes());
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+    }
+
+    /// Computes the correct header checksum for the current field values
+    /// (over the 20-byte base header).
+    pub fn compute_checksum(&self) -> u16 {
+        let mut bytes = [0u8; Self::BASE_LEN];
+        let mut h = *self;
+        h.header_checksum = 0;
+        h.write(&mut bytes);
+        checksum::checksum(&bytes)
+    }
+
+    /// Whether the stored checksum is consistent with the fields.
+    pub fn verify_checksum(&self) -> bool {
+        let mut bytes = [0u8; Self::BASE_LEN];
+        self.write(&mut bytes);
+        checksum::verify(&bytes)
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn finalize(&mut self) {
+        self.header_checksum = self.compute_checksum();
+    }
+
+    /// Header length in bytes (`ihl * 4`).
+    pub fn header_len(&self) -> usize {
+        self.ihl as usize * 4
+    }
+
+    /// The source address as a `u32` in host order.
+    pub fn src_u32(&self) -> u32 {
+        u32::from(self.src)
+    }
+
+    /// The destination address as a `u32` in host order.
+    pub fn dst_u32(&self) -> u32 {
+        u32::from(self.dst)
+    }
+}
+
+/// The first eight bytes of a transport header: ports for TCP/UDP.
+///
+/// Flow classification (paper §IV-A) needs only the 5-tuple, so this
+/// deliberately small view is all the workloads use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportPorts {
+    /// Source port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination port (0 for port-less protocols).
+    pub dst_port: u16,
+}
+
+impl TransportPorts {
+    /// Extracts the ports of a TCP or UDP payload beginning at `data`.
+    /// Returns all-zero ports for other protocols or short payloads.
+    pub fn parse(protocol: u8, data: &[u8]) -> TransportPorts {
+        if (protocol == proto::TCP || protocol == proto::UDP) && data.len() >= 4 {
+            TransportPorts {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+            }
+        } else {
+            TransportPorts::default()
+        }
+    }
+}
+
+/// A minimal TCP header (the 20-byte base form), enough to synthesize
+/// realistic traces and to let TSA collect layer-4 headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Data offset (words) and flags.
+    pub offset_flags: u16,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum (not computed by this crate's generator; NLANR TSH records
+    /// do not preserve payloads to verify against).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// Size in bytes of the option-less header.
+    pub const BASE_LEN: usize = 20;
+
+    /// Serializes the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`TcpHeader::BASE_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12..14].copy_from_slice(&self.offset_flags.to_be_bytes());
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        out[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+    }
+
+    /// Parses a TCP header from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data` is shorter than the base header.
+    pub fn parse(data: &[u8]) -> Result<TcpHeader, TraceError> {
+        if data.len() < Self::BASE_LEN {
+            return Err(TraceError::MalformedPacket {
+                reason: "shorter than a TCP header",
+            });
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            offset_flags: u16::from_be_bytes([data[12], data[13]]),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            checksum: u16::from_be_bytes([data[16], data[17]]),
+            urgent: u16::from_be_bytes([data[18], data[19]]),
+        })
+    }
+}
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// UDP length (header + payload).
+    pub length: u16,
+    /// Checksum (0 = unused, as permitted for IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Size in bytes.
+    pub const LEN: usize = 8;
+
+    /// Serializes the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`UdpHeader::LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Parses a UDP header from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `data` is shorter than eight bytes.
+    pub fn parse(data: &[u8]) -> Result<UdpHeader, TraceError> {
+        if data.len() < Self::LEN {
+            return Err(TraceError::MalformedPacket {
+                reason: "shorter than a UDP header",
+            });
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Ipv4Header {
+        let mut h = Ipv4Header {
+            version: 4,
+            ihl: 5,
+            tos: 0,
+            total_len: 84,
+            ident: 0xbeef,
+            flags_frag: 0x4000,
+            ttl: 64,
+            protocol: proto::UDP,
+            header_checksum: 0,
+            src: Ipv4Addr::new(192, 168, 1, 10),
+            dst: Ipv4Addr::new(10, 0, 0, 1),
+        };
+        h.finalize();
+        h
+    }
+
+    #[test]
+    fn ipv4_round_trip() {
+        let h = sample_header();
+        let mut bytes = [0u8; 20];
+        h.write(&mut bytes);
+        let parsed = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed, h);
+        assert!(parsed.verify_checksum());
+        assert_eq!(parsed.header_len(), 20);
+        assert_eq!(parsed.dst_u32(), 0x0a00_0001);
+        assert_eq!(parsed.src_u32(), 0xc0a8_010a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Ipv4Header::parse(&[0x45; 10]).is_err());
+        let mut bytes = [0u8; 20];
+        sample_header().write(&mut bytes);
+        bytes[0] = 0x65; // version 6
+        assert!(Ipv4Header::parse(&bytes).is_err());
+        bytes[0] = 0x44; // ihl 4
+        assert!(Ipv4Header::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_ttl_change() {
+        let mut h = sample_header();
+        assert!(h.verify_checksum());
+        h.ttl -= 1;
+        assert!(!h.verify_checksum());
+        h.finalize();
+        assert!(h.verify_checksum());
+    }
+
+    #[test]
+    fn transport_ports() {
+        let data = [0x1f, 0x90, 0x00, 0x50, 0, 0, 0, 0];
+        let ports = TransportPorts::parse(proto::TCP, &data);
+        assert_eq!(ports.src_port, 8080);
+        assert_eq!(ports.dst_port, 80);
+        assert_eq!(
+            TransportPorts::parse(proto::ICMP, &data),
+            TransportPorts::default()
+        );
+        assert_eq!(
+            TransportPorts::parse(proto::TCP, &data[..2]),
+            TransportPorts::default()
+        );
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let h = TcpHeader {
+            src_port: 443,
+            dst_port: 51514,
+            seq: 0x01020304,
+            ack: 0x0a0b0c0d,
+            offset_flags: 0x5018,
+            window: 65535,
+            checksum: 0x1234,
+            urgent: 0,
+        };
+        let mut bytes = [0u8; 20];
+        h.write(&mut bytes);
+        assert_eq!(TcpHeader::parse(&bytes).unwrap(), h);
+        assert!(TcpHeader::parse(&bytes[..19]).is_err());
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let h = UdpHeader {
+            src_port: 53,
+            dst_port: 33000,
+            length: 40,
+            checksum: 0,
+        };
+        let mut bytes = [0u8; 8];
+        h.write(&mut bytes);
+        assert_eq!(UdpHeader::parse(&bytes).unwrap(), h);
+        assert!(UdpHeader::parse(&bytes[..7]).is_err());
+    }
+}

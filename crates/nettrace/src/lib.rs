@@ -1,0 +1,42 @@
+//! # nettrace — packet traces for PacketBench
+//!
+//! This crate is the trace substrate of the PacketBench reproduction. The
+//! paper evaluates its applications on NLANR backbone traces (MRA, COS,
+//! ODU) and a local LAN trace (Table I). Those traces are not
+//! redistributable, so this crate provides:
+//!
+//! * a [`Packet`] model and IPv4/TCP/UDP header codecs ([`ip`]),
+//! * the Internet checksum, including RFC 1624 incremental update
+//!   ([`checksum`]),
+//! * readers and writers for the two trace formats the paper's tool
+//!   supports: tcpdump/libpcap ([`pcap`]) and NLANR Time Sequenced Headers
+//!   ([`tsh`]) — so real captures can be substituted in,
+//! * seeded synthetic generators ([`synth`]) with one profile per paper
+//!   trace, matching each trace's published character (link type, flow
+//!   structure, packet mix) and reproducing the paper's address-scrambling
+//!   preprocessing step (§IV-B).
+//!
+//! ## Example
+//!
+//! ```
+//! use nettrace::synth::{SyntheticTrace, TraceProfile};
+//! use nettrace::ip::Ipv4Header;
+//!
+//! let mut trace = SyntheticTrace::new(TraceProfile::mra(), 42);
+//! let packet = trace.next_packet();
+//! let header = Ipv4Header::parse(packet.l3())?;
+//! assert_eq!(header.version, 4);
+//! assert!(header.verify_checksum());
+//! # Ok::<(), nettrace::TraceError>(())
+//! ```
+
+pub mod checksum;
+pub mod error;
+pub mod ip;
+pub mod packet;
+pub mod pcap;
+pub mod synth;
+pub mod tsh;
+
+pub use error::TraceError;
+pub use packet::{LinkType, Packet, Timestamp};

@@ -1,0 +1,171 @@
+//! The packet model: raw bytes, a capture timestamp, and the link type
+//! needed to locate the layer-3 header.
+
+use std::fmt;
+
+/// Capture timestamp, pcap-style.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// Seconds since the epoch.
+    pub sec: u32,
+    /// Microseconds within the second.
+    pub usec: u32,
+}
+
+impl Timestamp {
+    /// Creates a timestamp.
+    pub fn new(sec: u32, usec: u32) -> Timestamp {
+        Timestamp { sec, usec }
+    }
+
+    /// The timestamp as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.sec as f64 + self.usec as f64 / 1e6
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}", self.sec, self.usec)
+    }
+}
+
+/// Link layer of a capture — determines where layer 3 starts.
+///
+/// The paper's traces span OC-12c PoS, OC-3c ATM and 100 Mb/s Ethernet
+/// (Table I); PacketBench applications always see the packet "from the
+/// layer 3 header onwards" (§III-B), so the only thing the link type
+/// affects is the strip offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkType {
+    /// Raw IP (pcap linktype 101) — PoS/ATM traces captured at layer 3.
+    Raw,
+    /// Ethernet (pcap linktype 1) — 14-byte header before layer 3.
+    Ethernet,
+}
+
+impl LinkType {
+    /// The pcap `linktype` field value.
+    pub fn pcap_code(self) -> u32 {
+        match self {
+            LinkType::Raw => 101,
+            LinkType::Ethernet => 1,
+        }
+    }
+
+    /// Reconstructs a link type from the pcap `linktype` field.
+    pub fn from_pcap_code(code: u32) -> Option<LinkType> {
+        match code {
+            101 | 12 => Some(LinkType::Raw), // 12 = historic RAW on some systems
+            1 => Some(LinkType::Ethernet),
+            _ => None,
+        }
+    }
+
+    /// Bytes of link-layer framing before the IP header.
+    pub fn l3_offset(self) -> usize {
+        match self {
+            LinkType::Raw => 0,
+            LinkType::Ethernet => 14,
+        }
+    }
+}
+
+/// A captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Capture timestamp.
+    pub ts: Timestamp,
+    /// Original on-the-wire length (may exceed `data.len()` for snapped
+    /// captures).
+    pub orig_len: u32,
+    /// Link type the bytes are framed with.
+    pub link: LinkType,
+    /// The captured bytes, starting at the link layer.
+    pub data: Vec<u8>,
+}
+
+impl Packet {
+    /// Wraps raw-IP bytes (no link framing) in a packet.
+    pub fn from_l3(ts: Timestamp, data: Vec<u8>) -> Packet {
+        Packet {
+            ts,
+            orig_len: data.len() as u32,
+            link: LinkType::Raw,
+            data,
+        }
+    }
+
+    /// The bytes from the layer-3 (IP) header onwards — the view
+    /// PacketBench applications get.
+    pub fn l3(&self) -> &[u8] {
+        let offset = self.link.l3_offset().min(self.data.len());
+        &self.data[offset..]
+    }
+
+    /// Mutable view from the layer-3 header onwards.
+    pub fn l3_mut(&mut self) -> &mut [u8] {
+        let offset = self.link.l3_offset().min(self.data.len());
+        &mut self.data[offset..]
+    }
+
+    /// Captured length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l3_views_respect_link_type() {
+        let raw = Packet::from_l3(Timestamp::new(1, 2), vec![0x45, 0, 0, 20]);
+        assert_eq!(raw.l3(), &[0x45, 0, 0, 20]);
+        assert_eq!(raw.orig_len, 4);
+
+        let mut data = vec![0u8; 14];
+        data.extend_from_slice(&[0x45, 1, 2, 3]);
+        let eth = Packet {
+            ts: Timestamp::default(),
+            orig_len: 18,
+            link: LinkType::Ethernet,
+            data,
+        };
+        assert_eq!(eth.l3(), &[0x45, 1, 2, 3]);
+        assert_eq!(eth.len(), 18);
+        assert!(!eth.is_empty());
+    }
+
+    #[test]
+    fn short_ethernet_capture_yields_empty_l3() {
+        let eth = Packet {
+            ts: Timestamp::default(),
+            orig_len: 6,
+            link: LinkType::Ethernet,
+            data: vec![0u8; 6],
+        };
+        assert!(eth.l3().is_empty());
+    }
+
+    #[test]
+    fn link_type_codes_round_trip() {
+        for link in [LinkType::Raw, LinkType::Ethernet] {
+            assert_eq!(LinkType::from_pcap_code(link.pcap_code()), Some(link));
+        }
+        assert_eq!(LinkType::from_pcap_code(999), None);
+    }
+
+    #[test]
+    fn timestamp_display_and_secs() {
+        let ts = Timestamp::new(10, 500_000);
+        assert_eq!(ts.to_string(), "10.500000");
+        assert!((ts.as_secs_f64() - 10.5).abs() < 1e-9);
+    }
+}

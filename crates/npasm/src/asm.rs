@@ -1,0 +1,942 @@
+//! The two-pass assembler proper.
+
+use std::collections::HashMap;
+
+use npsim::isa::{reg, Inst, Op};
+use npsim::{Memory, MemoryMap, Program};
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::parser::{parse_source, Directive, Expr, Operand, Stmt};
+
+/// The output of [`assemble`]: decoded text, the initialized data image,
+/// and the symbol table.
+#[derive(Debug, Clone)]
+pub struct Image {
+    program: Program,
+    data: Vec<u8>,
+    data_base: u32,
+    symbols: HashMap<String, u32>,
+    globals: Vec<String>,
+}
+
+impl Image {
+    /// The executable text.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The initialized data image (starts at [`Image::data_base`]).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Base address of the data section.
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// Base address of the text section.
+    pub fn text_base(&self) -> u32 {
+        self.program.text_base()
+    }
+
+    /// Copies the data image into simulated memory.
+    pub fn load_data(&self, mem: &mut Memory) {
+        mem.write_bytes(self.data_base, &self.data);
+    }
+
+    /// Looks up a label's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All labels and their addresses.
+    pub fn symbols(&self) -> &HashMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Symbols declared `.globl`.
+    pub fn globals(&self) -> &[String] {
+        &self.globals
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assembles NP32 source into an [`Image`]. Text is placed at
+/// `map.text_base`, data at `map.data_base`.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, annotated with its source
+/// line.
+pub fn assemble(source: &str, map: MemoryMap) -> Result<Image, AsmError> {
+    let lines = parse_source(source)?;
+
+    // ---- Pass 1: assign addresses to labels --------------------------
+    let mut equs: HashMap<String, i64> = HashMap::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut globals = Vec::new();
+    let mut section = Section::Text;
+    let mut text_insts: u32 = 0;
+    let mut data_off: u32 = 0;
+
+    for line in &lines {
+        let here = match section {
+            Section::Text => map.text_base + text_insts * 4,
+            Section::Data => map.data_base + data_off,
+        };
+        for label in &line.labels {
+            if labels.contains_key(label) || equs.contains_key(label) {
+                return Err(AsmError::new(
+                    line.line_no,
+                    AsmErrorKind::DuplicateSymbol(label.clone()),
+                ));
+            }
+            labels.insert(label.clone(), here);
+        }
+        match &line.stmt {
+            None => {}
+            Some(Stmt::Directive(d)) => match d {
+                Directive::Text => section = Section::Text,
+                Directive::Data => section = Section::Data,
+                Directive::Globl(name) => globals.push(name.clone()),
+                Directive::Equ(name, expr) => {
+                    if labels.contains_key(name) || equs.contains_key(name) {
+                        return Err(AsmError::new(
+                            line.line_no,
+                            AsmErrorKind::DuplicateSymbol(name.clone()),
+                        ));
+                    }
+                    let value = eval_const(expr, &equs, line.line_no)?;
+                    equs.insert(name.clone(), value);
+                }
+                Directive::Word(exprs) => {
+                    data_only(section, line.line_no)?;
+                    data_off = align_to(data_off, 4) + 4 * exprs.len() as u32;
+                }
+                Directive::Half(exprs) => {
+                    data_only(section, line.line_no)?;
+                    data_off = align_to(data_off, 2) + 2 * exprs.len() as u32;
+                }
+                Directive::Byte(exprs) => {
+                    data_only(section, line.line_no)?;
+                    data_off += exprs.len() as u32;
+                }
+                Directive::Space(expr) => {
+                    data_only(section, line.line_no)?;
+                    let n = eval_const(expr, &equs, line.line_no)?;
+                    if !(0..=(1 << 30)).contains(&n) {
+                        return Err(AsmError::new(
+                            line.line_no,
+                            AsmErrorKind::Syntax(format!("bad .space size {n}")),
+                        ));
+                    }
+                    data_off += n as u32;
+                }
+                Directive::Align(expr) => {
+                    data_only(section, line.line_no)?;
+                    let n = eval_const(expr, &equs, line.line_no)?;
+                    if n <= 0 || !(n as u64).is_power_of_two() {
+                        return Err(AsmError::new(
+                            line.line_no,
+                            AsmErrorKind::Syntax(format!(".align needs a power of two, got {n}")),
+                        ));
+                    }
+                    data_off = align_to(data_off, n as u32);
+                }
+            },
+            Some(Stmt::Inst { mnemonic, operands }) => {
+                if section != Section::Text {
+                    return Err(AsmError::new(
+                        line.line_no,
+                        AsmErrorKind::WrongSection("instructions"),
+                    ));
+                }
+                text_insts += inst_size(mnemonic, operands, &equs, line.line_no)?;
+            }
+        }
+        // Labels attached to a `.align`/`.word` line must point at the
+        // *aligned* address. We handle this by re-binding: if the statement
+        // was an aligning directive, labels defined on this line were bound
+        // to the pre-alignment address. Fix them up.
+        if section == Section::Data {
+            let here_after = map.data_base + data_off;
+            for label in &line.labels {
+                let bound = labels[label];
+                // The label should address the start of this line's data,
+                // which is the aligned position, i.e. here_after minus the
+                // size emitted on this line. Recompute conservatively: if
+                // the pre-alignment bind differs from the aligned start, we
+                // patch below in a second sweep. To keep pass 1 simple we
+                // only patch alignment introduced by .word/.half on the
+                // same line.
+                if let Some(Stmt::Directive(d)) = &line.stmt {
+                    let aligned = match d {
+                        Directive::Word(exprs) => {
+                            Some(here_after - 4 * exprs.len() as u32)
+                        }
+                        Directive::Half(exprs) => {
+                            Some(here_after - 2 * exprs.len() as u32)
+                        }
+                        Directive::Align(_) => Some(here_after),
+                        _ => None,
+                    };
+                    if let Some(a) = aligned {
+                        if a != bound {
+                            labels.insert(label.clone(), a);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Pass 2: emit ------------------------------------------------
+    // Section correctness was fully validated in pass 1, so pass 2 only
+    // dispatches on statement kind.
+    let mut insts: Vec<Inst> = Vec::with_capacity(text_insts as usize);
+    let mut data: Vec<u8> = Vec::with_capacity(data_off as usize);
+
+    let ctx = SymCtx {
+        equs: &equs,
+        labels: &labels,
+    };
+
+    for line in &lines {
+        match &line.stmt {
+            None => {}
+            Some(Stmt::Directive(d)) => match d {
+                Directive::Text | Directive::Data | Directive::Globl(_) | Directive::Equ(..) => {}
+                Directive::Word(exprs) => {
+                    pad_align(&mut data, 4);
+                    for e in exprs {
+                        let v = ctx.eval(e, line.line_no)?;
+                        check_range(v, -(1i64 << 31), 1 << 32, "word", line.line_no)?;
+                        data.extend_from_slice(&(v as u32).to_le_bytes());
+                    }
+                }
+                Directive::Half(exprs) => {
+                    pad_align(&mut data, 2);
+                    for e in exprs {
+                        let v = ctx.eval(e, line.line_no)?;
+                        check_range(v, -(1 << 15), 1 << 16, "half", line.line_no)?;
+                        data.extend_from_slice(&(v as u16).to_le_bytes());
+                    }
+                }
+                Directive::Byte(exprs) => {
+                    for e in exprs {
+                        let v = ctx.eval(e, line.line_no)?;
+                        check_range(v, -128, 256, "byte", line.line_no)?;
+                        data.push(v as u8);
+                    }
+                }
+                Directive::Space(expr) => {
+                    let n = eval_const(expr, &equs, line.line_no)?;
+                    data.resize(data.len() + n as usize, 0);
+                }
+                Directive::Align(expr) => {
+                    let n = eval_const(expr, &equs, line.line_no)? as usize;
+                    while !data.len().is_multiple_of(n) {
+                        data.push(0);
+                    }
+                }
+            },
+            Some(Stmt::Inst { mnemonic, operands }) => {
+                let pc = map.text_base + (insts.len() as u32) * 4;
+                emit(mnemonic, operands, pc, &ctx, line.line_no, &mut insts)?;
+            }
+        }
+    }
+
+    debug_assert_eq!(insts.len() as u32, text_insts);
+    Ok(Image {
+        program: Program::new(insts, map.text_base),
+        data,
+        data_base: map.data_base,
+        symbols: labels,
+        globals,
+    })
+}
+
+fn data_only(section: Section, line_no: u32) -> Result<(), AsmError> {
+    if section != Section::Data {
+        return Err(AsmError::new(line_no, AsmErrorKind::WrongSection("data")));
+    }
+    Ok(())
+}
+
+fn align_to(offset: u32, align: u32) -> u32 {
+    offset.div_ceil(align) * align
+}
+
+fn pad_align(data: &mut Vec<u8>, align: usize) {
+    while !data.len().is_multiple_of(align) {
+        data.push(0);
+    }
+}
+
+fn check_range(v: i64, lo: i64, hi: i64, what: &str, line_no: u32) -> Result<(), AsmError> {
+    if v < lo || v >= hi {
+        return Err(AsmError::new(
+            line_no,
+            AsmErrorKind::ImmediateOutOfRange {
+                mnemonic: format!(".{what}"),
+                value: v,
+            },
+        ));
+    }
+    Ok(())
+}
+
+fn eval_const(expr: &Expr, equs: &HashMap<String, i64>, line_no: u32) -> Result<i64, AsmError> {
+    match expr {
+        Expr::Imm(v) => Ok(*v),
+        Expr::Sym(s) => equs
+            .get(s)
+            .copied()
+            .ok_or_else(|| AsmError::new(line_no, AsmErrorKind::ForwardEqu(s.clone()))),
+    }
+}
+
+struct SymCtx<'a> {
+    equs: &'a HashMap<String, i64>,
+    labels: &'a HashMap<String, u32>,
+}
+
+impl SymCtx<'_> {
+    fn eval(&self, expr: &Expr, line_no: u32) -> Result<i64, AsmError> {
+        match expr {
+            Expr::Imm(v) => Ok(*v),
+            Expr::Sym(s) => self.lookup(s, line_no),
+        }
+    }
+
+    fn lookup(&self, s: &str, line_no: u32) -> Result<i64, AsmError> {
+        if let Some(v) = self.equs.get(s) {
+            return Ok(*v);
+        }
+        if let Some(v) = self.labels.get(s) {
+            return Ok(*v as i64);
+        }
+        Err(AsmError::new(
+            line_no,
+            AsmErrorKind::UndefinedSymbol(s.to_string()),
+        ))
+    }
+}
+
+/// The number of machine instructions a source instruction expands to.
+/// Must agree exactly with [`emit`].
+fn inst_size(
+    mnemonic: &str,
+    operands: &[Operand],
+    _equs: &HashMap<String, i64>,
+    _line_no: u32,
+) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        "li" => match operands {
+            [_, Operand::Imm(v)] => li_size(*v),
+            // Symbolic values (labels or .equ constants, possibly defined
+            // later) always take the wide 2-instruction form so that pass-1
+            // sizing never depends on resolution order.
+            [_, Operand::Sym(_)] => 2,
+            _ => 1, // operand errors reported in pass 2
+        },
+        "la" => 2,
+        _ => 1,
+    })
+}
+
+fn li_size(v: i64) -> u32 {
+    if (-(1 << 15)..(1 << 15)).contains(&v) {
+        1
+    } else {
+        2
+    }
+}
+
+/// Splits a 32-bit value for `lui`+`ori`.
+fn hi_lo(v: u32) -> (i32, i32) {
+    ((v >> 16) as i32, (v & 0xffff) as i32)
+}
+
+fn bad(
+    mnemonic: &str,
+    expected: &'static str,
+    line_no: u32,
+) -> AsmError {
+    AsmError::new(
+        line_no,
+        AsmErrorKind::BadOperands {
+            mnemonic: mnemonic.to_string(),
+            expected,
+        },
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit(
+    mnemonic: &str,
+    operands: &[Operand],
+    pc: u32,
+    ctx: &SymCtx<'_>,
+    line_no: u32,
+    out: &mut Vec<Inst>,
+) -> Result<(), AsmError> {
+    use Operand as O;
+
+    let imm_of = |operand: &Operand| -> Result<i64, AsmError> {
+        match operand {
+            O::Imm(v) => Ok(*v),
+            O::Sym(s) => ctx.lookup(s, line_no),
+            _ => Err(bad(mnemonic, "immediate", line_no)),
+        }
+    };
+
+    // Resolve a branch/jump target operand into a byte offset from pc + 4.
+    let target_of = |operand: &Operand, reach_bits: u32| -> Result<i32, AsmError> {
+        let (addr, label) = match operand {
+            O::Sym(s) => (ctx.lookup(s, line_no)? as u32, s.clone()),
+            O::Imm(v) => return Ok(*v as i32), // raw offset (tests, disasm round-trips)
+            _ => return Err(bad(mnemonic, "label", line_no)),
+        };
+        let distance = addr as i64 - (pc as i64 + 4);
+        // The field holds `reach_bits + 1` signed bits of *word* offset,
+        // so the byte reach is 4x that.
+        let reach = 1i64 << (reach_bits + 2);
+        if distance % 4 != 0 || distance < -reach || distance >= reach {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::BranchTooFar { label, distance },
+            ));
+        }
+        Ok(distance as i32)
+    };
+
+    let check16s = |v: i64| -> Result<i32, AsmError> {
+        if !(-(1 << 15)..(1 << 15)).contains(&v) {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::ImmediateOutOfRange {
+                    mnemonic: mnemonic.to_string(),
+                    value: v,
+                },
+            ));
+        }
+        Ok(v as i32)
+    };
+    let check16u = |v: i64| -> Result<i32, AsmError> {
+        if !(0..=0xffff).contains(&v) {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::ImmediateOutOfRange {
+                    mnemonic: mnemonic.to_string(),
+                    value: v,
+                },
+            ));
+        }
+        Ok(v as i32)
+    };
+
+    match mnemonic {
+        // ---- R-type ---------------------------------------------------
+        "add" | "sub" | "and" | "or" | "xor" | "nor" | "sll" | "srl" | "sra" | "slt" | "sltu"
+        | "mul" | "mulhu" | "divu" | "remu" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rd), O::Reg(rs1), O::Reg(rs2)] => {
+                    out.push(Inst::rtype(op, *rd, *rs1, *rs2));
+                }
+                _ => return Err(bad(mnemonic, "rd, rs1, rs2", line_no)),
+            }
+        }
+        // ---- I-type ---------------------------------------------------
+        "addi" | "slti" | "sltiu" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rd), O::Reg(rs1), imm] => {
+                    let v = check16s(imm_of(imm)?)?;
+                    out.push(Inst::with_imm(op, *rd, *rs1, v));
+                }
+                _ => return Err(bad(mnemonic, "rd, rs1, imm", line_no)),
+            }
+        }
+        "andi" | "ori" | "xori" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rd), O::Reg(rs1), imm] => {
+                    let v = check16u(imm_of(imm)?)?;
+                    out.push(Inst::with_imm(op, *rd, *rs1, v));
+                }
+                _ => return Err(bad(mnemonic, "rd, rs1, imm", line_no)),
+            }
+        }
+        "slli" | "srli" | "srai" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rd), O::Reg(rs1), imm] => {
+                    let v = imm_of(imm)?;
+                    if !(0..32).contains(&v) {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::ImmediateOutOfRange {
+                                mnemonic: mnemonic.to_string(),
+                                value: v,
+                            },
+                        ));
+                    }
+                    out.push(Inst::with_imm(op, *rd, *rs1, v as i32));
+                }
+                _ => return Err(bad(mnemonic, "rd, rs1, shamt", line_no)),
+            }
+        }
+        "lui" => match operands {
+            [O::Reg(rd), imm] => {
+                let v = check16u(imm_of(imm)?)?;
+                out.push(Inst::lui(*rd, v));
+            }
+            _ => return Err(bad(mnemonic, "rd, imm16", line_no)),
+        },
+        // ---- Loads / stores --------------------------------------------
+        "lb" | "lbu" | "lh" | "lhu" | "lw" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rd), O::Mem { offset, base }] => {
+                    let v = check16s(ctx.eval(offset, line_no)?)?;
+                    out.push(Inst::with_imm(op, *rd, *base, v));
+                }
+                _ => return Err(bad(mnemonic, "rd, offset(base)", line_no)),
+            }
+        }
+        "sb" | "sh" | "sw" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rs2), O::Mem { offset, base }] => {
+                    let v = check16s(ctx.eval(offset, line_no)?)?;
+                    out.push(Inst::store(op, *rs2, *base, v));
+                }
+                _ => return Err(bad(mnemonic, "rs2, offset(base)", line_no)),
+            }
+        }
+        // ---- Branches ---------------------------------------------------
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            let op = Op::from_mnemonic(mnemonic).expect("listed above");
+            match operands {
+                [O::Reg(rs1), O::Reg(rs2), target] => {
+                    out.push(Inst::branch(op, *rs1, *rs2, target_of(target, 15)?));
+                }
+                _ => return Err(bad(mnemonic, "rs1, rs2, label", line_no)),
+            }
+        }
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            let op = match mnemonic {
+                "bgt" => Op::Blt,
+                "ble" => Op::Bge,
+                "bgtu" => Op::Bltu,
+                _ => Op::Bgeu,
+            };
+            match operands {
+                [O::Reg(rs1), O::Reg(rs2), target] => {
+                    out.push(Inst::branch(op, *rs2, *rs1, target_of(target, 15)?));
+                }
+                _ => return Err(bad(mnemonic, "rs1, rs2, label", line_no)),
+            }
+        }
+        "beqz" | "bnez" | "bltz" | "bgez" | "bgtz" | "blez" => match operands {
+            [O::Reg(rs), target] => {
+                let offset = target_of(target, 15)?;
+                let inst = match mnemonic {
+                    "beqz" => Inst::branch(Op::Beq, *rs, reg::ZERO, offset),
+                    "bnez" => Inst::branch(Op::Bne, *rs, reg::ZERO, offset),
+                    "bltz" => Inst::branch(Op::Blt, *rs, reg::ZERO, offset),
+                    "bgez" => Inst::branch(Op::Bge, *rs, reg::ZERO, offset),
+                    "bgtz" => Inst::branch(Op::Blt, reg::ZERO, *rs, offset),
+                    _ => Inst::branch(Op::Bge, reg::ZERO, *rs, offset),
+                };
+                out.push(inst);
+            }
+            _ => return Err(bad(mnemonic, "rs, label", line_no)),
+        },
+        // ---- Jumps -----------------------------------------------------
+        "j" => match operands {
+            [target] => out.push(Inst::jump(Op::J, target_of(target, 25)?)),
+            _ => return Err(bad(mnemonic, "label", line_no)),
+        },
+        "jal" | "call" => match operands {
+            [target] => out.push(Inst::jump(Op::Jal, target_of(target, 25)?)),
+            _ => return Err(bad(mnemonic, "label", line_no)),
+        },
+        "jr" => match operands {
+            [O::Reg(rs1)] => out.push(Inst::jr(*rs1)),
+            _ => return Err(bad(mnemonic, "rs", line_no)),
+        },
+        "jalr" => match operands {
+            [O::Reg(rs1)] => out.push(Inst {
+                op: Op::Jalr,
+                rd: reg::RA,
+                rs1: *rs1,
+                rs2: reg::ZERO,
+                imm: 0,
+            }),
+            [O::Reg(rd), O::Reg(rs1)] => out.push(Inst {
+                op: Op::Jalr,
+                rd: *rd,
+                rs1: *rs1,
+                rs2: reg::ZERO,
+                imm: 0,
+            }),
+            _ => return Err(bad(mnemonic, "[rd,] rs", line_no)),
+        },
+        "ret" => match operands {
+            [] => out.push(Inst::jr(reg::RA)),
+            _ => return Err(bad(mnemonic, "", line_no)),
+        },
+        // ---- System ------------------------------------------------------
+        "sys" => match operands {
+            [imm] => {
+                let v = check16u(imm_of(imm)?)?;
+                out.push(Inst::sys(v as u32));
+            }
+            _ => return Err(bad(mnemonic, "code", line_no)),
+        },
+        "halt" => match operands {
+            [] => out.push(Inst::halt()),
+            _ => return Err(bad(mnemonic, "", line_no)),
+        },
+        "nop" => match operands {
+            [] => out.push(Inst::nop()),
+            _ => return Err(bad(mnemonic, "", line_no)),
+        },
+        // ---- Pseudo-instructions ---------------------------------------
+        "li" => match operands {
+            [O::Reg(rd), value] => {
+                let v = imm_of(value)?;
+                if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::ImmediateOutOfRange {
+                            mnemonic: mnemonic.to_string(),
+                            value: v,
+                        },
+                    ));
+                }
+                // Symbolic values always expand to two instructions so that
+                // pass-1 sizing (which cannot see final values) stays exact.
+                let force_wide = matches!(value, O::Sym(_));
+                if !force_wide && li_size(v) == 1 {
+                    out.push(Inst::with_imm(Op::Addi, *rd, reg::ZERO, v as i32));
+                } else {
+                    let (hi, lo) = hi_lo(v as u32);
+                    out.push(Inst::lui(*rd, hi));
+                    out.push(Inst::with_imm(Op::Ori, *rd, *rd, lo));
+                }
+            }
+            _ => return Err(bad(mnemonic, "rd, imm32", line_no)),
+        },
+        "la" => match operands {
+            [O::Reg(rd), O::Sym(s)] => {
+                let addr = ctx.lookup(s, line_no)? as u32;
+                let (hi, lo) = hi_lo(addr);
+                out.push(Inst::lui(*rd, hi));
+                out.push(Inst::with_imm(Op::Ori, *rd, *rd, lo));
+            }
+            _ => return Err(bad(mnemonic, "rd, label", line_no)),
+        },
+        "move" | "mv" => match operands {
+            [O::Reg(rd), O::Reg(rs)] => {
+                out.push(Inst::rtype(Op::Add, *rd, *rs, reg::ZERO));
+            }
+            _ => return Err(bad(mnemonic, "rd, rs", line_no)),
+        },
+        "not" => match operands {
+            [O::Reg(rd), O::Reg(rs)] => {
+                out.push(Inst::rtype(Op::Nor, *rd, *rs, reg::ZERO));
+            }
+            _ => return Err(bad(mnemonic, "rd, rs", line_no)),
+        },
+        "neg" => match operands {
+            [O::Reg(rd), O::Reg(rs)] => {
+                out.push(Inst::rtype(Op::Sub, *rd, reg::ZERO, *rs));
+            }
+            _ => return Err(bad(mnemonic, "rd, rs", line_no)),
+        },
+        "subi" => match operands {
+            [O::Reg(rd), O::Reg(rs1), imm] => {
+                let v = check16s(-imm_of(imm)?)?;
+                out.push(Inst::with_imm(Op::Addi, *rd, *rs1, v));
+            }
+            _ => return Err(bad(mnemonic, "rd, rs1, imm", line_no)),
+        },
+        other => {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::UnknownMnemonic(other.to_string()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AsmErrorKind;
+    use npsim::{Cpu, RunConfig};
+
+    fn asm(src: &str) -> Image {
+        assemble(src, MemoryMap::default()).expect("assembles")
+    }
+
+    fn run(src: &str, setup: impl FnOnce(&mut Cpu, &mut Memory)) -> (Cpu<'static>, Memory) {
+        let image = Box::leak(Box::new(asm(src)));
+        let mut mem = Memory::new();
+        image.load_data(&mut mem);
+        let mut cpu = Cpu::new(image.program(), MemoryMap::default());
+        setup(&mut cpu, &mut mem);
+        cpu.run(&mut mem, &RunConfig::default()).expect("runs");
+        (cpu, mem)
+    }
+
+    #[test]
+    fn minimal_program() {
+        let image = asm("main: ret\n");
+        assert_eq!(image.program().len(), 1);
+        assert_eq!(image.symbol("main"), Some(image.text_base()));
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let (cpu, _) = run(
+            "main:
+                li   t0, 0
+                li   t1, 10
+            loop:
+                addi t0, t0, 1
+                blt  t0, t1, loop
+                j    done
+                addi t0, t0, 100   ; skipped
+            done:
+                ret",
+            |_, _| {},
+        );
+        assert_eq!(cpu.reg(npsim::reg::T0), 10);
+    }
+
+    #[test]
+    fn data_section_and_la() {
+        let (cpu, mem) = run(
+            "main:
+                la   t0, values
+                lw   t1, 0(t0)
+                lw   t2, 4(t0)
+                add  t3, t1, t2
+                sw   t3, 8(t0)
+                ret
+             .data
+             values: .word 30, 12, 0",
+            |_, _| {},
+        );
+        assert_eq!(cpu.reg(npsim::reg::T3), 42);
+        let base = MemoryMap::default().data_base;
+        assert_eq!(mem.read_u32(base + 8), 42);
+    }
+
+    #[test]
+    fn equ_constants_in_immediates_and_offsets() {
+        let (cpu, _) = run(
+            ".equ STRIDE, 8
+             .equ COUNT, 3
+             main:
+                la   t0, arr
+                li   t1, 0          ; sum
+                li   t2, 0          ; i
+             loop:
+                lw   t3, 0(t0)
+                add  t1, t1, t3
+                addi t0, t0, STRIDE
+                addi t2, t2, 1
+                li   t4, COUNT
+                blt  t2, t4, loop
+                move a0, t1
+                ret
+             .data
+             arr: .word 1, 0, 2, 0, 4, 0",
+            |_, _| {},
+        );
+        assert_eq!(cpu.reg(npsim::reg::A0), 7);
+    }
+
+    #[test]
+    fn li_sizes() {
+        let image = asm("main: li t0, 5\n li t1, 0x12345678\n ret\n");
+        // 1 + 2 + 1 instructions
+        assert_eq!(image.program().len(), 4);
+        let (cpu, _) = run("main: li t0, 0x12345678\n li t1, -3\n ret", |_, _| {});
+        assert_eq!(cpu.reg(npsim::reg::T0), 0x1234_5678);
+        assert_eq!(cpu.reg(npsim::reg::T1), 0xffff_fffd);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let (cpu, _) = run(
+            "main:
+                addi sp, sp, -8
+                sw   ra, 0(sp)
+                li   a0, 4
+                call double
+                call double
+                lw   ra, 0(sp)
+                addi sp, sp, 8
+                ret
+             double:
+                add  a0, a0, a0
+                ret",
+            |_, _| {},
+        );
+        assert_eq!(cpu.reg(npsim::reg::A0), 16);
+    }
+
+    #[test]
+    fn pseudo_branches() {
+        let (cpu, _) = run(
+            "main:
+                li   t0, -5
+                li   t1, 0
+                bltz t0, neg
+                li   t1, 1
+             neg:
+                bgtz t0, pos
+                addi t1, t1, 10
+             pos:
+                li   t2, 3
+                li   t3, 7
+                bgt  t3, t2, big
+                li   t1, 99
+             big:
+                move a0, t1
+                ret",
+            |_, _| {},
+        );
+        assert_eq!(cpu.reg(npsim::reg::A0), 10);
+    }
+
+    #[test]
+    fn byte_half_word_layout() {
+        let image = asm(
+            ".text
+             main: ret
+             .data
+             b: .byte 1, 2
+             h: .half 0x0304
+             w: .word 0x05060708",
+        );
+        let base = image.data_base();
+        assert_eq!(image.symbol("b"), Some(base));
+        assert_eq!(image.symbol("h"), Some(base + 2));
+        assert_eq!(image.symbol("w"), Some(base + 4));
+        assert_eq!(image.data(), &[1, 2, 4, 3, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn align_moves_labels() {
+        let image = asm(
+            ".text
+             main: ret
+             .data
+             a: .byte 1
+             w: .word 9",
+        );
+        // .word aligns to 4; label w must point at the aligned slot.
+        assert_eq!(image.symbol("w"), Some(image.data_base() + 4));
+        assert_eq!(image.data()[4], 9);
+    }
+
+    #[test]
+    fn space_reserves_zeroed_bytes() {
+        let image = asm(
+            ".text
+             main: ret
+             .data
+             buf: .space 16
+             end: .byte 0xff",
+        );
+        assert_eq!(image.symbol("end"), Some(image.data_base() + 16));
+        assert_eq!(image.data().len(), 17);
+        assert!(image.data()[..16].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn word_with_label_value() {
+        let image = asm(
+            ".text
+             main: ret
+             .data
+             ptr: .word target
+             target: .word 7",
+        );
+        let target = image.symbol("target").unwrap();
+        assert_eq!(
+            u32::from_le_bytes(image.data()[0..4].try_into().unwrap()),
+            target
+        );
+    }
+
+    #[test]
+    fn errors_reported() {
+        let map = MemoryMap::default();
+        let err = assemble("main: frobnicate t0\n", map).unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::UnknownMnemonic(_)));
+        let err = assemble("main: add t0, t1\n", map).unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::BadOperands { .. }));
+        let err = assemble("main: j nowhere\n", map).unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::UndefinedSymbol(_)));
+        let err = assemble("main: ret\nmain: ret\n", map).unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::DuplicateSymbol(_)));
+        let err = assemble("main: addi t0, t0, 100000\n", map).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            AsmErrorKind::ImmediateOutOfRange { .. }
+        ));
+        let err = assemble(".data\nx: addi t0, t0, 1\n", map).unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::WrongSection(_)));
+        let err = assemble(".word 3\n", map).unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::WrongSection(_)));
+    }
+
+    #[test]
+    fn equ_defined_after_use_resolves() {
+        // Immediate fields are resolved in pass 2 against the full symbol
+        // table, so textual order does not matter for `li`.
+        let (cpu, _) = run("main: li a0, N\n ret\n.equ N, 3\n", |_, _| {});
+        assert_eq!(cpu.reg(npsim::reg::A0), 3);
+    }
+
+    #[test]
+    fn sys_and_halt() {
+        let image = asm("main: sys 3\n halt\n");
+        assert_eq!(image.program().insts()[0], Inst::sys(3));
+        assert_eq!(image.program().insts()[1], Inst::halt());
+    }
+
+    #[test]
+    fn stack_round_trip() {
+        let (cpu, _) = run(
+            "main:
+                addi sp, sp, -4
+                li   t0, 1234
+                sw   t0, 0(sp)
+                li   t0, 0
+                lw   t1, 0(sp)
+                addi sp, sp, 4
+                move a0, t1
+                ret",
+            |_, _| {},
+        );
+        assert_eq!(cpu.reg(npsim::reg::A0), 1234);
+    }
+}

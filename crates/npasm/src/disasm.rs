@@ -1,0 +1,104 @@
+//! Disassembly of NP32 programs back to readable text.
+//!
+//! Used by the PacketBench reports to show which source instructions a
+//! basic block contains, and by the round-trip tests that pin the
+//! assembler and [`npsim::encode`] against each other.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use npsim::isa::Op;
+use npsim::Program;
+
+/// Renders a program as assembly text with synthetic `L<n>:` labels at
+/// every branch/jump target.
+///
+/// The output is accepted by [`crate::assemble`] (labels replace numeric
+/// offsets), which the tests rely on for round-tripping.
+pub fn disassemble(program: &Program) -> String {
+    // Collect branch targets.
+    let mut targets: BTreeMap<u32, String> = BTreeMap::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        if matches!(
+            inst.op,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu | Op::J | Op::Jal
+        ) {
+            let target = program
+                .pc_of(i)
+                .wrapping_add(4)
+                .wrapping_add(inst.imm as u32);
+            if program.index_of(target).is_some() {
+                let next = targets.len();
+                targets.entry(target).or_insert_with(|| format!("L{next}"));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        let pc = program.pc_of(i);
+        if let Some(label) = targets.get(&pc) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let rendered = match inst.op {
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
+                let target = pc.wrapping_add(4).wrapping_add(inst.imm as u32);
+                match targets.get(&target) {
+                    Some(label) => {
+                        format!("{} {}, {}, {}", inst.op, inst.rs1, inst.rs2, label)
+                    }
+                    None => inst.to_string(),
+                }
+            }
+            Op::J | Op::Jal => {
+                let target = pc.wrapping_add(4).wrapping_add(inst.imm as u32);
+                match targets.get(&target) {
+                    Some(label) => format!("{} {}", inst.op, label),
+                    None => inst.to_string(),
+                }
+            }
+            _ => inst.to_string(),
+        };
+        let _ = writeln!(out, "        {rendered}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+    use npsim::MemoryMap;
+
+    #[test]
+    fn disassembly_reassembles_to_same_program() {
+        let src = "main:
+                li   t0, 0
+                li   t1, 5
+            loop:
+                addi t0, t0, 1
+                lw   t2, 0(gp)
+                sw   t2, 4(gp)
+                blt  t0, t1, loop
+                beqz t0, main
+                jal  helper
+                ret
+            helper:
+                sltu a0, a1, a2
+                jr   ra";
+        let map = MemoryMap::default();
+        let image = assemble(src, map).unwrap();
+        let text = disassemble(image.program());
+        let again = assemble(&text, map).unwrap();
+        assert_eq!(again.program().insts(), image.program().insts());
+    }
+
+    #[test]
+    fn labels_appear_at_targets() {
+        let src = "main: beqz a0, out\n addi a0, a0, 1\nout: ret";
+        let image = assemble(src, MemoryMap::default()).unwrap();
+        let text = disassemble(image.program());
+        assert!(text.contains("L0:"), "{text}");
+        assert!(text.contains("beq a0, zero, L0"), "{text}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Assembler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error, annotated with the 1-based source line it occurred on
+/// (line 0 means "no specific line").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: u32,
+    kind: AsmErrorKind,
+}
+
+/// The specific assembly failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// A line that does not scan (bad token, stray punctuation, …).
+    Syntax(String),
+    /// A mnemonic that names no instruction or pseudo-instruction.
+    UnknownMnemonic(String),
+    /// An operand list of the wrong shape for the mnemonic.
+    BadOperands {
+        /// The mnemonic.
+        mnemonic: String,
+        /// What the assembler expected, e.g. `"rd, rs1, rs2"`.
+        expected: &'static str,
+    },
+    /// A name that is neither a register nor fits where one is required.
+    UnknownRegister(String),
+    /// An undefined label or constant.
+    UndefinedSymbol(String),
+    /// A label or `.equ` defined twice.
+    DuplicateSymbol(String),
+    /// An immediate that does not fit the instruction's field.
+    ImmediateOutOfRange {
+        /// The mnemonic.
+        mnemonic: String,
+        /// The value.
+        value: i64,
+    },
+    /// A directive the assembler does not implement.
+    UnknownDirective(String),
+    /// A `.equ` used before its definition.
+    ForwardEqu(String),
+    /// Instruction emitted into the `.data` section or data into `.text`.
+    WrongSection(&'static str),
+    /// Branch target out of the ±128 KiB branch reach.
+    BranchTooFar {
+        /// The target label.
+        label: String,
+        /// The byte distance.
+        distance: i64,
+    },
+}
+
+impl AsmError {
+    pub(crate) fn new(line: u32, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+
+    /// The 1-based source line the error occurred on (0 = whole file).
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The error detail.
+    pub fn kind(&self) -> &AsmErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            AsmErrorKind::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperands { mnemonic, expected } => {
+                write!(f, "`{mnemonic}` expects operands `{expected}`")
+            }
+            AsmErrorKind::UnknownRegister(r) => write!(f, "unknown register `{r}`"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::DuplicateSymbol(s) => write!(f, "symbol `{s}` defined twice"),
+            AsmErrorKind::ImmediateOutOfRange { mnemonic, value } => {
+                write!(f, "immediate {value} out of range for `{mnemonic}`")
+            }
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `.{d}`"),
+            AsmErrorKind::ForwardEqu(s) => {
+                write!(f, "constant `{s}` used before its .equ definition")
+            }
+            AsmErrorKind::WrongSection(what) => write!(f, "{what} not allowed in this section"),
+            AsmErrorKind::BranchTooFar { label, distance } => {
+                write!(f, "branch to `{label}` is {distance} bytes away, out of reach")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let err = AsmError::new(7, AsmErrorKind::UnknownMnemonic("frob".into()));
+        assert_eq!(err.to_string(), "line 7: unknown mnemonic `frob`");
+        assert_eq!(err.line(), 7);
+    }
+
+    #[test]
+    fn display_without_line() {
+        let err = AsmError::new(0, AsmErrorKind::UndefinedSymbol("main".into()));
+        assert_eq!(err.to_string(), "undefined symbol `main`");
+    }
+}

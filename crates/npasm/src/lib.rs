@@ -1,0 +1,79 @@
+//! # npasm — assembler for the NP32 ISA
+//!
+//! A classic two-pass assembler. PacketBench applications are written as
+//! `.s` text (see the grammar below), assembled into an [`Image`] holding
+//! the decoded text ([`npsim::cpu::Program`]), the initialized data section,
+//! and the symbol table.
+//!
+//! ## Source format
+//!
+//! ```text
+//! ; comments start with ';', '#' or '//'
+//!         .equ  BUCKETS, 256        ; named constants
+//!         .text
+//! main:                             ; labels end with ':'
+//!         lw    t0, 0(a0)           ; loads:  op rd, offset(base)
+//!         addi  t0, t0, 1
+//!         sw    t0, 0(a0)           ; stores: op rs2, offset(base)
+//!         beqz  t0, drop            ; pseudo-instructions expand inline
+//!         la    t1, table           ; load a data-section address
+//!         li    t2, 0x12345678      ; load a 32-bit constant
+//!         jal   helper              ; call
+//!         ret                       ; jr ra
+//! drop:
+//!         sys   2                   ; framework call (drop packet)
+//!         ret
+//! helper:
+//!         jr    ra
+//!
+//!         .data
+//! table:  .word 1, 2, 3
+//! buf:    .space 64
+//! bytes:  .byte 0xde, 0xad
+//! halves: .half 0xbeef
+//!         .align 4
+//! ```
+//!
+//! ## Pseudo-instructions
+//!
+//! | pseudo | expansion |
+//! |---|---|
+//! | `nop` | `add zero, zero, zero` |
+//! | `li rd, imm` | `addi` (16-bit) or `lui`+`ori` |
+//! | `la rd, label` | `lui`+`ori` |
+//! | `move rd, rs` | `add rd, rs, zero` |
+//! | `not rd, rs` | `nor rd, rs, zero` |
+//! | `neg rd, rs` | `sub rd, zero, rs` |
+//! | `beqz/bnez rs, l` | `beq/bne rs, zero, l` |
+//! | `bltz/bgez/bgtz/blez rs, l` | branch against `zero` |
+//! | `bgt/ble/bgtu/bleu a, b, l` | operand-swapped `blt/bge/bltu/bgeu` |
+//! | `call l` / `ret` | `jal l` / `jr ra` |
+//! | `subi rd, rs, imm` | `addi rd, rs, -imm` |
+//!
+//! ## Example
+//!
+//! ```
+//! use npasm::assemble;
+//! use npsim::{Cpu, Memory, MemoryMap, RunConfig, reg};
+//!
+//! let image = assemble(
+//!     "main: addi a0, a0, 5\n       ret\n",
+//!     MemoryMap::default(),
+//! )?;
+//! let mut mem = Memory::new();
+//! image.load_data(&mut mem);
+//! let mut cpu = Cpu::new(image.program(), MemoryMap::default());
+//! cpu.set_reg(reg::A0, 1);
+//! cpu.run(&mut mem, &RunConfig::default()).unwrap();
+//! assert_eq!(cpu.reg(reg::A0), 6);
+//! # Ok::<(), npasm::AsmError>(())
+//! ```
+
+mod asm;
+mod disasm;
+mod error;
+mod parser;
+
+pub use asm::{assemble, Image};
+pub use disasm::disassemble;
+pub use error::AsmError;

@@ -1,0 +1,520 @@
+//! Line-oriented lexing and parsing of NP32 assembly source.
+
+use npsim::Reg;
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// A parsed source line: any number of labels plus at most one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Line {
+    pub line_no: u32,
+    pub labels: Vec<String>,
+    pub stmt: Option<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stmt {
+    Directive(Directive),
+    Inst {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
+}
+
+/// An assembler directive.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Directive {
+    Text,
+    Data,
+    Globl(String),
+    Equ(String, Expr),
+    Word(Vec<Expr>),
+    Half(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Space(Expr),
+    Align(Expr),
+}
+
+/// A constant expression: a literal or a symbol reference.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Expr {
+    Imm(i64),
+    Sym(String),
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    Sym(String),
+    Mem { offset: Expr, base: Reg },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(i64),
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, _) in line.char_indices() {
+        let rest = &line[i..];
+        if rest.starts_with(';') || rest.starts_with('#') || rest.starts_with("//") {
+            end = i;
+            break;
+        }
+    }
+    &line[..end]
+}
+
+fn lex(line: &str, line_no: u32) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let bytes = strip_comment(line).as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'x' || bytes[i] == b'X')
+                {
+                    i += 1;
+                }
+                let text = &line[start..start + (i - start)];
+                let value = parse_number(text).ok_or_else(|| {
+                    AsmError::new(line_no, AsmErrorKind::Syntax(format!("bad number `{text}`")))
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(line[start..start + (i - start)].to_string()));
+            }
+            other => {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::Syntax(format!("unexpected character `{other}`")),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_number(text: &str) -> Option<i64> {
+    let (neg, rest) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = rest.strip_prefix("0x").or_else(|| rest.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        rest.parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+/// Parses a whole source file into lines. Empty and comment-only lines are
+/// dropped.
+pub(crate) fn parse_source(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (index, raw) in source.lines().enumerate() {
+        let line_no = (index + 1) as u32;
+        let tokens = lex(raw, line_no)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        lines.push(parse_line(&tokens, line_no)?);
+    }
+    Ok(lines)
+}
+
+fn parse_line(tokens: &[Token], line_no: u32) -> Result<Line, AsmError> {
+    let mut labels = Vec::new();
+    let mut rest = tokens;
+
+    // Leading `ident:` pairs are labels.
+    while rest.len() >= 2 {
+        if let (Token::Ident(name), Token::Colon) = (&rest[0], &rest[1]) {
+            if name.starts_with('.') {
+                break; // directives never carry a colon
+            }
+            labels.push(name.clone());
+            rest = &rest[2..];
+        } else {
+            break;
+        }
+    }
+
+    if rest.is_empty() {
+        return Ok(Line {
+            line_no,
+            labels,
+            stmt: None,
+        });
+    }
+
+    let head = match &rest[0] {
+        Token::Ident(name) => name.clone(),
+        other => {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::Syntax(format!("expected mnemonic or directive, got {other:?}")),
+            ));
+        }
+    };
+    let args = &rest[1..];
+
+    let stmt = if let Some(directive) = head.strip_prefix('.') {
+        Stmt::Directive(parse_directive(directive, args, line_no)?)
+    } else {
+        Stmt::Inst {
+            mnemonic: head,
+            operands: parse_operands(args, line_no)?,
+        }
+    };
+    Ok(Line {
+        line_no,
+        labels,
+        stmt: Some(stmt),
+    })
+}
+
+fn parse_directive(name: &str, args: &[Token], line_no: u32) -> Result<Directive, AsmError> {
+    let exprs = || parse_expr_list(args, line_no);
+    match name {
+        "text" => Ok(Directive::Text),
+        "data" => Ok(Directive::Data),
+        "globl" | "global" => match args {
+            [Token::Ident(s)] => Ok(Directive::Globl(s.clone())),
+            _ => Err(bad_directive(line_no, "globl", "symbol")),
+        },
+        "equ" | "set" => match args {
+            [Token::Ident(s), Token::Comma, value @ ..] => {
+                let exprs = parse_expr_list(value, line_no)?;
+                match exprs.as_slice() {
+                    [e] => Ok(Directive::Equ(s.clone(), e.clone())),
+                    _ => Err(bad_directive(line_no, "equ", "name, value")),
+                }
+            }
+            _ => Err(bad_directive(line_no, "equ", "name, value")),
+        },
+        "word" => Ok(Directive::Word(exprs()?)),
+        "half" => Ok(Directive::Half(exprs()?)),
+        "byte" => Ok(Directive::Byte(exprs()?)),
+        "space" | "skip" => match exprs()?.as_slice() {
+            [e] => Ok(Directive::Space(e.clone())),
+            _ => Err(bad_directive(line_no, "space", "size")),
+        },
+        "align" => match exprs()?.as_slice() {
+            [e] => Ok(Directive::Align(e.clone())),
+            _ => Err(bad_directive(line_no, "align", "bytes")),
+        },
+        other => Err(AsmError::new(
+            line_no,
+            AsmErrorKind::UnknownDirective(other.to_string()),
+        )),
+    }
+}
+
+fn bad_directive(line_no: u32, name: &'static str, expected: &'static str) -> AsmError {
+    AsmError::new(
+        line_no,
+        AsmErrorKind::BadOperands {
+            mnemonic: format!(".{name}"),
+            expected,
+        },
+    )
+}
+
+fn parse_expr_list(tokens: &[Token], line_no: u32) -> Result<Vec<Expr>, AsmError> {
+    let mut exprs = Vec::new();
+    let mut expecting_value = true;
+    for token in tokens {
+        match (expecting_value, token) {
+            (true, Token::Number(n)) => {
+                exprs.push(Expr::Imm(*n));
+                expecting_value = false;
+            }
+            (true, Token::Ident(s)) => {
+                exprs.push(Expr::Sym(s.clone()));
+                expecting_value = false;
+            }
+            (false, Token::Comma) => expecting_value = true,
+            _ => {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::Syntax("malformed value list".into()),
+                ));
+            }
+        }
+    }
+    if expecting_value && !exprs.is_empty() {
+        return Err(AsmError::new(
+            line_no,
+            AsmErrorKind::Syntax("trailing comma".into()),
+        ));
+    }
+    Ok(exprs)
+}
+
+fn parse_operands(tokens: &[Token], line_no: u32) -> Result<Vec<Operand>, AsmError> {
+    let mut operands = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // One operand.
+        let operand = match &tokens[i] {
+            Token::Ident(name) => {
+                if let Some(r) = Reg::from_name(name) {
+                    i += 1;
+                    Operand::Reg(r)
+                } else if matches!(tokens.get(i + 1), Some(Token::LParen)) {
+                    let (base, next) = parse_base(tokens, i + 1, line_no)?;
+                    i = next;
+                    Operand::Mem {
+                        offset: Expr::Sym(name.clone()),
+                        base,
+                    }
+                } else {
+                    i += 1;
+                    Operand::Sym(name.clone())
+                }
+            }
+            Token::Number(n) => {
+                if matches!(tokens.get(i + 1), Some(Token::LParen)) {
+                    let (base, next) = parse_base(tokens, i + 1, line_no)?;
+                    i = next;
+                    Operand::Mem {
+                        offset: Expr::Imm(*n),
+                        base,
+                    }
+                } else {
+                    i += 1;
+                    Operand::Imm(*n)
+                }
+            }
+            Token::LParen => {
+                let (base, next) = parse_base(tokens, i, line_no)?;
+                i = next;
+                Operand::Mem {
+                    offset: Expr::Imm(0),
+                    base,
+                }
+            }
+            other => {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::Syntax(format!("unexpected token {other:?} in operands")),
+                ));
+            }
+        };
+        operands.push(operand);
+        match tokens.get(i) {
+            None => break,
+            Some(Token::Comma) => i += 1,
+            Some(other) => {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::Syntax(format!("expected `,`, got {other:?}")),
+                ));
+            }
+        }
+    }
+    Ok(operands)
+}
+
+/// Parses `( reg )` starting at `tokens[at]`; returns the register and the
+/// index just past the `)`.
+fn parse_base(tokens: &[Token], at: usize, line_no: u32) -> Result<(Reg, usize), AsmError> {
+    match (tokens.get(at), tokens.get(at + 1), tokens.get(at + 2)) {
+        (Some(Token::LParen), Some(Token::Ident(name)), Some(Token::RParen)) => {
+            let reg = Reg::from_name(name).ok_or_else(|| {
+                AsmError::new(line_no, AsmErrorKind::UnknownRegister(name.clone()))
+            })?;
+            Ok((reg, at + 3))
+        }
+        _ => Err(AsmError::new(
+            line_no,
+            AsmErrorKind::Syntax("expected `(reg)`".into()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npsim::reg;
+
+    fn one_line(src: &str) -> Line {
+        let lines = parse_source(src).expect("parse");
+        assert_eq!(lines.len(), 1, "expected one line from {src:?}");
+        lines.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn comments_and_blanks_dropped() {
+        assert!(parse_source("; nothing\n\n   # here\n// or here\n")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn labels_accumulate() {
+        let line = one_line("a: b: addi t0, t0, 1");
+        assert_eq!(line.labels, vec!["a", "b"]);
+        assert!(matches!(line.stmt, Some(Stmt::Inst { .. })));
+    }
+
+    #[test]
+    fn bare_label_line() {
+        let line = one_line("main:");
+        assert_eq!(line.labels, vec!["main"]);
+        assert_eq!(line.stmt, None);
+    }
+
+    #[test]
+    fn rtype_operands() {
+        let line = one_line("add a0, a1, a2");
+        let Some(Stmt::Inst { mnemonic, operands }) = line.stmt else {
+            panic!()
+        };
+        assert_eq!(mnemonic, "add");
+        assert_eq!(
+            operands,
+            vec![
+                Operand::Reg(reg::A0),
+                Operand::Reg(reg::A1),
+                Operand::Reg(reg::A2)
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let line = one_line("lw t0, -8(sp)");
+        let Some(Stmt::Inst { operands, .. }) = line.stmt else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Mem {
+                offset: Expr::Imm(-8),
+                base: reg::SP
+            }
+        );
+
+        let line = one_line("lw t0, NODE_LEFT(t1)");
+        let Some(Stmt::Inst { operands, .. }) = line.stmt else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Mem {
+                offset: Expr::Sym("NODE_LEFT".into()),
+                base: reg::T1
+            }
+        );
+
+        let line = one_line("lw t0, (a0)");
+        let Some(Stmt::Inst { operands, .. }) = line.stmt else {
+            panic!()
+        };
+        assert_eq!(
+            operands[1],
+            Operand::Mem {
+                offset: Expr::Imm(0),
+                base: reg::A0
+            }
+        );
+    }
+
+    #[test]
+    fn numbers_hex_and_negative() {
+        let line = one_line("li t0, 0xBEEF");
+        let Some(Stmt::Inst { operands, .. }) = line.stmt else {
+            panic!()
+        };
+        assert_eq!(operands[1], Operand::Imm(0xbeef));
+        let line = one_line("addi t0, t0, -42");
+        let Some(Stmt::Inst { operands, .. }) = line.stmt else {
+            panic!()
+        };
+        assert_eq!(operands[2], Operand::Imm(-42));
+    }
+
+    #[test]
+    fn directives_parse() {
+        assert_eq!(
+            one_line(".equ N, 32").stmt,
+            Some(Stmt::Directive(Directive::Equ("N".into(), Expr::Imm(32))))
+        );
+        assert_eq!(
+            one_line(".word 1, tab, 3").stmt,
+            Some(Stmt::Directive(Directive::Word(vec![
+                Expr::Imm(1),
+                Expr::Sym("tab".into()),
+                Expr::Imm(3)
+            ])))
+        );
+        assert_eq!(
+            one_line(".space 64").stmt,
+            Some(Stmt::Directive(Directive::Space(Expr::Imm(64))))
+        );
+        assert!(matches!(
+            one_line(".text").stmt,
+            Some(Stmt::Directive(Directive::Text))
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_source("addi t0, t0, 1\n???\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        let err = parse_source(".bogus 3").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::UnknownDirective(_)));
+        let err = parse_source("lw t0, 4(t0").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::Syntax(_)));
+        let err = parse_source(".word 1,,2").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::Syntax(_)));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = parse_source("li t0, 0xZZ").unwrap_err();
+        assert!(matches!(err.kind(), AsmErrorKind::Syntax(_)));
+    }
+}

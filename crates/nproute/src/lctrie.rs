@@ -1,0 +1,411 @@
+//! The LC-trie (level- and path-compressed trie) of Nilsson & Karlsson —
+//! the optimized lookup structure behind the paper's IPv4-trie
+//! application.
+//!
+//! ## Construction
+//!
+//! The route set is first *leaf-pushed* into a disjoint set of prefixes
+//! (every address is covered by exactly one expanded leaf when a default
+//! route exists), then the classic LC-trie is built over the sorted
+//! leaves: each internal node covers a power-of-two fan-out chosen as the
+//! largest branch for which every child bucket is non-empty, with common
+//! prefix bits path-compressed into a skip count.
+//!
+//! ## Node encoding (one `u32` per node, as in the original paper)
+//!
+//! ```text
+//! bits 31..27  branch (0 = leaf)
+//! bits 26..21  skip
+//! bits 20..0   adr: first-child index (internal) or leaf-entry index (leaf)
+//! ```
+//!
+//! ## Memory image
+//!
+//! ```text
+//! header: +0 trie-array pointer, +4 leaf-entry array pointer
+//! trie array: u32 nodes, children contiguous
+//! leaf entry (12 bytes): +0 key, +4 mask, +8 next hop
+//! ```
+
+use npsim::Memory;
+
+use crate::table::{NextHop, Prefix, RouteTable};
+
+/// `.equ` constants shared with the IPv4-trie assembly source.
+pub const LAYOUT_EQUS: &str = "\
+        .equ LC_HDR_TRIE, 0
+        .equ LC_HDR_LEAVES, 4
+        .equ LC_BRANCH_SHIFT, 27
+        .equ LC_SKIP_SHIFT, 21
+        .equ LC_SKIP_MASK, 63
+        .equ LC_ADR_MASK, 0x1FFFFF
+        .equ LC_LEAF_KEY, 0
+        .equ LC_LEAF_MASK, 4
+        .equ LC_LEAF_NH, 8
+        .equ LC_LEAF_SIZE, 12
+";
+
+const ADR_MASK: u32 = 0x001f_ffff;
+
+/// A leaf of the expanded (disjoint) prefix set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Leaf {
+    prefix: Prefix,
+    next_hop: NextHop,
+}
+
+/// The golden-model LC-trie, structurally identical to the NP32 image.
+#[derive(Debug, Clone)]
+pub struct LcTrie {
+    nodes: Vec<u32>,
+    leaves: Vec<Leaf>,
+}
+
+impl LcTrie {
+    /// Builds the trie from a routing table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn build(table: &RouteTable) -> LcTrie {
+        assert!(!table.is_empty(), "cannot build an LC-trie over no routes");
+        let leaves = expand_disjoint(table);
+        let mut trie = LcTrie {
+            nodes: vec![0],
+            leaves,
+        };
+        trie.build_node(0, 0, 0, trie.leaves.len());
+        trie
+    }
+
+    /// Recursively builds the node at `slot` covering `leaves[lo..hi]`,
+    /// all of which agree on their first `pos` bits.
+    fn build_node(&mut self, slot: usize, pos: u8, lo: usize, hi: usize) {
+        if hi - lo == 1 {
+            self.nodes[slot] = lo as u32; // branch 0 = leaf
+            return;
+        }
+        // Path compression: skip bits common to the whole range.
+        let mut skip = 0u8;
+        let mut p = pos;
+        while p < 32 {
+            let b = bit(self.leaves[lo].prefix.value, p);
+            // A leaf shorter than p+1 bits would make the range ambiguous;
+            // expansion guarantees all leaves in a multi-leaf range extend
+            // past the divergence point.
+            if (lo + 1..hi).all(|i| bit(self.leaves[i].prefix.value, p) == b) {
+                skip += 1;
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        let pos = pos + skip;
+        // Level compression: the widest branch with every bucket non-empty.
+        let mut branch = 1u8;
+        while branch < 16 && pos + branch < 32 {
+            let next = branch + 1;
+            if !buckets_all_nonempty(&self.leaves[lo..hi], pos, next) {
+                break;
+            }
+            branch = next;
+        }
+        let first_child = self.nodes.len();
+        self.nodes
+            .extend(std::iter::repeat_n(0, 1usize << branch));
+        self.nodes[slot] = (u32::from(branch) << 27)
+            | (u32::from(skip) << 21)
+            | (first_child as u32 & ADR_MASK);
+        // Partition the range by the branch bits and recurse.
+        let mut start = lo;
+        for bucket in 0..(1usize << branch) {
+            let mut end = start;
+            while end < hi && extract(self.leaves[end].prefix.value, pos, branch) == bucket as u32
+            {
+                end += 1;
+            }
+            debug_assert!(end > start, "empty bucket despite non-empty check");
+            self.build_node(first_child + bucket, pos + branch, start, end);
+            start = end;
+        }
+        debug_assert_eq!(start, hi);
+    }
+
+    /// Number of `u32` trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of expanded leaf entries.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Longest-prefix match, by the exact algorithm the NP32 application
+    /// executes.
+    pub fn lookup(&self, addr: u32) -> Option<NextHop> {
+        let mut node = self.nodes[0];
+        let mut pos = 0u32;
+        loop {
+            let branch = node >> 27;
+            if branch == 0 {
+                let leaf = self.leaves[(node & ADR_MASK) as usize];
+                return leaf.prefix.matches(addr).then_some(leaf.next_hop);
+            }
+            let skip = (node >> 21) & 0x3f;
+            pos += skip;
+            let index = extract(addr, pos as u8, branch as u8);
+            node = self.nodes[((node & ADR_MASK) + index) as usize];
+            pos += branch;
+        }
+    }
+
+    /// Serializes the trie into simulated memory at `base`.
+    pub fn write_into(&self, mem: &mut Memory, base: u32) -> LcTrieImage {
+        let header = base;
+        let trie_base = header + 8;
+        let leaves_base = trie_base + 4 * self.nodes.len() as u32;
+        let end = leaves_base + 12 * self.leaves.len() as u32;
+
+        mem.write_u32(header, trie_base);
+        mem.write_u32(header + 4, leaves_base);
+        for (i, &node) in self.nodes.iter().enumerate() {
+            mem.write_u32(trie_base + 4 * i as u32, node);
+        }
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            let at = leaves_base + 12 * i as u32;
+            mem.write_u32(at, leaf.prefix.value);
+            mem.write_u32(at + 4, Prefix::mask(leaf.prefix.len));
+            mem.write_u32(at + 8, leaf.next_hop);
+        }
+        LcTrieImage {
+            header,
+            end,
+            node_count: self.nodes.len(),
+            leaf_count: self.leaves.len(),
+        }
+    }
+}
+
+/// Where a serialized LC-trie sits in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LcTrieImage {
+    /// Header address.
+    pub header: u32,
+    /// First address past the image.
+    pub end: u32,
+    /// `u32` trie nodes serialized.
+    pub node_count: usize,
+    /// Leaf entries serialized.
+    pub leaf_count: usize,
+}
+
+/// Leaf-pushes a route table into a sorted, disjoint prefix set.
+fn expand_disjoint(table: &RouteTable) -> Vec<Leaf> {
+    #[derive(Default)]
+    struct TNode {
+        children: [Option<Box<TNode>>; 2],
+        route: Option<NextHop>,
+    }
+
+    let mut root = TNode::default();
+    for entry in table.entries() {
+        let mut node = &mut root;
+        for depth in 0..entry.prefix.len {
+            let side = usize::from(bit(entry.prefix.value, depth));
+            node = node.children[side].get_or_insert_with(Box::default);
+        }
+        node.route = Some(entry.next_hop);
+    }
+
+    fn collect(
+        node: &TNode,
+        value: u32,
+        len: u8,
+        inherited: Option<NextHop>,
+        out: &mut Vec<Leaf>,
+    ) {
+        let current = node.route.or(inherited);
+        match (&node.children[0], &node.children[1]) {
+            (None, None) => {
+                if let Some(next_hop) = current {
+                    out.push(Leaf {
+                        prefix: Prefix::new(value, len),
+                        next_hop,
+                    });
+                }
+            }
+            (left, right) => {
+                // Push the current route into the missing side(s).
+                let next_len = len + 1;
+                match left {
+                    Some(n) => collect(n, value, next_len, current, out),
+                    None => {
+                        if let Some(next_hop) = current {
+                            out.push(Leaf {
+                                prefix: Prefix::new(value, next_len),
+                                next_hop,
+                            });
+                        }
+                    }
+                }
+                let rvalue = value | (0x8000_0000 >> len);
+                match right {
+                    Some(n) => collect(n, rvalue, next_len, current, out),
+                    None => {
+                        if let Some(next_hop) = current {
+                            out.push(Leaf {
+                                prefix: Prefix::new(rvalue, next_len),
+                                next_hop,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut leaves = Vec::new();
+    collect(&root, 0, 0, None, &mut leaves);
+    leaves.sort_by_key(|l| l.prefix.value);
+    leaves
+}
+
+/// Bit `depth` of `value` counting from the MSB.
+fn bit(value: u32, depth: u8) -> bool {
+    value & (0x8000_0000 >> depth) != 0
+}
+
+/// Extracts `count` bits of `value` starting at bit `pos` from the MSB.
+fn extract(value: u32, pos: u8, count: u8) -> u32 {
+    if count == 0 {
+        return 0;
+    }
+    (value << pos) >> (32 - count)
+}
+
+fn buckets_all_nonempty(leaves: &[Leaf], pos: u8, branch: u8) -> bool {
+    // Any leaf shorter than pos + branch bits would straddle buckets.
+    if leaves.iter().any(|l| l.prefix.len < pos + branch) {
+        return false;
+    }
+    let mut expected = 0u32;
+    for leaf in leaves {
+        let b = extract(leaf.prefix.value, pos, branch);
+        if b > expected {
+            return false; // a bucket was skipped
+        }
+        if b == expected {
+            expected += 1;
+        }
+    }
+    expected == 1u32 << branch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_linear_reference_on_generated_tables() {
+        let table = TableGenerator::new(9, 8).generate(300);
+        let trie = LcTrie::build(&table);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5000 {
+            let addr: u32 = rng.gen();
+            assert_eq!(
+                trie.lookup(addr),
+                table.lookup_linear(addr),
+                "addr {addr:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_prefixes_resolve_to_longest() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0, 0), 1);
+        table.insert(Prefix::new(0x0a00_0000, 8), 2);
+        table.insert(Prefix::new(0x0a01_0000, 16), 3);
+        table.insert(Prefix::new(0x0a01_0100, 24), 4);
+        let trie = LcTrie::build(&table);
+        assert_eq!(trie.lookup(0xff00_0000), Some(1));
+        assert_eq!(trie.lookup(0x0aff_0000), Some(2));
+        assert_eq!(trie.lookup(0x0a01_ff00), Some(3));
+        assert_eq!(trie.lookup(0x0a01_01ff), Some(4));
+    }
+
+    #[test]
+    fn without_default_route_lookups_can_miss() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0x8000_0000, 1), 5);
+        let trie = LcTrie::build(&table);
+        assert_eq!(trie.lookup(0x8123_4567), Some(5));
+        assert_eq!(trie.lookup(0x0123_4567), None);
+    }
+
+    #[test]
+    fn single_route_table() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0, 0), 3);
+        let trie = LcTrie::build(&table);
+        assert_eq!(trie.node_count(), 1);
+        assert_eq!(trie.lookup(12345), Some(3));
+    }
+
+    #[test]
+    fn level_compression_widens_dense_roots() {
+        // 256 disjoint /8s force a wide root fan-out.
+        let mut table = RouteTable::new();
+        for i in 0..256u32 {
+            table.insert(Prefix::new(i << 24, 8), i);
+        }
+        let trie = LcTrie::build(&table);
+        let root = trie.nodes[0];
+        assert_eq!(root >> 27, 8, "root branch should be 8 bits");
+        assert_eq!(trie.leaf_count(), 256);
+        for i in 0..256u32 {
+            assert_eq!(trie.lookup((i << 24) | 0xffff), Some(i));
+        }
+    }
+
+    #[test]
+    fn memory_image_lookup_by_hand() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0, 0), 1);
+        table.insert(Prefix::new(0x8000_0000, 1), 2);
+        let trie = LcTrie::build(&table);
+        let mut mem = Memory::new();
+        let image = trie.write_into(&mut mem, 0x2100_0000);
+        let trie_base = mem.read_u32(image.header);
+        let leaves_base = mem.read_u32(image.header + 4);
+        // Root: branch 1, children at indices 1 and 2.
+        let root = mem.read_u32(trie_base);
+        assert_eq!(root >> 27, 1);
+        let first_child = root & ADR_MASK;
+        // Address 0xc0000000 goes right.
+        let right = mem.read_u32(trie_base + 4 * (first_child + 1));
+        assert_eq!(right >> 27, 0);
+        let leaf = leaves_base + 12 * (right & ADR_MASK);
+        assert_eq!(mem.read_u32(leaf + 8), 2);
+    }
+
+    #[test]
+    fn expansion_produces_disjoint_cover() {
+        let table = TableGenerator::new(17, 8).generate(200);
+        let leaves = expand_disjoint(&table);
+        // Sorted, disjoint: each leaf's range ends before the next begins.
+        for pair in leaves.windows(2) {
+            let end = pair[0].prefix.value | !Prefix::mask(pair[0].prefix.len);
+            assert!(end < pair[1].prefix.value, "{} vs {}", pair[0].prefix, pair[1].prefix);
+        }
+        // Complete: consecutive ranges are adjacent (default route covers all).
+        for pair in leaves.windows(2) {
+            let end = pair[0].prefix.value | !Prefix::mask(pair[0].prefix.len);
+            assert_eq!(end + 1, pair[1].prefix.value);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # nproute — longest-prefix-match routing substrates
+//!
+//! The paper's two forwarding applications differ only in their routing
+//! structure (§IV-A):
+//!
+//! * **IPv4-radix** uses a BSD-derived radix (Patricia) tree — a
+//!   "straightforward unoptimized" implementation whose lookup probes to a
+//!   leaf and then backtracks through the table's netmask list, exactly the
+//!   behaviour that makes it ~20x more expensive than the trie.
+//! * **IPv4-trie** uses an LC-trie (level- and path-compressed, after
+//!   Nilsson & Karlsson) — the optimized implementation.
+//!
+//! This crate provides both structures twice over:
+//!
+//! 1. as **golden models** in Rust ([`radix::RadixTree`],
+//!    [`lctrie::LcTrie`]), verified against a linear-scan LPM reference
+//!    ([`table::RouteTable::lookup_linear`]), and
+//! 2. as **memory images** laid out into simulated NP32 memory
+//!    ([`radix::RadixImage`], [`lctrie::LcTrieImage`]) for the assembly
+//!    applications to walk. The layout constants are exported as `.equ`
+//!    strings so the assembly and the Rust writers can never drift apart.
+//!
+//! [`table::TableGenerator`] synthesizes routing tables with a realistic
+//! prefix-length distribution, standing in for the MAE-WEST snapshot the
+//! paper uses (see DESIGN.md).
+
+pub mod lctrie;
+pub mod radix;
+pub mod table;
+
+pub use table::{NextHop, Prefix, RouteEntry, RouteTable, TableGenerator};

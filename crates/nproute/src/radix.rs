@@ -1,0 +1,363 @@
+//! The BSD-style radix routing structure used by the IPv4-radix
+//! application — the paper's "straightforward unoptimized" forwarding
+//! implementation.
+//!
+//! ## Structure
+//!
+//! A binary trie, one level per address bit, where the trie node at depth
+//! *L* along a prefix's bit path holds that prefix's route entry. A lookup
+//! does what BSD's `rn_match` does in spirit:
+//!
+//! 1. **probe descent** — walk the destination's bits until falling off the
+//!    trie; if the fall-off node carries a route that matches under its
+//!    mask, that is the longest match (nothing deeper exists on the path);
+//! 2. **netmask backtracking** — otherwise iterate the table's netmask
+//!    list longest-first; for each mask, re-descend the masked destination
+//!    and test the route terminating there. The first satisfied route is
+//!    the longest-prefix match; the default route (mask length 0, attached
+//!    at the root) terminates the search.
+//!
+//! The repeated masked descents are exactly what makes this implementation
+//! an order of magnitude more expensive than the LC-trie (paper Table II)
+//! while still being a correct LPM — the golden-model tests check it
+//! against the linear-scan reference on every table.
+//!
+//! ## Memory image
+//!
+//! [`RadixTree::write_into`] lays the structure out for the NP32
+//! application:
+//!
+//! ```text
+//! header (at image base):
+//!   +0  root node pointer
+//!   +4  mask table pointer
+//! mask table:
+//!   +0  entry count
+//!   +4  entries: { mask: u32, len: u32 } sorted by len descending
+//! node (12 bytes):
+//!   +0  left child pointer (0 = none)
+//!   +4  right child pointer
+//!   +8  route pointer (0 = none)
+//! route (16 bytes):
+//!   +0  key (prefix value, host order)
+//!   +4  mask
+//!   +8  next hop
+//!   +12 prefix length
+//! ```
+
+use npsim::Memory;
+
+use crate::table::{NextHop, Prefix, RouteTable};
+
+/// `.equ` constants shared with the IPv4-radix assembly source.
+pub const LAYOUT_EQUS: &str = "\
+        .equ RX_HDR_ROOT, 0
+        .equ RX_HDR_MASKS, 4
+        .equ RX_NODE_LEFT, 0
+        .equ RX_NODE_RIGHT, 4
+        .equ RX_NODE_ROUTE, 8
+        .equ RX_NODE_SIZE, 12
+        .equ RX_RT_KEY, 0
+        .equ RX_RT_MASK, 4
+        .equ RX_RT_NH, 8
+        .equ RX_RT_LEN, 12
+        .equ RX_MASK_COUNT, 0
+        .equ RX_MASK_ENTRIES, 4
+        .equ RX_MASK_SIZE, 8
+";
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    left: u32,  // 1-based node index, 0 = none
+    right: u32, // 1-based node index, 0 = none
+    route: u32, // 1-based route index, 0 = none
+}
+
+/// The golden-model radix tree, structurally identical to the NP32 memory
+/// image.
+#[derive(Debug, Clone)]
+pub struct RadixTree {
+    nodes: Vec<Node>, // nodes[0] is the root
+    routes: Vec<(Prefix, NextHop)>,
+    masks_desc: Vec<u8>,
+}
+
+impl RadixTree {
+    /// Builds the tree from a routing table.
+    pub fn build(table: &RouteTable) -> RadixTree {
+        let mut tree = RadixTree {
+            nodes: vec![Node::default()],
+            routes: Vec::with_capacity(table.len()),
+            masks_desc: table.mask_lengths_desc(),
+        };
+        for entry in table.entries() {
+            tree.insert(entry.prefix, entry.next_hop);
+        }
+        tree
+    }
+
+    fn insert(&mut self, prefix: Prefix, next_hop: NextHop) {
+        let mut node = 0usize;
+        for depth in 0..prefix.len {
+            let right = bit(prefix.value, depth);
+            let child = if right {
+                self.nodes[node].right
+            } else {
+                self.nodes[node].left
+            };
+            // Child links are 1-based (0 = none); nodes[0] is the root.
+            node = if child == 0 {
+                self.nodes.push(Node::default());
+                let fresh = self.nodes.len() as u32; // 1-based index
+                if right {
+                    self.nodes[node].right = fresh;
+                } else {
+                    self.nodes[node].left = fresh;
+                }
+                fresh as usize - 1
+            } else {
+                child as usize - 1
+            };
+        }
+        self.routes.push((prefix, next_hop));
+        self.nodes[node].route = self.routes.len() as u32;
+    }
+
+    /// Number of trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The netmask lengths the backtracking phase iterates, longest first.
+    pub fn masks_desc(&self) -> &[u8] {
+        &self.masks_desc
+    }
+
+    /// Longest-prefix match, by the exact algorithm the NP32 application
+    /// executes (probe descent + netmask backtracking).
+    pub fn lookup(&self, addr: u32) -> Option<NextHop> {
+        // Probe descent.
+        let mut node = 0usize;
+        let mut depth = 0u8;
+        while depth < 32 {
+            let child = if bit(addr, depth) {
+                self.nodes[node].right
+            } else {
+                self.nodes[node].left
+            };
+            if child == 0 {
+                break;
+            }
+            node = child as usize - 1;
+            depth += 1;
+        }
+        if let Some(nh) = self.route_match(self.nodes[node].route, addr) {
+            return Some(nh);
+        }
+        // Netmask backtracking, longest mask first.
+        for &len in &self.masks_desc {
+            if let Some(nh) = self.masked_search(addr, len) {
+                return Some(nh);
+            }
+        }
+        None
+    }
+
+    fn masked_search(&self, addr: u32, len: u8) -> Option<NextHop> {
+        let mut node = 0usize;
+        for depth in 0..len {
+            let child = if bit(addr, depth) {
+                self.nodes[node].right
+            } else {
+                self.nodes[node].left
+            };
+            if child == 0 {
+                return None;
+            }
+            node = child as usize - 1;
+        }
+        let route = self.nodes[node].route;
+        if route != 0 {
+            let (prefix, nh) = self.routes[route as usize - 1];
+            if prefix.len == len && prefix.matches(addr) {
+                return Some(nh);
+            }
+        }
+        None
+    }
+
+    fn route_match(&self, route: u32, addr: u32) -> Option<NextHop> {
+        if route == 0 {
+            return None;
+        }
+        let (prefix, nh) = self.routes[route as usize - 1];
+        prefix.matches(addr).then_some(nh)
+    }
+
+    /// Serializes the tree into simulated memory at `base`; returns the
+    /// image description.
+    pub fn write_into(&self, mem: &mut Memory, base: u32) -> RadixImage {
+        let header = base;
+        let mask_table = header + 8;
+        let mask_bytes = 4 + 8 * self.masks_desc.len() as u32;
+        let nodes_base = align8(mask_table + mask_bytes);
+        let routes_base = nodes_base + 12 * self.nodes.len() as u32;
+        let end = routes_base + 16 * self.routes.len() as u32;
+
+        let node_addr = |index: u32| -> u32 {
+            if index == 0 {
+                0
+            } else {
+                nodes_base + 12 * (index - 1)
+            }
+        };
+        let route_addr = |index: u32| -> u32 {
+            if index == 0 {
+                0
+            } else {
+                routes_base + 16 * (index - 1)
+            }
+        };
+
+        mem.write_u32(header, nodes_base); // root is node index 1 == nodes[0]
+        mem.write_u32(header + 4, mask_table);
+        mem.write_u32(mask_table, self.masks_desc.len() as u32);
+        for (i, &len) in self.masks_desc.iter().enumerate() {
+            let at = mask_table + 4 + 8 * i as u32;
+            mem.write_u32(at, Prefix::mask(len));
+            mem.write_u32(at + 4, u32::from(len));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            // nodes[i] is serialized index i + 1.
+            let at = nodes_base + 12 * i as u32;
+            mem.write_u32(at, node_addr(node.left));
+            mem.write_u32(at + 4, node_addr(node.right));
+            mem.write_u32(at + 8, route_addr(node.route));
+        }
+        for (i, &(prefix, nh)) in self.routes.iter().enumerate() {
+            let at = routes_base + 16 * i as u32;
+            mem.write_u32(at, prefix.value);
+            mem.write_u32(at + 4, Prefix::mask(prefix.len));
+            mem.write_u32(at + 8, nh);
+            mem.write_u32(at + 12, u32::from(prefix.len));
+        }
+
+        RadixImage {
+            header,
+            end,
+            node_count: self.nodes.len(),
+            route_count: self.routes.len(),
+        }
+    }
+}
+
+/// Where a serialized radix tree sits in simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixImage {
+    /// Header address (root pointer + mask-table pointer).
+    pub header: u32,
+    /// First address past the image.
+    pub end: u32,
+    /// Trie nodes serialized.
+    pub node_count: usize,
+    /// Route entries serialized.
+    pub route_count: usize,
+}
+
+/// Bit `depth` of `value` counting from the MSB (depth 0 = bit 31).
+fn bit(value: u32, depth: u8) -> bool {
+    value & (0x8000_0000 >> depth) != 0
+}
+
+fn align8(addr: u32) -> u32 {
+    (addr + 7) & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_linear_reference_on_generated_tables() {
+        let table = TableGenerator::new(42, 16).generate(800);
+        let tree = RadixTree::build(&table);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5000 {
+            let addr: u32 = rng.gen();
+            assert_eq!(
+                tree.lookup(addr),
+                table.lookup_linear(addr),
+                "addr {addr:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_host_routes_and_nesting() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0, 0), 1);
+        table.insert(Prefix::new(0x0a00_0000, 8), 2);
+        table.insert(Prefix::new(0x0a00_0001, 32), 3);
+        let tree = RadixTree::build(&table);
+        assert_eq!(tree.lookup(0x0a00_0001), Some(3));
+        assert_eq!(tree.lookup(0x0a00_0002), Some(2));
+        assert_eq!(tree.lookup(0x0b00_0000), Some(1));
+    }
+
+    #[test]
+    fn no_default_route_can_miss() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0x0a00_0000, 8), 2);
+        let tree = RadixTree::build(&table);
+        assert_eq!(tree.lookup(0x0b00_0000), None);
+        assert_eq!(tree.lookup(0x0a12_3456), Some(2));
+    }
+
+    #[test]
+    fn memory_image_mirrors_structure() {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0, 0), 9);
+        table.insert(Prefix::new(0x8000_0000, 1), 5);
+        let tree = RadixTree::build(&table);
+        let mut mem = Memory::new();
+        let image = tree.write_into(&mut mem, 0x2000_0000);
+
+        let root = mem.read_u32(image.header);
+        assert_ne!(root, 0);
+        // Root's route is the default (next hop 9).
+        let route = mem.read_u32(root + 8);
+        assert_ne!(route, 0);
+        assert_eq!(mem.read_u32(route + 8), 9);
+        assert_eq!(mem.read_u32(route + 12), 0); // len 0
+        // Right child holds the /1 route.
+        let right = mem.read_u32(root + 4);
+        assert_ne!(right, 0);
+        let route1 = mem.read_u32(right + 8);
+        assert_eq!(mem.read_u32(route1 + 8), 5);
+        // Mask table: lengths 1 then 0.
+        let masks = mem.read_u32(image.header + 4);
+        assert_eq!(mem.read_u32(masks), 2);
+        assert_eq!(mem.read_u32(masks + 4 + 4), 1);
+        assert_eq!(mem.read_u32(masks + 12 + 4), 0);
+        assert_eq!(image.route_count, 2);
+        assert!(image.end > image.header);
+    }
+
+    #[test]
+    fn node_count_scales_with_table() {
+        let small = RadixTree::build(&TableGenerator::new(1, 4).generate(100));
+        let large = RadixTree::build(&TableGenerator::new(1, 4).generate(1000));
+        assert!(large.node_count() > small.node_count());
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        assert!(bit(0x8000_0000, 0));
+        assert!(!bit(0x4000_0000, 0));
+        assert!(bit(0x4000_0000, 1));
+        assert!(bit(1, 31));
+    }
+}

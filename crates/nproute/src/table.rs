@@ -1,0 +1,312 @@
+//! Routing tables: entries, a linear-scan LPM reference, and a seeded
+//! generator with a realistic prefix-length distribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An output-port / next-hop identifier.
+pub type NextHop = u32;
+
+/// An IPv4 prefix: `value` holds the prefix bits left-aligned in a `u32`
+/// (host order), `len` the prefix length in `0..=32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    /// Left-aligned prefix bits; bits beyond `len` are zero.
+    pub value: u32,
+    /// Prefix length.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, masking stray low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(value: u32, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix {
+            value: value & Prefix::mask(len),
+            len,
+        }
+    }
+
+    /// The netmask for a prefix length.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Whether `addr` falls within this prefix.
+    pub fn matches(&self, addr: u32) -> bool {
+        addr & Prefix::mask(self.len) == self.value
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.value.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+/// One routing-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// The next hop to forward matching packets to.
+    pub next_hop: NextHop,
+}
+
+/// A routing table: a set of prefixes with next hops, including the
+/// reference longest-prefix-match everything else is verified against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouteTable {
+    entries: Vec<RouteEntry>,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Adds an entry. A duplicate prefix replaces the earlier next hop
+    /// (last write wins), like a routing update would.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.prefix == prefix) {
+            e.next_hop = next_hop;
+        } else {
+            self.entries.push(RouteEntry { prefix, next_hop });
+        }
+    }
+
+    /// The entries, in insertion order.
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a default route (/0) is present.
+    pub fn has_default(&self) -> bool {
+        self.entries.iter().any(|e| e.prefix.len == 0)
+    }
+
+    /// The distinct prefix lengths present, longest first — the "netmask
+    /// list" the radix application backtracks through.
+    pub fn mask_lengths_desc(&self) -> Vec<u8> {
+        let mut lens: Vec<u8> = self.entries.iter().map(|e| e.prefix.len).collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        lens.dedup();
+        lens
+    }
+
+    /// Reference longest-prefix match by linear scan — O(n), trivially
+    /// correct, used to verify the radix and LC-trie structures.
+    pub fn lookup_linear(&self, addr: u32) -> Option<NextHop> {
+        self.entries
+            .iter()
+            .filter(|e| e.prefix.matches(addr))
+            .max_by_key(|e| e.prefix.len)
+            .map(|e| e.next_hop)
+    }
+}
+
+impl FromIterator<RouteEntry> for RouteTable {
+    fn from_iter<I: IntoIterator<Item = RouteEntry>>(iter: I) -> RouteTable {
+        let mut table = RouteTable::new();
+        for e in iter {
+            table.insert(e.prefix, e.next_hop);
+        }
+        table
+    }
+}
+
+impl Extend<RouteEntry> for RouteTable {
+    fn extend<I: IntoIterator<Item = RouteEntry>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e.prefix, e.next_hop);
+        }
+    }
+}
+
+/// Seeded routing-table generator.
+///
+/// Stands in for the MAE-WEST snapshot of the paper: prefix lengths follow
+/// the familiar backbone distribution (mass concentrated at /24 and
+/// /16–/23, a thin tail of short prefixes), next hops are drawn from a
+/// small port set, and a default route is always present so every lookup
+/// resolves.
+#[derive(Debug, Clone)]
+pub struct TableGenerator {
+    rng: StdRng,
+    ports: u32,
+}
+
+impl TableGenerator {
+    /// Creates a generator; `ports` is the number of distinct next hops.
+    pub fn new(seed: u64, ports: u32) -> TableGenerator {
+        TableGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x524f_5554),
+            ports: ports.max(1),
+        }
+    }
+
+    fn random_length(&mut self) -> u8 {
+        // (length, weight) — shaped like published backbone tables.
+        const DIST: [(u8, u32); 12] = [
+            (8, 2),
+            (12, 2),
+            (14, 3),
+            (15, 3),
+            (16, 12),
+            (18, 6),
+            (19, 8),
+            (20, 8),
+            (21, 8),
+            (22, 10),
+            (23, 10),
+            (24, 28),
+        ];
+        let total: u32 = DIST.iter().map(|&(_, w)| w).sum();
+        let mut roll = self.rng.gen_range(0..total);
+        for &(len, w) in &DIST {
+            if roll < w {
+                return len;
+            }
+            roll -= w;
+        }
+        24
+    }
+
+    /// Generates a table of (approximately) `size` unique prefixes plus a
+    /// default route, so every lookup resolves. Like the paper's MAE-WEST
+    /// snapshot, the table carries no special coverage for RFC 1918
+    /// space — campus (LAN-profile) traffic falls through to the default
+    /// route, which is what differentiates the LAN column of the paper's
+    /// tables.
+    pub fn generate(&mut self, size: usize) -> RouteTable {
+        let mut table = RouteTable::new();
+        table.insert(Prefix::new(0, 0), 0); // default route
+        while table.len() < size + 1 {
+            let len = self.random_length();
+            let value = self.rng.gen::<u32>();
+            let next_hop = self.rng.gen_range(0..self.ports);
+            table.insert(Prefix::new(value, len), next_hop);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_masks() {
+        assert_eq!(Prefix::mask(0), 0);
+        assert_eq!(Prefix::mask(8), 0xff00_0000);
+        assert_eq!(Prefix::mask(32), u32::MAX);
+        let p = Prefix::new(0xc0a8_01ff, 24);
+        assert_eq!(p.value, 0xc0a8_0100);
+        assert!(p.matches(0xc0a8_0142));
+        assert!(!p.matches(0xc0a8_0242));
+        assert_eq!(p.to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_length_checked() {
+        let _ = Prefix::new(0, 33);
+    }
+
+    #[test]
+    fn linear_lookup_prefers_longest() {
+        let mut t = RouteTable::new();
+        t.insert(Prefix::new(0, 0), 1);
+        t.insert(Prefix::new(0x0a00_0000, 8), 2);
+        t.insert(Prefix::new(0x0a01_0000, 16), 3);
+        t.insert(Prefix::new(0x0a01_0200, 24), 4);
+        assert_eq!(t.lookup_linear(0x0b00_0001), Some(1));
+        assert_eq!(t.lookup_linear(0x0a0f_0001), Some(2));
+        assert_eq!(t.lookup_linear(0x0a01_0101), Some(3));
+        assert_eq!(t.lookup_linear(0x0a01_0201), Some(4));
+    }
+
+    #[test]
+    fn empty_table_misses() {
+        assert_eq!(RouteTable::new().lookup_linear(5), None);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let mut t = RouteTable::new();
+        t.insert(Prefix::new(0x0a00_0000, 8), 1);
+        t.insert(Prefix::new(0x0a00_0000, 8), 9);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup_linear(0x0a00_0001), Some(9));
+    }
+
+    #[test]
+    fn mask_lengths_sorted_desc() {
+        let mut t = RouteTable::new();
+        t.insert(Prefix::new(0, 0), 0);
+        t.insert(Prefix::new(0x0a000000, 8), 1);
+        t.insert(Prefix::new(0x0a010000, 24), 1);
+        t.insert(Prefix::new(0x0b000000, 24), 1);
+        assert_eq!(t.mask_lengths_desc(), vec![24, 8, 0]);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_complete() {
+        let a = TableGenerator::new(1, 16).generate(500);
+        let b = TableGenerator::new(1, 16).generate(500);
+        assert_eq!(a, b);
+        assert!(a.has_default());
+        assert!(a.len() >= 500);
+        // Every address resolves thanks to the default route.
+        assert!(a.lookup_linear(0xdead_beef).is_some());
+        let c = TableGenerator::new(2, 16).generate(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generator_length_distribution_is_heavy_at_24() {
+        let t = TableGenerator::new(3, 4).generate(2000);
+        let n24 = t.entries().iter().filter(|e| e.prefix.len == 24).count();
+        let n8 = t.entries().iter().filter(|e| e.prefix.len == 8).count();
+        assert!(n24 > t.len() / 5, "{} /24s of {}", n24, t.len());
+        assert!(n8 < t.len() / 10);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: RouteTable = [
+            RouteEntry {
+                prefix: Prefix::new(0, 0),
+                next_hop: 7,
+            },
+            RouteEntry {
+                prefix: Prefix::new(0x10000000, 8),
+                next_hop: 8,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup_linear(0), Some(7));
+    }
+}

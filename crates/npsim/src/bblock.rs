@@ -1,0 +1,215 @@
+//! Static basic-block discovery over an NP32 program.
+//!
+//! The paper's individual-packet analyses (§V-C) are phrased in terms of
+//! basic blocks: block execution probability (Fig. 7) and the packet-coverage
+//! curve over blocks (Fig. 8). Blocks are derived from the program text with
+//! the classic leader rule:
+//!
+//! * the first instruction is a leader,
+//! * every static branch/jump target is a leader,
+//! * every instruction following a control transfer (branch, jump, `sys`,
+//!   `halt`) is a leader.
+//!
+//! Indirect jumps (`jr`/`jalr`) have no static target, but in code produced
+//! by [`npasm`](https://crates.io) they only ever return to a call site, and
+//! call-return sites are leaders because `jal` ends the preceding block.
+
+use std::ops::Range;
+
+use crate::cpu::Program;
+use crate::isa::Op;
+use crate::util::BitSet;
+
+/// The partition of a program into basic blocks.
+#[derive(Debug, Clone)]
+pub struct BlockMap {
+    /// Sorted leader instruction indices; block `b` spans
+    /// `leaders[b] .. leaders[b + 1]`.
+    leaders: Vec<usize>,
+    /// Per-instruction block id.
+    block_of: Vec<u32>,
+}
+
+impl BlockMap {
+    /// Partitions `program` into basic blocks.
+    pub fn build(program: &Program) -> BlockMap {
+        let insts = program.insts();
+        let n = insts.len();
+        let mut is_leader = vec![false; n];
+        if n > 0 {
+            is_leader[0] = true;
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            match inst.op {
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu | Op::J | Op::Jal => {
+                    // Target index: pc + 4 + imm.
+                    let target_pc = program
+                        .pc_of(i)
+                        .wrapping_add(4)
+                        .wrapping_add(inst.imm as u32);
+                    if let Some(t) = program.index_of(target_pc) {
+                        is_leader[t] = true;
+                    }
+                    if i + 1 < n {
+                        is_leader[i + 1] = true;
+                    }
+                }
+                Op::Jr | Op::Jalr | Op::Sys | Op::Halt
+                    if i + 1 < n => {
+                        is_leader[i + 1] = true;
+                    }
+                _ => {}
+            }
+        }
+        let leaders: Vec<usize> = (0..n).filter(|&i| is_leader[i]).collect();
+        let mut block_of = vec![0u32; n];
+        let mut block = 0usize;
+        for (i, slot) in block_of.iter_mut().enumerate() {
+            if block + 1 < leaders.len() && i >= leaders[block + 1] {
+                block += 1;
+            }
+            *slot = block as u32;
+        }
+        BlockMap { leaders, block_of }
+    }
+
+    /// The number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// The block containing instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn block_of(&self, index: usize) -> usize {
+        self.block_of[index] as usize
+    }
+
+    /// The instruction-index range of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= num_blocks()`.
+    pub fn block_range(&self, b: usize) -> Range<usize> {
+        let start = self.leaders[b];
+        let end = self
+            .leaders
+            .get(b + 1)
+            .copied()
+            .unwrap_or(self.block_of.len());
+        start..end
+    }
+
+    /// The leader instruction index of block `b`.
+    pub fn leader(&self, b: usize) -> usize {
+        self.leaders[b]
+    }
+
+    /// Maps a per-instruction executed set to a per-block executed set.
+    ///
+    /// Because control can only enter a block at its leader, a block is
+    /// executed if and only if its leader is.
+    pub fn blocks_executed(&self, executed: &BitSet) -> BitSet {
+        let mut blocks = BitSet::new(self.num_blocks());
+        for (b, &leader) in self.leaders.iter().enumerate() {
+            if executed.contains(leader) {
+                blocks.insert(b);
+            }
+        }
+        blocks
+    }
+
+    /// The total instruction count of the blocks in `blocks` — used when
+    /// trading instruction-store size against packet coverage (paper §V-C.4).
+    pub fn instructions_in(&self, blocks: &BitSet) -> usize {
+        blocks.iter().map(|b| self.block_range(b).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{reg, Inst};
+    use crate::mem::MemoryMap;
+
+    fn program(insts: Vec<Inst>) -> Program {
+        Program::new(insts, MemoryMap::default().text_base)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = program(vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+            Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 2),
+            Inst::jr(reg::RA),
+        ]);
+        let map = BlockMap::build(&p);
+        assert_eq!(map.num_blocks(), 1);
+        assert_eq!(map.block_range(0), 0..3);
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        // 0: beq -> target 2 | 1: addi | 2: jr
+        let p = program(vec![
+            Inst::branch(Op::Beq, reg::A0, reg::ZERO, 4),
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+            Inst::jr(reg::RA),
+        ]);
+        let map = BlockMap::build(&p);
+        assert_eq!(map.num_blocks(), 3);
+        assert_eq!(map.block_of(0), 0);
+        assert_eq!(map.block_of(1), 1);
+        assert_eq!(map.block_of(2), 2);
+    }
+
+    #[test]
+    fn loop_back_edge_target_is_leader() {
+        // 0: addi | 1: addi (loop head) | 2: blt -> 1 | 3: jr
+        let p = program(vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1),
+            Inst::branch(Op::Blt, reg::T0, reg::T1, -8),
+            Inst::jr(reg::RA),
+        ]);
+        let map = BlockMap::build(&p);
+        assert_eq!(map.num_blocks(), 3);
+        assert_eq!(map.block_range(0), 0..1);
+        assert_eq!(map.block_range(1), 1..3);
+        assert_eq!(map.block_range(2), 3..4);
+    }
+
+    #[test]
+    fn blocks_executed_follows_leaders() {
+        let p = program(vec![
+            Inst::branch(Op::Beq, reg::A0, reg::ZERO, 4),
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+            Inst::jr(reg::RA),
+        ]);
+        let map = BlockMap::build(&p);
+        let mut executed = BitSet::new(3);
+        executed.insert(0);
+        executed.insert(2); // branch taken: skipped instruction 1
+        let blocks = map.blocks_executed(&executed);
+        assert!(blocks.contains(0));
+        assert!(!blocks.contains(1));
+        assert!(blocks.contains(2));
+        assert_eq!(map.instructions_in(&blocks), 2);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = program(vec![]);
+        let map = BlockMap::build(&p);
+        assert_eq!(map.num_blocks(), 0);
+    }
+
+    #[test]
+    fn jump_target_out_of_text_ignored() {
+        let p = program(vec![Inst::jump(Op::J, 400), Inst::jr(reg::RA)]);
+        let map = BlockMap::build(&p);
+        assert_eq!(map.num_blocks(), 2);
+    }
+}

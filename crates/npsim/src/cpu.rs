@@ -1,0 +1,871 @@
+//! The NP32 interpreter and its per-run statistics.
+//!
+//! A [`Cpu`] executes a [`Program`] against a [`Memory`] until the program
+//! returns to the framework (jumping to [`crate::RETURN_SENTINEL`]), executes
+//! `halt`, or a [`SysHandler`] stops the run. Every run produces a
+//! [`RunStats`] carrying the paper's per-packet raw material: instruction
+//! counts, the executed-instruction bit set, region-classified memory access
+//! counts, and (optionally) full PC and memory traces plus
+//! micro-architectural model results.
+
+use crate::error::SimError;
+use crate::isa::{Inst, Op, Reg};
+use crate::mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};
+use crate::uarch::{OpMix, Uarch, UarchConfig};
+use crate::util::BitSet;
+use crate::RETURN_SENTINEL;
+
+/// An executable NP32 text image: decoded instructions at a base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    text_base: u32,
+}
+
+impl Program {
+    /// Wraps decoded instructions placed at `text_base`.
+    pub fn new(insts: Vec<Inst>, text_base: u32) -> Program {
+        Program { insts, text_base }
+    }
+
+    /// The instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The base address of the text.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Text size in bytes.
+    pub fn text_bytes(&self) -> u32 {
+        (self.insts.len() * 4) as u32
+    }
+
+    /// Converts a PC to an instruction index, if it falls in the text.
+    pub fn index_of(&self, pc: u32) -> Option<usize> {
+        if pc < self.text_base || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let index = ((pc - self.text_base) / 4) as usize;
+        (index < self.insts.len()).then_some(index)
+    }
+
+    /// Converts an instruction index to its PC.
+    pub fn pc_of(&self, index: usize) -> u32 {
+        self.text_base + (index as u32) * 4
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The program jumped to [`crate::RETURN_SENTINEL`] — the normal
+    /// "application returned to framework" path.
+    Returned,
+    /// The program executed `halt`.
+    Halted,
+    /// A [`SysHandler`] requested the run stop.
+    SysStop,
+}
+
+/// What a [`SysHandler`] wants the interpreter to do after a `sys`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysOutcome {
+    /// Resume at the next instruction.
+    Continue,
+    /// End the run with [`HaltReason::SysStop`].
+    Stop,
+}
+
+/// Handler for the `sys` instruction — the PacketBench API boundary.
+///
+/// The framework installs a handler that implements `send_packet`,
+/// `drop_packet`, and `write_packet_to_file`. Work done inside the handler
+/// runs on the host and is *not* counted in the statistics, mirroring the
+/// paper's selective accounting of framework functions.
+pub trait SysHandler {
+    /// Handles `sys code`. May read and write registers and memory.
+    ///
+    /// # Errors
+    ///
+    /// Implementations should return [`SimError::UnknownSyscall`] for call
+    /// numbers they do not implement.
+    fn sys(
+        &mut self,
+        code: u32,
+        regs: &mut [u32; 32],
+        mem: &mut Memory,
+    ) -> Result<SysOutcome, SimError>;
+}
+
+/// A handler that rejects every `sys` — the default for programs that are
+/// not supposed to call the framework.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoSys;
+
+impl SysHandler for NoSys {
+    fn sys(
+        &mut self,
+        code: u32,
+        _regs: &mut [u32; 32],
+        _mem: &mut Memory,
+    ) -> Result<SysOutcome, SimError> {
+        Err(SimError::UnknownSyscall { code, pc: 0 })
+    }
+}
+
+/// Per-run recording options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Abort with [`SimError::InstructionBudgetExceeded`] after this many
+    /// instructions — a guard against non-terminating programs.
+    pub max_instructions: u64,
+    /// Record the full sequence of executed PCs (paper Fig. 6).
+    pub record_pc_trace: bool,
+    /// Record every data-memory access as a [`MemEvent`]
+    /// (paper Fig. 9, Table IV).
+    pub record_mem_trace: bool,
+    /// Attach micro-architectural models.
+    pub uarch: Option<UarchConfig>,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            max_instructions: 50_000_000,
+            record_pc_trace: false,
+            record_mem_trace: false,
+            uarch: None,
+        }
+    }
+}
+
+/// Region-classified counts of data-memory accesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounts {
+    /// Loads from the packet buffer.
+    pub packet_reads: u64,
+    /// Stores to the packet buffer.
+    pub packet_writes: u64,
+    /// Loads from program data.
+    pub data_reads: u64,
+    /// Stores to program data.
+    pub data_writes: u64,
+    /// Loads from the stack.
+    pub stack_reads: u64,
+    /// Stores to the stack.
+    pub stack_writes: u64,
+    /// Accesses outside all mapped regions.
+    pub other: u64,
+}
+
+impl MemCounts {
+    /// Accesses to packet memory (paper Table III, "Packet").
+    pub fn packet_total(&self) -> u64 {
+        self.packet_reads + self.packet_writes
+    }
+
+    /// Accesses to non-packet data memory (paper Table III, "Non-packet"):
+    /// program data, stack, and unmapped addresses.
+    pub fn non_packet_total(&self) -> u64 {
+        self.data_reads + self.data_writes + self.stack_reads + self.stack_writes + self.other
+    }
+
+    /// All data-memory accesses.
+    pub fn total(&self) -> u64 {
+        self.packet_total() + self.non_packet_total()
+    }
+
+    fn record(&mut self, region: Region, kind: AccessKind) {
+        match (region, kind) {
+            (Region::Packet, AccessKind::Read) => self.packet_reads += 1,
+            (Region::Packet, AccessKind::Write) => self.packet_writes += 1,
+            (Region::ProgramData, AccessKind::Read) => self.data_reads += 1,
+            (Region::ProgramData, AccessKind::Write) => self.data_writes += 1,
+            (Region::Stack, AccessKind::Read) => self.stack_reads += 1,
+            (Region::Stack, AccessKind::Write) => self.stack_writes += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    /// Adds another count set into this one.
+    pub fn merge(&mut self, other: &MemCounts) {
+        self.packet_reads += other.packet_reads;
+        self.packet_writes += other.packet_writes;
+        self.data_reads += other.data_reads;
+        self.data_writes += other.data_writes;
+        self.stack_reads += other.stack_reads;
+        self.stack_writes += other.stack_writes;
+        self.other += other.other;
+    }
+}
+
+/// Micro-architectural results of a run (present when
+/// [`RunConfig::uarch`] was set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UarchStats {
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches mispredicted by the bimodal predictor.
+    pub mispredictions: u64,
+    /// Instruction-cache accesses.
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache accesses.
+    pub dcache_accesses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Modelled pipeline cycles (see [`crate::uarch::TimingConfig`]).
+    pub cycles: u64,
+    /// Cycles lost to stalls (cache misses, hazards, mispredictions).
+    pub stall_cycles: u64,
+}
+
+impl UarchStats {
+    /// Cycles per instruction under the timing model.
+    pub fn cpi(&self, instret: u64) -> f64 {
+        if instret == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / instret as f64
+        }
+    }
+}
+
+/// Everything recorded about one run (one packet, in PacketBench terms).
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Instructions executed.
+    pub instret: u64,
+    /// Executed-instruction counts by opcode class.
+    pub op_mix: OpMix,
+    /// Which static instructions executed at least once
+    /// (index = instruction index in the program).
+    pub executed: BitSet,
+    /// Region-classified data-memory access counts.
+    pub mem: MemCounts,
+    /// Executed PCs in order (empty unless requested).
+    pub pc_trace: Vec<u32>,
+    /// Data-memory accesses in order (empty unless requested).
+    pub mem_trace: Vec<MemEvent>,
+    /// Why the run ended.
+    pub halt: HaltReason,
+    /// Micro-architectural model results, if models were attached.
+    pub uarch: Option<UarchStats>,
+}
+
+impl RunStats {
+    /// The number of *unique* static instructions executed
+    /// (paper Table VI / Fig. 6 y-axis).
+    pub fn unique_instructions(&self) -> usize {
+        self.executed.count()
+    }
+}
+
+/// The NP32 interpreter.
+///
+/// The register file and PC are public: the framework seeds `a0`/`a1` with
+/// the packet pointer and length, `gp` with the data base, `sp` with the
+/// stack top, and `ra` with [`crate::RETURN_SENTINEL`] before each packet.
+#[derive(Debug)]
+pub struct Cpu<'p> {
+    /// The register file (`regs[0]` stays zero).
+    pub regs: [u32; 32],
+    /// The program counter.
+    pub pc: u32,
+    program: &'p Program,
+    map: MemoryMap,
+}
+
+impl<'p> Cpu<'p> {
+    /// Creates a CPU positioned at the program's first instruction, with
+    /// `sp` at the map's stack top and `ra` at the return sentinel.
+    pub fn new(program: &'p Program, map: MemoryMap) -> Cpu<'p> {
+        let mut regs = [0u32; 32];
+        regs[crate::reg::SP.index()] = map.stack_top;
+        regs[crate::reg::RA.index()] = RETURN_SENTINEL;
+        regs[crate::reg::GP.index()] = map.data_base;
+        Cpu {
+            regs,
+            pc: program.text_base(),
+            program,
+            map,
+        }
+    }
+
+    /// The memory map in force.
+    pub fn map(&self) -> MemoryMap {
+        self.map
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `zero` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r.index() != 0 {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Runs until the program returns, halts, or errors, rejecting `sys`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpu::run_with`].
+    pub fn run(&mut self, mem: &mut Memory, config: &RunConfig) -> Result<RunStats, SimError> {
+        self.run_with(mem, config, &mut NoSys)
+    }
+
+    /// Runs until the program returns, halts, is stopped by the handler, or
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::PcOutOfRange`] / [`SimError::MisalignedPc`] — control
+    ///   flow escaped the text region.
+    /// * [`SimError::InstructionBudgetExceeded`] — ran past
+    ///   [`RunConfig::max_instructions`].
+    /// * Any error returned by the [`SysHandler`].
+    pub fn run_with(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+    ) -> Result<RunStats, SimError> {
+        let mut stats = RunStats {
+            instret: 0,
+            op_mix: OpMix::new(),
+            executed: BitSet::new(self.program.len()),
+            mem: MemCounts::default(),
+            pc_trace: Vec::new(),
+            mem_trace: Vec::new(),
+            halt: HaltReason::Returned,
+            uarch: None,
+        };
+        let mut uarch = config.uarch.as_ref().map(Uarch::new);
+
+        loop {
+            if self.pc == RETURN_SENTINEL {
+                stats.halt = HaltReason::Returned;
+                break;
+            }
+            if !self.pc.is_multiple_of(4) {
+                return Err(SimError::MisalignedPc { pc: self.pc });
+            }
+            let index = self
+                .program
+                .index_of(self.pc)
+                .ok_or(SimError::PcOutOfRange { pc: self.pc })?;
+            if stats.instret >= config.max_instructions {
+                return Err(SimError::InstructionBudgetExceeded {
+                    limit: config.max_instructions,
+                });
+            }
+            let inst = self.program.insts()[index];
+            stats.instret += 1;
+            stats.executed.insert(index);
+            stats.op_mix.record(inst.op);
+            if config.record_pc_trace {
+                stats.pc_trace.push(self.pc);
+            }
+            if let Some(u) = uarch.as_mut() {
+                u.retire(self.pc, &inst);
+            }
+
+            let next_pc = self.pc.wrapping_add(4);
+            let mut target = next_pc;
+
+            macro_rules! load {
+                ($addr:expr, $size:expr) => {{
+                    let addr: u32 = $addr;
+                    self.note_access(
+                        &mut stats,
+                        uarch.as_mut(),
+                        config,
+                        addr,
+                        $size,
+                        AccessKind::Read,
+                    );
+                    addr
+                }};
+            }
+            macro_rules! store {
+                ($addr:expr, $size:expr) => {{
+                    let addr: u32 = $addr;
+                    self.note_access(
+                        &mut stats,
+                        uarch.as_mut(),
+                        config,
+                        addr,
+                        $size,
+                        AccessKind::Write,
+                    );
+                    addr
+                }};
+            }
+
+            let rs1 = self.regs[inst.rs1.index()];
+            let rs2 = self.regs[inst.rs2.index()];
+            let imm = inst.imm;
+
+            match inst.op {
+                Op::Add => self.set_reg(inst.rd, rs1.wrapping_add(rs2)),
+                Op::Sub => self.set_reg(inst.rd, rs1.wrapping_sub(rs2)),
+                Op::And => self.set_reg(inst.rd, rs1 & rs2),
+                Op::Or => self.set_reg(inst.rd, rs1 | rs2),
+                Op::Xor => self.set_reg(inst.rd, rs1 ^ rs2),
+                Op::Nor => self.set_reg(inst.rd, !(rs1 | rs2)),
+                Op::Sll => self.set_reg(inst.rd, rs1.wrapping_shl(rs2 & 31)),
+                Op::Srl => self.set_reg(inst.rd, rs1.wrapping_shr(rs2 & 31)),
+                Op::Sra => self.set_reg(inst.rd, ((rs1 as i32).wrapping_shr(rs2 & 31)) as u32),
+                Op::Slt => self.set_reg(inst.rd, ((rs1 as i32) < (rs2 as i32)) as u32),
+                Op::Sltu => self.set_reg(inst.rd, (rs1 < rs2) as u32),
+                Op::Mul => self.set_reg(inst.rd, rs1.wrapping_mul(rs2)),
+                Op::Mulhu => {
+                    self.set_reg(inst.rd, ((rs1 as u64 * rs2 as u64) >> 32) as u32)
+                }
+                Op::Divu => self.set_reg(inst.rd, rs1.checked_div(rs2).unwrap_or(u32::MAX)),
+                Op::Remu => self.set_reg(inst.rd, if rs2 == 0 { rs1 } else { rs1 % rs2 }),
+                Op::Addi => self.set_reg(inst.rd, rs1.wrapping_add(imm as u32)),
+                Op::Andi => self.set_reg(inst.rd, rs1 & (imm as u32)),
+                Op::Ori => self.set_reg(inst.rd, rs1 | (imm as u32)),
+                Op::Xori => self.set_reg(inst.rd, rs1 ^ (imm as u32)),
+                Op::Slli => self.set_reg(inst.rd, rs1.wrapping_shl(imm as u32)),
+                Op::Srli => self.set_reg(inst.rd, rs1.wrapping_shr(imm as u32)),
+                Op::Srai => self.set_reg(inst.rd, ((rs1 as i32).wrapping_shr(imm as u32)) as u32),
+                Op::Slti => self.set_reg(inst.rd, ((rs1 as i32) < imm) as u32),
+                Op::Sltiu => self.set_reg(inst.rd, (rs1 < imm as u32) as u32),
+                Op::Lui => self.set_reg(inst.rd, (imm as u32) << 16),
+                Op::Lb => {
+                    let addr = load!(rs1.wrapping_add(imm as u32), 1);
+                    self.set_reg(inst.rd, mem.read_u8(addr) as i8 as i32 as u32);
+                }
+                Op::Lbu => {
+                    let addr = load!(rs1.wrapping_add(imm as u32), 1);
+                    self.set_reg(inst.rd, mem.read_u8(addr) as u32);
+                }
+                Op::Lh => {
+                    let addr = load!(rs1.wrapping_add(imm as u32), 2);
+                    self.set_reg(inst.rd, mem.read_u16(addr) as i16 as i32 as u32);
+                }
+                Op::Lhu => {
+                    let addr = load!(rs1.wrapping_add(imm as u32), 2);
+                    self.set_reg(inst.rd, mem.read_u16(addr) as u32);
+                }
+                Op::Lw => {
+                    let addr = load!(rs1.wrapping_add(imm as u32), 4);
+                    self.set_reg(inst.rd, mem.read_u32(addr));
+                }
+                Op::Sb => {
+                    let addr = store!(rs1.wrapping_add(imm as u32), 1);
+                    mem.write_u8(addr, rs2 as u8);
+                }
+                Op::Sh => {
+                    let addr = store!(rs1.wrapping_add(imm as u32), 2);
+                    mem.write_u16(addr, rs2 as u16);
+                }
+                Op::Sw => {
+                    let addr = store!(rs1.wrapping_add(imm as u32), 4);
+                    mem.write_u32(addr, rs2);
+                }
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
+                    let taken = match inst.op {
+                        Op::Beq => rs1 == rs2,
+                        Op::Bne => rs1 != rs2,
+                        Op::Blt => (rs1 as i32) < (rs2 as i32),
+                        Op::Bge => (rs1 as i32) >= (rs2 as i32),
+                        Op::Bltu => rs1 < rs2,
+                        _ => rs1 >= rs2,
+                    };
+                    if let Some(u) = uarch.as_mut() {
+                        u.branch(self.pc, taken);
+                    }
+                    if taken {
+                        target = next_pc.wrapping_add(imm as u32);
+                    }
+                }
+                Op::J => target = next_pc.wrapping_add(imm as u32),
+                Op::Jal => {
+                    self.set_reg(crate::reg::RA, next_pc);
+                    target = next_pc.wrapping_add(imm as u32);
+                }
+                Op::Jr => target = rs1,
+                Op::Jalr => {
+                    self.set_reg(inst.rd, next_pc);
+                    target = rs1;
+                }
+                Op::Sys => {
+                    match handler.sys(imm as u32, &mut self.regs, mem) {
+                        Ok(SysOutcome::Continue) => {}
+                        Ok(SysOutcome::Stop) => {
+                            stats.halt = HaltReason::SysStop;
+                            self.pc = next_pc;
+                            break;
+                        }
+                        Err(SimError::UnknownSyscall { code, .. }) => {
+                            return Err(SimError::UnknownSyscall { code, pc: self.pc });
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    self.regs[0] = 0; // keep the zero register zero
+                }
+                Op::Halt => {
+                    stats.halt = HaltReason::Halted;
+                    self.pc = next_pc;
+                    break;
+                }
+            }
+
+            self.pc = target;
+        }
+
+        if let Some(u) = uarch {
+            stats.uarch = Some(UarchStats {
+                branches: u.predictor.predictions(),
+                mispredictions: u.predictor.mispredictions(),
+                icache_accesses: u.icache.accesses(),
+                icache_misses: u.icache.misses(),
+                dcache_accesses: u.dcache.accesses(),
+                dcache_misses: u.dcache.misses(),
+                cycles: u.cycles(),
+                stall_cycles: u.stall_cycles(),
+            });
+        }
+        Ok(stats)
+    }
+
+    fn note_access(
+        &self,
+        stats: &mut RunStats,
+        uarch: Option<&mut Uarch>,
+        config: &RunConfig,
+        addr: u32,
+        size: u8,
+        kind: AccessKind,
+    ) {
+        let region = self.map.region(addr);
+        stats.mem.record(region, kind);
+        if let Some(u) = uarch {
+            u.data_access(addr);
+        }
+        if config.record_mem_trace {
+            stats.mem_trace.push(MemEvent {
+                instr_index: stats.instret - 1,
+                addr,
+                size,
+                kind,
+                region,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::reg;
+
+    fn map() -> MemoryMap {
+        MemoryMap::default()
+    }
+
+    fn run_program(insts: Vec<Inst>, setup: impl FnOnce(&mut Cpu, &mut Memory)) -> (Vec<u32>, RunStats) {
+        let program = Program::new(insts, map().text_base);
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, map());
+        setup(&mut cpu, &mut mem);
+        let stats = cpu
+            .run(&mut mem, &RunConfig::default())
+            .expect("program runs");
+        (cpu.regs.to_vec(), stats)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let (regs, stats) = run_program(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 21),
+                Inst::rtype(Op::Add, reg::T1, reg::T0, reg::T0),
+                Inst::jr(reg::RA),
+            ],
+            |_, _| {},
+        );
+        assert_eq!(regs[reg::T1.index()], 42);
+        assert_eq!(stats.instret, 3);
+        assert_eq!(stats.halt, HaltReason::Returned);
+        assert_eq!(stats.unique_instructions(), 3);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let (regs, _) = run_program(
+            vec![
+                Inst::with_imm(Op::Addi, reg::ZERO, reg::ZERO, 99),
+                Inst::rtype(Op::Add, reg::T0, reg::ZERO, reg::ZERO),
+                Inst::jr(reg::RA),
+            ],
+            |_, _| {},
+        );
+        assert_eq!(regs[0], 0);
+        assert_eq!(regs[reg::T0.index()], 0);
+    }
+
+    #[test]
+    fn loads_and_stores_classify_regions() {
+        let m = map();
+        let (_, stats) = run_program(
+            vec![
+                // load a word from packet memory, store to program data
+                Inst::with_imm(Op::Lw, reg::T0, reg::A0, 0),
+                Inst::store(Op::Sw, reg::T0, reg::GP, 8),
+                // and one stack push
+                Inst::with_imm(Op::Addi, reg::SP, reg::SP, -4),
+                Inst::store(Op::Sw, reg::RA, reg::SP, 0),
+                Inst::jr(reg::RA),
+            ],
+            |cpu, mem| {
+                cpu.set_reg(reg::A0, m.packet_base);
+                mem.write_u32(m.packet_base, 0x01020304);
+            },
+        );
+        assert_eq!(stats.mem.packet_reads, 1);
+        assert_eq!(stats.mem.data_writes, 1);
+        assert_eq!(stats.mem.stack_writes, 1);
+        assert_eq!(stats.mem.packet_total(), 1);
+        assert_eq!(stats.mem.non_packet_total(), 2);
+    }
+
+    #[test]
+    fn sign_extension_on_loads() {
+        let m = map();
+        let (regs, _) = run_program(
+            vec![
+                Inst::with_imm(Op::Lb, reg::T0, reg::A0, 0),
+                Inst::with_imm(Op::Lbu, reg::T1, reg::A0, 0),
+                Inst::with_imm(Op::Lh, reg::T2, reg::A0, 0),
+                Inst::with_imm(Op::Lhu, reg::T3, reg::A0, 0),
+                Inst::jr(reg::RA),
+            ],
+            |cpu, mem| {
+                cpu.set_reg(reg::A0, m.packet_base);
+                mem.write_u16(m.packet_base, 0x80f0);
+            },
+        );
+        assert_eq!(regs[reg::T0.index()], 0xffff_fff0);
+        assert_eq!(regs[reg::T1.index()], 0xf0);
+        assert_eq!(regs[reg::T2.index()], 0xffff_80f0);
+        assert_eq!(regs[reg::T3.index()], 0x80f0);
+    }
+
+    #[test]
+    fn branch_loop_counts_instructions() {
+        // for t0 in 0..5 {} : 1 init + 5*(addi+blt) + final check
+        let insts = vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
+            Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 5),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1), // loop:
+            Inst::branch(Op::Blt, reg::T0, reg::T1, -8),   // back to loop
+            Inst::jr(reg::RA),
+        ];
+        let (regs, stats) = run_program(insts, |_, _| {});
+        assert_eq!(regs[reg::T0.index()], 5);
+        assert_eq!(stats.instret, 2 + 5 * 2 + 1);
+        // 5 static instructions executed
+        assert_eq!(stats.unique_instructions(), 5);
+    }
+
+    #[test]
+    fn call_and_return() {
+        // main: jal f; jr ra(sentinel)  f: addi a0, a0, 1; jr ra
+        let insts = vec![
+            Inst::with_imm(Op::Addi, reg::S0, reg::RA, 0), // save sentinel
+            Inst::jump(Op::Jal, 4),                        // call f
+            Inst::jr(reg::S0),                             // return to framework
+            Inst::with_imm(Op::Addi, reg::A0, reg::A0, 1), // f:
+            Inst::jr(reg::RA),
+        ];
+        let (regs, stats) = run_program(insts, |cpu, _| cpu.set_reg(reg::A0, 1));
+        assert_eq!(regs[reg::A0.index()], 2);
+        assert_eq!(stats.instret, 5);
+        assert_eq!(stats.halt, HaltReason::Returned);
+    }
+
+    #[test]
+    fn divide_by_zero_is_defined() {
+        let (regs, _) = run_program(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 7),
+                Inst::rtype(Op::Divu, reg::T1, reg::T0, reg::ZERO),
+                Inst::rtype(Op::Remu, reg::T2, reg::T0, reg::ZERO),
+                Inst::jr(reg::RA),
+            ],
+            |_, _| {},
+        );
+        assert_eq!(regs[reg::T1.index()], u32::MAX);
+        assert_eq!(regs[reg::T2.index()], 7);
+    }
+
+    #[test]
+    fn halt_stops_run() {
+        let (_, stats) = run_program(vec![Inst::halt()], |_, _| {});
+        assert_eq!(stats.halt, HaltReason::Halted);
+        assert_eq!(stats.instret, 1);
+    }
+
+    #[test]
+    fn runaway_program_hits_budget() {
+        let program = Program::new(vec![Inst::jump(Op::J, -4)], map().text_base);
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, map());
+        let config = RunConfig {
+            max_instructions: 1000,
+            ..RunConfig::default()
+        };
+        assert!(matches!(
+            cpu.run(&mut mem, &config),
+            Err(SimError::InstructionBudgetExceeded { limit: 1000 })
+        ));
+    }
+
+    #[test]
+    fn stray_jump_is_caught() {
+        let program = Program::new(vec![Inst::jr(reg::T0)], map().text_base);
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, map());
+        cpu.set_reg(reg::T0, 0xdead_0000);
+        assert!(matches!(
+            cpu.run(&mut mem, &RunConfig::default()),
+            Err(SimError::PcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sys_is_rejected_without_handler() {
+        let program = Program::new(vec![Inst::sys(1)], map().text_base);
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, map());
+        assert!(matches!(
+            cpu.run(&mut mem, &RunConfig::default()),
+            Err(SimError::UnknownSyscall { code: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn sys_handler_can_stop_and_mutate() {
+        struct Handler;
+        impl SysHandler for Handler {
+            fn sys(
+                &mut self,
+                code: u32,
+                regs: &mut [u32; 32],
+                _mem: &mut Memory,
+            ) -> Result<SysOutcome, SimError> {
+                regs[reg::A0.index()] = code * 10;
+                Ok(SysOutcome::Stop)
+            }
+        }
+        let program = Program::new(vec![Inst::sys(4), Inst::halt()], map().text_base);
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, map());
+        let stats = cpu
+            .run_with(&mut mem, &RunConfig::default(), &mut Handler)
+            .unwrap();
+        assert_eq!(stats.halt, HaltReason::SysStop);
+        assert_eq!(cpu.reg(reg::A0), 40);
+        assert_eq!(stats.instret, 1);
+    }
+
+    #[test]
+    fn pc_and_mem_traces_recorded_on_request() {
+        let m = map();
+        let program = Program::new(
+            vec![
+                Inst::with_imm(Op::Lw, reg::T0, reg::A0, 0),
+                Inst::store(Op::Sw, reg::T0, reg::GP, 0),
+                Inst::jr(reg::RA),
+            ],
+            m.text_base,
+        );
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, m);
+        cpu.set_reg(reg::A0, m.packet_base);
+        let config = RunConfig {
+            record_pc_trace: true,
+            record_mem_trace: true,
+            ..RunConfig::default()
+        };
+        let stats = cpu.run(&mut mem, &config).unwrap();
+        assert_eq!(
+            stats.pc_trace,
+            vec![m.text_base, m.text_base + 4, m.text_base + 8]
+        );
+        assert_eq!(stats.mem_trace.len(), 2);
+        assert_eq!(stats.mem_trace[0].region, Region::Packet);
+        assert_eq!(stats.mem_trace[0].kind, AccessKind::Read);
+        assert_eq!(stats.mem_trace[1].region, Region::ProgramData);
+        assert_eq!(stats.mem_trace[1].kind, AccessKind::Write);
+        assert_eq!(stats.mem_trace[1].instr_index, 1);
+    }
+
+    #[test]
+    fn uarch_models_attach() {
+        let insts = vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
+            Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 100),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1),
+            Inst::with_imm(Op::Lw, reg::T2, reg::GP, 0),
+            Inst::branch(Op::Blt, reg::T0, reg::T1, -12),
+            Inst::jr(reg::RA),
+        ];
+        let program = Program::new(insts, map().text_base);
+        let mut mem = Memory::new();
+        let mut cpu = Cpu::new(&program, map());
+        let config = RunConfig {
+            uarch: Some(UarchConfig::default()),
+            ..RunConfig::default()
+        };
+        let stats = cpu.run(&mut mem, &config).unwrap();
+        let u = stats.uarch.expect("uarch stats present");
+        assert_eq!(u.branches, 100);
+        assert!(u.mispredictions < 5);
+        assert_eq!(u.dcache_accesses, 100);
+        // After the cold miss everything hits in the I-cache.
+        assert!(u.icache_misses <= 2);
+        assert_eq!(u.icache_accesses, stats.instret);
+    }
+
+    #[test]
+    fn op_mix_accumulates() {
+        let (_, stats) = run_program(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 3),
+                Inst::with_imm(Op::Lw, reg::T1, reg::GP, 0),
+                Inst::store(Op::Sw, reg::T1, reg::GP, 4),
+                Inst::jr(reg::RA),
+            ],
+            |_, _| {},
+        );
+        use crate::isa::OpClass;
+        assert_eq!(stats.op_mix.count(OpClass::Alu), 1);
+        assert_eq!(stats.op_mix.count(OpClass::Load), 1);
+        assert_eq!(stats.op_mix.count(OpClass::Store), 1);
+        assert_eq!(stats.op_mix.count(OpClass::Jump), 1);
+        assert_eq!(stats.op_mix.total(), stats.instret);
+    }
+}

@@ -1,0 +1,320 @@
+//! Binary encoding of NP32 instructions.
+//!
+//! Every instruction is one little-endian 32-bit word:
+//!
+//! ```text
+//!  31    26 25   21 20   16 15   11 10          0
+//! +--------+-------+-------+-------+-------------+
+//! | opcode |  rd   |  rs1  |  rs2  |  (unused)   |   R-type
+//! +--------+-------+-------+-------+-------------+
+//! | opcode |  rd   |  rs1  |       imm16         |   I-type / loads
+//! +--------+-------+-------+-------+-------------+
+//! | opcode |  rs1  |  rs2  |       imm16         |   stores / branches
+//! +--------+-------+---------------+-------------+
+//! | opcode |              imm26                  |   j / jal
+//! +--------+-------------------------------------+
+//! ```
+//!
+//! Branch and jump immediates are stored as *word* offsets (the byte offset
+//! divided by 4) relative to `pc + 4`, which extends the reach of the 16-
+//! and 26-bit fields to ±128 KiB and ±128 MiB respectively. Arithmetic and
+//! load/store immediates are stored as byte values: sign-extended for
+//! `addi`/`slti`/`sltiu`/loads/stores, zero-extended for `andi`/`ori`/`xori`,
+//! and raw 16-bit for `lui` (which shifts them into the upper half-word).
+
+use crate::error::SimError;
+use crate::isa::{Inst, Op, Reg};
+
+/// Encodes a decoded instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`SimError::ImmediateOutOfRange`] if the immediate does not fit
+/// its field (16 bits for I/S/B formats, 26 bits of word offset for jumps,
+/// `0..32` for shift amounts).
+///
+/// ```
+/// use npsim::encode::{encode, decode};
+/// use npsim::isa::{Inst, Op, reg};
+///
+/// let inst = Inst::with_imm(Op::Addi, reg::A0, reg::A0, -1);
+/// let word = encode(&inst)?;
+/// assert_eq!(decode(word)?, inst);
+/// # Ok::<(), npsim::SimError>(())
+/// ```
+pub fn encode(inst: &Inst) -> Result<u32, SimError> {
+    use Op::*;
+    let op = (inst.op.code() as u32) << 26;
+    let rd = (inst.rd.number() as u32) << 21;
+    let rs1 = (inst.rs1.number() as u32) << 16;
+    let rs2_r = (inst.rs2.number() as u32) << 11;
+
+    let word = match inst.op {
+        Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Mulhu | Divu
+        | Remu => op | rd | rs1 | rs2_r,
+        Jr => op | rs1,
+        Jalr => op | rd | rs1,
+        Addi | Slti | Sltiu => op | rd | rs1 | imm16_signed(inst)?,
+        Andi | Ori | Xori => op | rd | rs1 | imm16_unsigned(inst)?,
+        Slli | Srli | Srai => {
+            if !(0..32).contains(&inst.imm) {
+                return Err(SimError::ImmediateOutOfRange {
+                    op: inst.op,
+                    imm: inst.imm as i64,
+                });
+            }
+            op | rd | rs1 | inst.imm as u32
+        }
+        Lui => {
+            // Accept either a raw 16-bit field value or nothing else.
+            if !(0..=0xffff).contains(&inst.imm) {
+                return Err(SimError::ImmediateOutOfRange {
+                    op: inst.op,
+                    imm: inst.imm as i64,
+                });
+            }
+            op | rd | inst.imm as u32
+        }
+        Lb | Lbu | Lh | Lhu | Lw => op | rd | rs1 | imm16_signed(inst)?,
+        Sb | Sh | Sw => {
+            // Stores reuse the rd field slot for rs1 ordering consistency:
+            // layout is opcode | rs1@21 | rs2@16 | imm16.
+            let base = (inst.rs1.number() as u32) << 21;
+            let src = (inst.rs2.number() as u32) << 16;
+            op | base | src | imm16_signed_value(inst.op, inst.imm)?
+        }
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let r1 = (inst.rs1.number() as u32) << 21;
+            let r2 = (inst.rs2.number() as u32) << 16;
+            op | r1 | r2 | word_offset16(inst)?
+        }
+        J | Jal => op | word_offset26(inst)?,
+        Sys => {
+            if !(0..=0xffff).contains(&inst.imm) {
+                return Err(SimError::ImmediateOutOfRange {
+                    op: inst.op,
+                    imm: inst.imm as i64,
+                });
+            }
+            op | inst.imm as u32
+        }
+        Halt => op,
+    };
+    Ok(word)
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidOpcode`] if the opcode field does not name an
+/// NP32 instruction.
+pub fn decode(word: u32) -> Result<Inst, SimError> {
+    use Op::*;
+    let code = (word >> 26) as u8;
+    let op = Op::from_code(code).ok_or(SimError::InvalidOpcode { word })?;
+    let rd = Reg::new(((word >> 21) & 31) as u8);
+    let rs1 = Reg::new(((word >> 16) & 31) as u8);
+    let rs2 = Reg::new(((word >> 11) & 31) as u8);
+    let imm16 = (word & 0xffff) as u16;
+
+    let inst = match op {
+        Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Mulhu | Divu
+        | Remu => Inst::rtype(op, rd, rs1, rs2),
+        Jr => Inst::jr(rs1),
+        Jalr => Inst {
+            op,
+            rd,
+            rs1,
+            rs2: crate::isa::reg::ZERO,
+            imm: 0,
+        },
+        Addi | Slti | Sltiu => Inst::with_imm(op, rd, rs1, imm16 as i16 as i32),
+        Andi | Ori | Xori => Inst::with_imm(op, rd, rs1, imm16 as i32),
+        Slli | Srli | Srai => Inst::with_imm(op, rd, rs1, (word & 31) as i32),
+        Lui => Inst::lui(rd, imm16 as i32),
+        Lb | Lbu | Lh | Lhu | Lw => Inst::with_imm(op, rd, rs1, imm16 as i16 as i32),
+        Sb | Sh | Sw => {
+            let base = rd; // field at bit 21
+            let src = rs1; // field at bit 16
+            Inst::store(op, src, base, imm16 as i16 as i32)
+        }
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            let r1 = rd;
+            let r2 = rs1;
+            Inst::branch(op, r1, r2, (imm16 as i16 as i32) << 2)
+        }
+        J | Jal => {
+            let imm26 = word & 0x03ff_ffff;
+            // Sign-extend 26-bit word offset, convert to bytes.
+            let signed = ((imm26 << 6) as i32) >> 6;
+            Inst::jump(op, signed << 2)
+        }
+        Sys => Inst::sys(imm16 as u32),
+        Halt => Inst::halt(),
+    };
+    Ok(inst)
+}
+
+/// Encodes a slice of instructions into little-endian bytes.
+///
+/// # Errors
+///
+/// Fails if any instruction fails to [`encode`].
+pub fn encode_all(insts: &[Inst]) -> Result<Vec<u8>, SimError> {
+    let mut bytes = Vec::with_capacity(insts.len() * 4);
+    for inst in insts {
+        bytes.extend_from_slice(&encode(inst)?.to_le_bytes());
+    }
+    Ok(bytes)
+}
+
+/// Decodes little-endian bytes into instructions.
+///
+/// # Errors
+///
+/// Fails on a trailing partial word or any invalid opcode.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<Inst>, SimError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(SimError::TruncatedText { len: bytes.len() });
+    }
+    bytes
+        .chunks_exact(4)
+        .map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect()
+}
+
+fn imm16_signed(inst: &Inst) -> Result<u32, SimError> {
+    imm16_signed_value(inst.op, inst.imm)
+}
+
+fn imm16_signed_value(op: Op, imm: i32) -> Result<u32, SimError> {
+    if !(-(1 << 15)..(1 << 15)).contains(&imm) {
+        return Err(SimError::ImmediateOutOfRange {
+            op,
+            imm: imm as i64,
+        });
+    }
+    Ok((imm as u32) & 0xffff)
+}
+
+fn imm16_unsigned(inst: &Inst) -> Result<u32, SimError> {
+    if !(0..=0xffff).contains(&inst.imm) {
+        return Err(SimError::ImmediateOutOfRange {
+            op: inst.op,
+            imm: inst.imm as i64,
+        });
+    }
+    Ok(inst.imm as u32)
+}
+
+fn word_offset16(inst: &Inst) -> Result<u32, SimError> {
+    if inst.imm % 4 != 0 {
+        return Err(SimError::MisalignedOffset {
+            op: inst.op,
+            imm: inst.imm,
+        });
+    }
+    let words = inst.imm >> 2;
+    if !(-(1 << 15)..(1 << 15)).contains(&words) {
+        return Err(SimError::ImmediateOutOfRange {
+            op: inst.op,
+            imm: inst.imm as i64,
+        });
+    }
+    Ok((words as u32) & 0xffff)
+}
+
+fn word_offset26(inst: &Inst) -> Result<u32, SimError> {
+    if inst.imm % 4 != 0 {
+        return Err(SimError::MisalignedOffset {
+            op: inst.op,
+            imm: inst.imm,
+        });
+    }
+    let words = inst.imm >> 2;
+    if !(-(1 << 25)..(1 << 25)).contains(&words) {
+        return Err(SimError::ImmediateOutOfRange {
+            op: inst.op,
+            imm: inst.imm as i64,
+        });
+    }
+    Ok((words as u32) & 0x03ff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::reg;
+
+    fn round_trip(inst: Inst) {
+        let word = encode(&inst).expect("encode");
+        let back = decode(word).expect("decode");
+        assert_eq!(back, inst, "word {word:#010x}");
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        round_trip(Inst::rtype(Op::Add, reg::A0, reg::A1, reg::A2));
+        round_trip(Inst::rtype(Op::Mulhu, reg::T7, reg::S9, reg::AT));
+        round_trip(Inst::with_imm(Op::Addi, reg::SP, reg::SP, -32));
+        round_trip(Inst::with_imm(Op::Andi, reg::T0, reg::T1, 0xffff));
+        round_trip(Inst::with_imm(Op::Slli, reg::T0, reg::T0, 31));
+        round_trip(Inst::lui(reg::GP, 0x2000));
+        round_trip(Inst::with_imm(Op::Lw, reg::T0, reg::GP, 0x7ffc));
+        round_trip(Inst::with_imm(Op::Lb, reg::T0, reg::A0, -128));
+        round_trip(Inst::store(Op::Sw, reg::T0, reg::SP, -4));
+        round_trip(Inst::store(Op::Sb, reg::A5, reg::A0, 19));
+        round_trip(Inst::branch(Op::Beq, reg::A0, reg::ZERO, 4096));
+        round_trip(Inst::branch(Op::Bgeu, reg::T8, reg::T9, -4));
+        round_trip(Inst::jump(Op::J, -400));
+        round_trip(Inst::jump(Op::Jal, 1 << 20));
+        round_trip(Inst::jr(reg::RA));
+        round_trip(Inst {
+            op: Op::Jalr,
+            rd: reg::RA,
+            rs1: reg::T0,
+            rs2: reg::ZERO,
+            imm: 0,
+        });
+        round_trip(Inst::sys(3));
+        round_trip(Inst::halt());
+    }
+
+    #[test]
+    fn immediate_range_checks() {
+        assert!(encode(&Inst::with_imm(Op::Addi, reg::A0, reg::A0, 40000)).is_err());
+        assert!(encode(&Inst::with_imm(Op::Andi, reg::A0, reg::A0, -1)).is_err());
+        assert!(encode(&Inst::with_imm(Op::Slli, reg::A0, reg::A0, 32)).is_err());
+        assert!(encode(&Inst::branch(Op::Beq, reg::A0, reg::A0, 3)).is_err());
+        assert!(encode(&Inst::branch(Op::Beq, reg::A0, reg::A0, 1 << 20)).is_err());
+        assert!(encode(&Inst::jump(Op::J, 2)).is_err());
+    }
+
+    #[test]
+    fn branch_offsets_scale_by_four() {
+        let inst = Inst::branch(Op::Bne, reg::A0, reg::A1, 32768);
+        // 32768 bytes = 8192 words, fits in 16-bit field even though the
+        // byte value does not.
+        round_trip(inst);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let word = 15u32 << 26;
+        assert!(matches!(decode(word), Err(SimError::InvalidOpcode { .. })));
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let insts = vec![
+            Inst::nop(),
+            Inst::with_imm(Op::Addi, reg::A0, reg::ZERO, 1),
+            Inst::jr(reg::RA),
+        ];
+        let bytes = encode_all(&insts).unwrap();
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(decode_all(&bytes).unwrap(), insts);
+        assert!(decode_all(&bytes[..7]).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::Op;
+
+/// Errors produced by the NP32 encoder, decoder, and interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A 32-bit word whose opcode field names no NP32 instruction.
+    InvalidOpcode {
+        /// The offending instruction word.
+        word: u32,
+    },
+    /// An immediate operand that does not fit its encoding field.
+    ImmediateOutOfRange {
+        /// The instruction being encoded.
+        op: Op,
+        /// The immediate value.
+        imm: i64,
+    },
+    /// A branch or jump offset that is not a multiple of 4.
+    MisalignedOffset {
+        /// The instruction being encoded.
+        op: Op,
+        /// The byte offset.
+        imm: i32,
+    },
+    /// A text image whose length is not a multiple of 4.
+    TruncatedText {
+        /// The image length in bytes.
+        len: usize,
+    },
+    /// The program counter left the text region (and is not the return
+    /// sentinel).
+    PcOutOfRange {
+        /// The program counter value.
+        pc: u32,
+    },
+    /// The program counter is not 4-byte aligned.
+    MisalignedPc {
+        /// The program counter value.
+        pc: u32,
+    },
+    /// The run exceeded its configured instruction budget — usually an
+    /// application that fails to terminate.
+    InstructionBudgetExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// A `sys` call number the installed handler does not recognize.
+    UnknownSyscall {
+        /// The call number.
+        code: u32,
+        /// The program counter of the `sys` instruction.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidOpcode { word } => {
+                write!(f, "invalid opcode in instruction word {word:#010x}")
+            }
+            SimError::ImmediateOutOfRange { op, imm } => {
+                write!(f, "immediate {imm} out of range for `{op}`")
+            }
+            SimError::MisalignedOffset { op, imm } => {
+                write!(f, "control-flow offset {imm} for `{op}` is not a multiple of 4")
+            }
+            SimError::TruncatedText { len } => {
+                write!(f, "text image length {len} is not a multiple of 4")
+            }
+            SimError::PcOutOfRange { pc } => {
+                write!(f, "program counter {pc:#010x} left the text region")
+            }
+            SimError::MisalignedPc { pc } => {
+                write!(f, "program counter {pc:#010x} is not 4-byte aligned")
+            }
+            SimError::InstructionBudgetExceeded { limit } => {
+                write!(f, "instruction budget of {limit} exceeded")
+            }
+            SimError::UnknownSyscall { code, pc } => {
+                write!(f, "unknown sys call {code} at {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_never_empty() {
+        let errors = [
+            SimError::InvalidOpcode { word: 0xdeadbeef },
+            SimError::ImmediateOutOfRange {
+                op: Op::Addi,
+                imm: 1 << 40,
+            },
+            SimError::MisalignedOffset { op: Op::J, imm: 3 },
+            SimError::TruncatedText { len: 7 },
+            SimError::PcOutOfRange { pc: 4 },
+            SimError::MisalignedPc { pc: 5 },
+            SimError::InstructionBudgetExceeded { limit: 10 },
+            SimError::UnknownSyscall { code: 9, pc: 0 },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

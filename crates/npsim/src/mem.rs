@@ -1,0 +1,355 @@
+//! Simulated memory: a sparse, paged, little-endian 32-bit address space,
+//! plus the semantic region map that underpins the paper's packet /
+//! non-packet memory distinction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+const PAGE_SIZE: u32 = 4096;
+const PAGE_MASK: u32 = PAGE_SIZE - 1;
+
+/// Semantic memory regions of the simulated network processor.
+///
+/// The paper (§III, §V-A.2) distinguishes accesses to *instruction memory*,
+/// *packet data*, and *program data* ("application state"), because real
+/// network processors store these in physically different memories. Region
+/// membership is decided purely by address range via [`MemoryMap::region`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// Program text.
+    Text,
+    /// The packet buffer (header + payload) handed to the application.
+    Packet,
+    /// Application state: routing tables, flow tables, anonymization
+    /// structures, globals.
+    ProgramData,
+    /// The application's stack. Counted as non-packet data in the paper's
+    /// statistics, but kept distinguishable here.
+    Stack,
+    /// Anything outside the mapped regions.
+    Other,
+}
+
+impl Region {
+    /// Whether the region counts as packet memory in the paper's
+    /// packet / non-packet split.
+    pub fn is_packet(self) -> bool {
+        self == Region::Packet
+    }
+
+    /// Whether the region counts as non-packet *data* memory (program data
+    /// or stack).
+    pub fn is_non_packet_data(self) -> bool {
+        matches!(self, Region::ProgramData | Region::Stack | Region::Other)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::Text => "text",
+            Region::Packet => "packet",
+            Region::ProgramData => "data",
+            Region::Stack => "stack",
+            Region::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// One recorded data-memory access (used for the paper's Figure 9 memory
+/// access sequences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Index of the instruction (0-based within the run) that performed the
+    /// access.
+    pub instr_index: u64,
+    /// Byte address accessed.
+    pub addr: u32,
+    /// Access width in bytes (1, 2, or 4).
+    pub size: u8,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The region the address falls in.
+    pub region: Region,
+}
+
+/// The address-space layout of the simulated processor.
+///
+/// Defaults mirror a typical embedded layout and leave generous gaps:
+///
+/// | region | base |
+/// |---|---|
+/// | text | `0x0001_0000` |
+/// | packet buffer | `0x1000_0000` |
+/// | program data | `0x2000_0000` |
+/// | stack (grows down) | `0x7fff_fff0` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// Base address of program text.
+    pub text_base: u32,
+    /// Base address of the packet buffer region.
+    pub packet_base: u32,
+    /// Exclusive end of the packet buffer region.
+    pub packet_end: u32,
+    /// Base address of the program-data region.
+    pub data_base: u32,
+    /// Exclusive end of the program-data region.
+    pub data_end: u32,
+    /// Initial stack pointer; the stack occupies `(stack_limit, stack_top]`.
+    pub stack_top: u32,
+    /// Lowest address considered stack.
+    pub stack_limit: u32,
+}
+
+impl MemoryMap {
+    /// Classifies an address. Text classification requires the caller to
+    /// know the text length, so `text_len` is taken explicitly.
+    pub fn region_with_text(&self, addr: u32, text_len: u32) -> Region {
+        if addr >= self.text_base && addr < self.text_base.saturating_add(text_len) {
+            Region::Text
+        } else {
+            self.region(addr)
+        }
+    }
+
+    /// Classifies a *data* address (never returns [`Region::Text`]).
+    pub fn region(&self, addr: u32) -> Region {
+        if addr >= self.packet_base && addr < self.packet_end {
+            Region::Packet
+        } else if addr >= self.data_base && addr < self.data_end {
+            Region::ProgramData
+        } else if addr > self.stack_limit && addr <= self.stack_top {
+            Region::Stack
+        } else {
+            Region::Other
+        }
+    }
+}
+
+impl Default for MemoryMap {
+    fn default() -> MemoryMap {
+        MemoryMap {
+            text_base: 0x0001_0000,
+            packet_base: 0x1000_0000,
+            packet_end: 0x1001_0000,
+            data_base: 0x2000_0000,
+            data_end: 0x4000_0000,
+            stack_top: 0x7fff_fff0,
+            stack_limit: 0x7fff_0000,
+        }
+    }
+}
+
+/// Sparse little-endian byte-addressable memory.
+///
+/// Pages (4 KiB) are allocated on first touch and zero-filled, so programs
+/// may read memory the host never wrote — it reads as zero, exactly like
+/// the zeroed SRAM of an embedded target. Unaligned accesses are permitted
+/// and assembled byte-wise.
+///
+/// ```
+/// use npsim::Memory;
+/// let mut mem = Memory::new();
+/// mem.write_u32(0x2000_0000, 0xdead_beef);
+/// assert_eq!(mem.read_u32(0x2000_0000), 0xdead_beef);
+/// assert_eq!(mem.read_u16(0x2000_0000), 0xbeef); // little-endian
+/// assert_eq!(mem.read_u8(0x2000_0003), 0xde);
+/// assert_eq!(mem.read_u32(0x3000_0000), 0); // untouched reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u32, Box<[u8]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8]> {
+        self.pages.get(&(addr & !PAGE_MASK)).map(|p| p.as_ref())
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut Box<[u8]> {
+        self.pages
+            .entry(addr & !PAGE_MASK)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian half-word (may be unaligned).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian half-word (may be unaligned).
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Reads a little-endian word (may be unaligned).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path: aligned within one page.
+        if addr & PAGE_MASK <= PAGE_SIZE - 4 {
+            if let Some(p) = self.page(addr) {
+                let i = (addr & PAGE_MASK) as usize;
+                return u32::from_le_bytes([p[i], p[i + 1], p[i + 2], p[i + 3]]);
+            }
+            return 0;
+        }
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word (may be unaligned).
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        if addr & PAGE_MASK <= PAGE_SIZE - 4 {
+            let p = self.page_mut(addr);
+            let i = (addr & PAGE_MASK) as usize;
+            p[i..i + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        for (offset, byte) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(offset as u32), byte);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (offset, &byte) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(offset as u32), byte);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|offset| self.read_u8(addr.wrapping_add(offset as u32)))
+            .collect()
+    }
+
+    /// The number of 4 KiB pages that have been touched.
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Releases every page, returning the memory to its pristine state.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Zeroes `[addr, addr + len)` without deallocating pages.
+    pub fn zero_range(&mut self, addr: u32, len: u32) {
+        for offset in 0..len {
+            let a = addr.wrapping_add(offset);
+            if self.page(a).is_some() {
+                self.write_u8(a, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u32(0xffff_fffc), 0);
+        assert_eq!(mem.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_widths() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x100, 0x0403_0201);
+        assert_eq!(mem.read_u8(0x100), 1);
+        assert_eq!(mem.read_u8(0x103), 4);
+        assert_eq!(mem.read_u16(0x100), 0x0201);
+        assert_eq!(mem.read_u16(0x102), 0x0403);
+        mem.write_u16(0x102, 0xbeef);
+        assert_eq!(mem.read_u32(0x100), 0xbeef_0201);
+    }
+
+    #[test]
+    fn unaligned_cross_page_access() {
+        let mut mem = Memory::new();
+        mem.write_u32(0xffe, 0x1234_5678); // straddles the 0x1000 boundary
+        assert_eq!(mem.read_u32(0xffe), 0x1234_5678);
+        assert_eq!(mem.read_u8(0x1001), 0x12);
+        assert_eq!(mem.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write_bytes(0x2000_0ff0, &data);
+        assert_eq!(mem.read_bytes(0x2000_0ff0, 256), data);
+    }
+
+    #[test]
+    fn zero_range_only_touches_existing_pages() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x1000, 0xffff_ffff);
+        mem.zero_range(0x0ffc, 16);
+        // The page at 0 was never allocated and must stay unallocated.
+        assert_eq!(mem.allocated_pages(), 1);
+        assert_eq!(mem.read_u32(0x1000), 0); // zeroed
+        assert_eq!(mem.read_u32(0x1004), 0);
+    }
+
+    #[test]
+    fn region_classification() {
+        let map = MemoryMap::default();
+        assert_eq!(map.region(0x1000_0000), Region::Packet);
+        assert_eq!(map.region(0x1000_ffff), Region::Packet);
+        assert_eq!(map.region(0x2000_0000), Region::ProgramData);
+        assert_eq!(map.region(0x7fff_fff0), Region::Stack);
+        assert_eq!(map.region(0x7fff_8000), Region::Stack);
+        assert_eq!(map.region(0x0900_0000), Region::Other);
+        assert_eq!(map.region_with_text(0x0001_0000, 8), Region::Text);
+        assert_eq!(map.region_with_text(0x0001_0008, 8), Region::Other);
+        assert!(Region::Packet.is_packet());
+        assert!(Region::Stack.is_non_packet_data());
+        assert!(!Region::Packet.is_non_packet_data());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the NP32 encoder/decoder, memory, and bit-set
+//! utilities.
+
+use proptest::prelude::*;
+
+use npsim::encode::{decode, encode};
+use npsim::isa::{Inst, Op, Reg};
+use npsim::util::BitSet;
+use npsim::Memory;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+/// A strategy over instructions whose immediates are valid for their
+/// encoding fields.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        // R-type
+        (
+            prop_oneof![
+                Just(Op::Add),
+                Just(Op::Sub),
+                Just(Op::And),
+                Just(Op::Or),
+                Just(Op::Xor),
+                Just(Op::Nor),
+                Just(Op::Sll),
+                Just(Op::Srl),
+                Just(Op::Sra),
+                Just(Op::Slt),
+                Just(Op::Sltu),
+                Just(Op::Mul),
+                Just(Op::Mulhu),
+                Just(Op::Divu),
+                Just(Op::Remu),
+            ],
+            arb_reg(),
+            arb_reg(),
+            arb_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::rtype(op, rd, rs1, rs2)),
+        // I-type signed
+        (
+            prop_oneof![Just(Op::Addi), Just(Op::Slti), Just(Op::Sltiu)],
+            arb_reg(),
+            arb_reg(),
+            -(1i32 << 15)..(1i32 << 15)
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
+        // I-type unsigned
+        (
+            prop_oneof![Just(Op::Andi), Just(Op::Ori), Just(Op::Xori)],
+            arb_reg(),
+            arb_reg(),
+            0i32..=0xffff
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
+        // shifts
+        (
+            prop_oneof![Just(Op::Slli), Just(Op::Srli), Just(Op::Srai)],
+            arb_reg(),
+            arb_reg(),
+            0i32..32
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
+        // lui
+        (arb_reg(), 0i32..=0xffff).prop_map(|(rd, imm)| Inst::lui(rd, imm)),
+        // loads
+        (
+            prop_oneof![Just(Op::Lb), Just(Op::Lbu), Just(Op::Lh), Just(Op::Lhu), Just(Op::Lw)],
+            arb_reg(),
+            arb_reg(),
+            -(1i32 << 15)..(1i32 << 15)
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
+        // stores
+        (
+            prop_oneof![Just(Op::Sb), Just(Op::Sh), Just(Op::Sw)],
+            arb_reg(),
+            arb_reg(),
+            -(1i32 << 15)..(1i32 << 15)
+        )
+            .prop_map(|(op, rs2, rs1, imm)| Inst::store(op, rs2, rs1, imm)),
+        // branches (word-aligned offsets)
+        (
+            prop_oneof![
+                Just(Op::Beq),
+                Just(Op::Bne),
+                Just(Op::Blt),
+                Just(Op::Bge),
+                Just(Op::Bltu),
+                Just(Op::Bgeu)
+            ],
+            arb_reg(),
+            arb_reg(),
+            -(1i32 << 15)..(1i32 << 15)
+        )
+            .prop_map(|(op, rs1, rs2, words)| Inst::branch(op, rs1, rs2, words * 4)),
+        // jumps
+        (
+            prop_oneof![Just(Op::J), Just(Op::Jal)],
+            -(1i32 << 25)..(1i32 << 25)
+        )
+            .prop_map(|(op, words)| Inst::jump(op, words * 4)),
+        arb_reg().prop_map(Inst::jr),
+        (0u32..=0xffff).prop_map(Inst::sys),
+        Just(Inst::halt()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(inst in arb_inst()) {
+        let word = encode(&inst).expect("valid instruction encodes");
+        let back = decode(word).expect("encoded word decodes");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word: u32) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_words_reencode_identically(word: u32) {
+        if let Ok(inst) = decode(word) {
+            // Re-encoding may canonicalize ignored bits, but decoding the
+            // re-encoded word must be stable.
+            let word2 = encode(&inst).expect("decoded inst re-encodes");
+            prop_assert_eq!(decode(word2).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn memory_word_round_trip(addr: u32, value: u32) {
+        let mut mem = Memory::new();
+        mem.write_u32(addr, value);
+        prop_assert_eq!(mem.read_u32(addr), value);
+        // Byte composition agrees with little-endian order.
+        let bytes = value.to_le_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            prop_assert_eq!(mem.read_u8(addr.wrapping_add(i as u32)), b);
+        }
+    }
+
+    #[test]
+    fn memory_bulk_round_trip(addr: u32, data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut mem = Memory::new();
+        mem.write_bytes(addr, &data);
+        prop_assert_eq!(mem.read_bytes(addr, data.len()), data);
+    }
+
+    #[test]
+    fn bitset_agrees_with_hashset_model(
+        ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..100)
+    ) {
+        let mut set = BitSet::new(200);
+        let mut model = std::collections::HashSet::new();
+        for (index, _insert) in ops {
+            set.insert(index);
+            model.insert(index);
+        }
+        prop_assert_eq!(set.count(), model.len());
+        for i in 0..200 {
+            prop_assert_eq!(set.contains(i), model.contains(&i), "bit {}", i);
+        }
+        let listed: Vec<usize> = set.iter().collect();
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(listed, expected);
+    }
+}

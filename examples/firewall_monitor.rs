@@ -1,0 +1,89 @@
+//! A firewall-style monitoring scenario (the paper's motivating use for
+//! flow classification): classify a mixed trace into flows, then report
+//! the heavy hitters and the per-packet processing cost the NP core paid
+//! for them — including how much more expensive flow-*creating* packets
+//! are than flow-*updating* ones (the 156 vs 212 instruction modes of
+//! paper Table V).
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench, Verdict};
+use packetbench::WorkloadConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let packets: usize = std::env::args()
+        .nth(1)
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(2000);
+
+    let config = WorkloadConfig::default();
+    let app = App::build(AppId::FlowClass, &config)?;
+    let mut bench = PacketBench::with_config(app, &config)?;
+
+    let mut trace = SyntheticTrace::new(TraceProfile::cos(), 7);
+    let mut new_flow_cost = (0u64, 0u64); // (sum, count)
+    let mut old_flow_cost = (0u64, 0u64);
+    let mut dropped = 0u64;
+    for _ in 0..packets {
+        let packet = trace.next_packet();
+        let record = bench.process_verified(&packet, Detail::counts())?;
+        match record.verdict {
+            Verdict::Dropped => dropped += 1,
+            _ if record.return_value == 1 => {
+                new_flow_cost.0 += record.stats.instret;
+                new_flow_cost.1 += 1;
+            }
+            _ => {
+                old_flow_cost.0 += record.stats.instret;
+                old_flow_cost.1 += 1;
+            }
+        }
+    }
+
+    println!("packets processed:      {packets}");
+    println!("new flows:              {}", new_flow_cost.1);
+    println!("existing-flow packets:  {}", old_flow_cost.1);
+    println!("pool-exhausted drops:   {dropped}");
+    if new_flow_cost.1 > 0 && old_flow_cost.1 > 0 {
+        let new_avg = new_flow_cost.0 as f64 / new_flow_cost.1 as f64;
+        let old_avg = old_flow_cost.0 as f64 / old_flow_cost.1 as f64;
+        println!("avg instructions, new flow:      {new_avg:7.1}");
+        println!("avg instructions, existing flow: {old_avg:7.1}");
+        println!("creation premium:                {:6.1}%", 100.0 * (new_avg / old_avg - 1.0));
+    }
+
+    // Heavy hitters from the golden model mirror (kept in sync with the
+    // simulated table by process_verified).
+    println!("\ntop flows by packets (from the in-memory flow table):");
+    println!("{:<44} {:>8} {:>10}", "flow", "packets", "bytes");
+    // Re-walk simulated memory through the framework's app state: easiest
+    // is to re-classify and read the golden table; here we reuse verify's
+    // guarantee and read flows via the golden model embedded in App.
+    // The app keeps its own state in simulated memory; for reporting we
+    // re-run the trace against a fresh host-side table.
+    let mut table = flowclass::FlowTable::new(config.flow_buckets, config.flow_capacity as usize);
+    let mut trace = SyntheticTrace::new(TraceProfile::cos(), 7);
+    for _ in 0..packets {
+        let packet = trace.next_packet();
+        let key = flowclass::FlowKey::from_l3(packet.l3())?;
+        let h = nettrace::ip::Ipv4Header::parse(packet.l3())?;
+        table.process(key, u32::from(h.total_len));
+    }
+    let mut flows: Vec<_> = table.iter().collect();
+    flows.sort_by_key(|f| std::cmp::Reverse(f.packets));
+    for f in flows.iter().take(10) {
+        let k = f.key;
+        println!(
+            "{:<44} {:>8} {:>10}",
+            format!(
+                "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
+                k.src >> 24, (k.src >> 16) & 255, (k.src >> 8) & 255, k.src & 255, k.src_port,
+                k.dst >> 24, (k.dst >> 16) & 255, (k.dst >> 8) & 255, k.dst & 255, k.dst_port,
+                k.protocol
+            ),
+            f.packets,
+            f.bytes
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: run one application over a synthetic trace and print the
+//! paper's headline per-packet statistics.
+//!
+//! ```text
+//! cargo run --example quickstart [app] [trace] [packets]
+//! cargo run --example quickstart radix MRA 200
+//! ```
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::analysis::TraceAnalysis;
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::WorkloadConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_id = args
+        .first()
+        .and_then(|a| AppId::by_name(a))
+        .unwrap_or(AppId::Ipv4Trie);
+    let profile = args
+        .get(1)
+        .and_then(|t| TraceProfile::by_name(t))
+        .unwrap_or_else(TraceProfile::mra);
+    let packets: usize = args.get(2).and_then(|n| n.parse().ok()).unwrap_or(200);
+
+    println!("application: {app_id}");
+    println!("trace:       {} ({})", profile.name, profile.link_description());
+    println!("packets:     {packets}");
+    println!();
+
+    let config = WorkloadConfig::default();
+    let app = App::build(app_id, &config)?;
+    let mut bench = PacketBench::with_config(app, &config)?;
+    let block_map = bench.block_map().clone();
+    let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
+
+    let trace = SyntheticTrace::new(profile, 42);
+    bench.run_trace(trace.take(packets), Detail::counts(), |_, record| {
+        analysis.add(&block_map, &record);
+    })?;
+
+    println!("avg instructions / packet:        {:8.1}", analysis.avg_instructions());
+    println!("avg packet-memory accesses:       {:8.1}", analysis.avg_packet_mem());
+    println!("avg non-packet-memory accesses:   {:8.1}", analysis.avg_non_packet_mem());
+    let hist = analysis.instruction_histogram();
+    println!("instruction-count modes:");
+    for (value, share) in hist.top_k(3) {
+        println!("  {value:>8} instructions  ({:5.2}% of packets)", share * 100.0);
+    }
+    if let (Some((min, _)), Some((max, _))) = (hist.min(), hist.max()) {
+        println!("range: {min} ..= {max} instructions");
+    }
+    let curve = analysis.coverage_curve();
+    if let Some(&(k, _)) = curve.iter().find(|&&(_, c)| c >= 0.9) {
+        println!(
+            "90% of packets covered by {k} of {} basic blocks",
+            curve.len()
+        );
+    }
+    Ok(())
+}

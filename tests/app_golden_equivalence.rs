@@ -1,0 +1,147 @@
+//! Cross-crate equivalence: every NP32 assembly application must agree
+//! with its host-side golden model on every packet of every trace
+//! profile, and the two routing structures must agree with each other and
+//! with the linear-scan reference.
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::WorkloadConfig;
+
+fn verified_run(id: AppId, profile: TraceProfile, packets: usize) {
+    let config = WorkloadConfig::small();
+    let app = App::build(id, &config).expect("assembles");
+    let mut bench = PacketBench::with_config(app, &config).expect("initializes");
+    let mut trace = SyntheticTrace::new(profile, 0xA11CE);
+    for i in 0..packets {
+        let packet = trace.next_packet();
+        bench
+            .process_verified(&packet, Detail::counts())
+            .unwrap_or_else(|e| panic!("{id} {} packet {i}: {e}", profile.name));
+    }
+}
+
+#[test]
+fn radix_matches_golden_on_all_traces() {
+    for profile in TraceProfile::all() {
+        verified_run(AppId::Ipv4Radix, profile, 60);
+    }
+}
+
+#[test]
+fn trie_matches_golden_on_all_traces() {
+    for profile in TraceProfile::all() {
+        verified_run(AppId::Ipv4Trie, profile, 150);
+    }
+}
+
+#[test]
+fn flow_matches_golden_on_all_traces() {
+    for profile in TraceProfile::all() {
+        verified_run(AppId::FlowClass, profile, 200);
+    }
+}
+
+#[test]
+fn tsa_matches_golden_on_all_traces() {
+    for profile in TraceProfile::all() {
+        verified_run(AppId::Tsa, profile, 150);
+    }
+}
+
+#[test]
+fn radix_and_trie_agree_on_shared_table() {
+    // Build both golden structures over one table; they must produce the
+    // same longest-prefix match as the linear reference everywhere.
+    use nproute::{lctrie::LcTrie, radix::RadixTree, TableGenerator};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let table = TableGenerator::new(77, 16).generate(600);
+    let radix = RadixTree::build(&table);
+    let trie = LcTrie::build(&table);
+    let mut rng = StdRng::seed_from_u64(78);
+    for _ in 0..20_000 {
+        let addr: u32 = rng.gen();
+        let expected = table.lookup_linear(addr);
+        assert_eq!(radix.lookup(addr), expected, "radix at {addr:#010x}");
+        assert_eq!(trie.lookup(addr), expected, "trie at {addr:#010x}");
+    }
+}
+
+#[test]
+fn forwarding_apps_route_identically_when_tables_match() {
+    // Build the two forwarding apps over the same prefix set and check
+    // the simulated next hops agree packet by packet.
+    let config = WorkloadConfig {
+        radix_routes: 200,
+        trie_routes: 200,
+        table_seed: 0x1234,
+        ..WorkloadConfig::small()
+    };
+    // Note: App::build salts the trie table seed, so compare via golden
+    // verification only — each app must match *its own* table, which the
+    // per-app tests above assert. Here we check both apps at least
+    // forward the same packet set (no spurious drops).
+    let mut verdicts = Vec::new();
+    for id in [AppId::Ipv4Radix, AppId::Ipv4Trie] {
+        let app = App::build(id, &config).unwrap();
+        let mut bench = PacketBench::with_config(app, &config).unwrap();
+        let mut trace = SyntheticTrace::new(TraceProfile::cos(), 9);
+        let mut forwarded = 0;
+        for _ in 0..100 {
+            let p = trace.next_packet();
+            let r = bench.process_verified(&p, Detail::counts()).unwrap();
+            if matches!(r.verdict, packetbench::Verdict::Forwarded(_)) {
+                forwarded += 1;
+            }
+        }
+        verdicts.push(forwarded);
+    }
+    assert_eq!(verdicts[0], verdicts[1], "both forward every valid packet");
+    assert_eq!(verdicts[0], 100);
+}
+
+#[test]
+fn tsa_output_is_prefix_preserving_end_to_end() {
+    let config = WorkloadConfig::small();
+    let app = App::build(AppId::Tsa, &config).unwrap();
+    let mut bench = PacketBench::with_config(app, &config).unwrap();
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 5);
+    let mut pairs = Vec::new();
+    for _ in 0..80 {
+        let p = trace.next_packet();
+        let dst = u32::from_be_bytes([p.l3()[16], p.l3()[17], p.l3()[18], p.l3()[19]]);
+        let r = bench.process_verified(&p, Detail::counts()).unwrap();
+        pairs.push((dst, r.return_value));
+    }
+    for i in 0..pairs.len() {
+        for j in 0..i {
+            let (a, fa) = pairs[i];
+            let (b, fb) = pairs[j];
+            assert_eq!(
+                (a ^ b).leading_zeros(),
+                (fa ^ fb).leading_zeros(),
+                "{a:#010x}/{b:#010x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_table_in_sim_memory_matches_host_table_after_many_packets() {
+    let config = WorkloadConfig::small();
+    let app = App::build(AppId::FlowClass, &config).unwrap();
+    let mut bench = PacketBench::with_config(app, &config).unwrap();
+    let mut host = flowclass::FlowTable::new(config.flow_buckets, config.flow_capacity as usize);
+    let mut trace = SyntheticTrace::new(TraceProfile::cos(), 31);
+    for _ in 0..300 {
+        let p = trace.next_packet();
+        let key = flowclass::FlowKey::from_l3(p.l3()).unwrap();
+        let h = nettrace::ip::Ipv4Header::parse(p.l3()).unwrap();
+        let expected = host.process(key, u32::from(h.total_len));
+        let r = bench.process_verified(&p, Detail::counts()).unwrap();
+        assert_eq!(Some(r.return_value), expected);
+    }
+    assert!(host.flow_count() > 10);
+}

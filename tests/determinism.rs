@@ -1,0 +1,87 @@
+//! Reproducibility: everything is seeded, so every statistic the paper's
+//! tables report must be bit-identical across runs — and genuinely
+//! sensitive to the seed.
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::analysis::TraceAnalysis;
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::WorkloadConfig;
+
+fn run_fingerprint(id: AppId, trace_seed: u64, table_seed: u64) -> Vec<u64> {
+    let config = WorkloadConfig {
+        table_seed,
+        ..WorkloadConfig::small()
+    };
+    let app = App::build(id, &config).unwrap();
+    let mut bench = PacketBench::with_config(app, &config).unwrap();
+    let block_map = bench.block_map().clone();
+    let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
+    let trace = SyntheticTrace::new(TraceProfile::cos(), trace_seed);
+    bench
+        .run_trace(trace.take(80), Detail::counts(), |_, r| {
+            analysis.add(&block_map, &r)
+        })
+        .unwrap();
+    analysis.points().iter().map(|p| p.instructions).collect()
+}
+
+#[test]
+fn identical_seeds_identical_statistics() {
+    for id in AppId::ALL {
+        let a = run_fingerprint(id, 7, 3);
+        let b = run_fingerprint(id, 7, 3);
+        assert_eq!(a, b, "{id}");
+    }
+}
+
+#[test]
+fn trace_seed_changes_per_packet_series() {
+    let a = run_fingerprint(AppId::Ipv4Radix, 7, 3);
+    let b = run_fingerprint(AppId::Ipv4Radix, 8, 3);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn table_seed_changes_lookup_work() {
+    let a = run_fingerprint(AppId::Ipv4Radix, 7, 3);
+    let b = run_fingerprint(AppId::Ipv4Radix, 7, 4);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn linear_apps_are_insensitive_to_table_seed() {
+    // TSA's work does not depend on the routing-table seed at all (it has
+    // no routing table); its per-packet counts depend only on the trace.
+    let a = run_fingerprint(AppId::Tsa, 7, 3);
+    let b = run_fingerprint(AppId::Tsa, 7, 99);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn aggregate_statistics_are_stable() {
+    let config = WorkloadConfig::small();
+    let mut fingerprints = Vec::new();
+    for _ in 0..2 {
+        let app = App::build(AppId::FlowClass, &config).unwrap();
+        let mut bench = PacketBench::with_config(app, &config).unwrap();
+        let block_map = bench.block_map().clone();
+        let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
+        let trace = SyntheticTrace::new(TraceProfile::lan(), 17);
+        bench
+            .run_trace(trace.take(120), Detail::with_mem_trace(), |_, r| {
+                analysis.add(&block_map, &r)
+            })
+            .unwrap();
+        fingerprints.push((
+            analysis.avg_instructions().to_bits(),
+            analysis.avg_packet_mem().to_bits(),
+            analysis.avg_non_packet_mem().to_bits(),
+            analysis.instr_memory_bytes(),
+            analysis.data_memory_bytes(),
+            analysis.instruction_histogram().top_k(3),
+            analysis.coverage_curve(),
+        ));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+}

@@ -1,0 +1,216 @@
+//! Framework-level integration: selective accounting, memory-region
+//! classification, the API boundary, and the analysis pipeline end to
+//! end.
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::analysis::{memory_sequence, InstructionPattern, TraceAnalysis};
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::WorkloadConfig;
+
+fn bench(id: AppId) -> PacketBench {
+    let config = WorkloadConfig::small();
+    let app = App::build(id, &config).unwrap();
+    PacketBench::with_config(app, &config).unwrap()
+}
+
+#[test]
+fn selective_accounting_excludes_init() {
+    // init() builds tables with hundreds of thousands of memory writes;
+    // none of that may appear in the first packet's statistics. The first
+    // packet must look like any other packet of the same flow profile.
+    let mut b = bench(AppId::Ipv4Trie);
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 1);
+    let first = b
+        .process_packet(&trace.next_packet(), Detail::counts())
+        .unwrap();
+    assert!(
+        first.stats.instret < 1000,
+        "init leaked into packet accounting: {}",
+        first.stats.instret
+    );
+    assert!(
+        first.stats.mem.total() < 200,
+        "init memory traffic leaked: {}",
+        first.stats.mem.total()
+    );
+}
+
+#[test]
+fn memory_regions_partition_all_accesses() {
+    let mut b = bench(AppId::Ipv4Radix);
+    let mut trace = SyntheticTrace::new(TraceProfile::cos(), 2);
+    for _ in 0..20 {
+        let r = b
+            .process_packet(&trace.next_packet(), Detail::with_mem_trace())
+            .unwrap();
+        // Every traced event lands in a classified region, and the counts
+        // reconcile with the totals.
+        let mut packet = 0u64;
+        let mut non_packet = 0u64;
+        for e in &r.stats.mem_trace {
+            match e.region {
+                npsim::Region::Packet => packet += 1,
+                npsim::Region::Text => panic!("data access classified as text"),
+                _ => non_packet += 1,
+            }
+        }
+        assert_eq!(packet, r.stats.mem.packet_total());
+        assert_eq!(non_packet, r.stats.mem.non_packet_total());
+        // The radix app never touches unmapped addresses.
+        assert_eq!(r.stats.mem.other, 0);
+    }
+}
+
+#[test]
+fn packet_header_writes_stay_in_packet_region() {
+    // Forwarding mutates TTL and checksum: exactly 3 packet-memory writes.
+    let mut b = bench(AppId::Ipv4Trie);
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 3);
+    let r = b
+        .process_packet(&trace.next_packet(), Detail::counts())
+        .unwrap();
+    assert_eq!(r.stats.mem.packet_writes, 3, "ttl + 2 checksum bytes");
+}
+
+#[test]
+fn applications_keep_state_across_packets() {
+    // Flow classification must see its own earlier insertions.
+    let mut b = bench(AppId::FlowClass);
+    let mut trace = SyntheticTrace::new(TraceProfile::lan(), 4);
+    let packet = trace.next_packet();
+    let first = b.process_packet(&packet, Detail::counts()).unwrap();
+    let second = b.process_packet(&packet, Detail::counts()).unwrap();
+    assert_eq!(first.return_value, 1, "first sighting creates the flow");
+    assert_eq!(second.return_value, 2, "second sighting updates it");
+    // The update path is cheaper than the creation path (paper Table V:
+    // 156 vs 212).
+    assert!(second.stats.instret < first.stats.instret);
+}
+
+#[test]
+fn instruction_pattern_matches_unique_count_for_every_app() {
+    for id in AppId::ALL {
+        let mut b = bench(id);
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 5);
+        let r = b
+            .process_packet(&trace.next_packet(), Detail::full())
+            .unwrap();
+        let pattern = InstructionPattern::from_pc_trace(b.app().image().program(), &r.stats.pc_trace);
+        assert_eq!(
+            pattern.unique_instructions() as usize,
+            r.stats.unique_instructions(),
+            "{id}"
+        );
+        assert_eq!(pattern.points().len() as u64, r.stats.instret, "{id}");
+    }
+}
+
+#[test]
+fn memory_sequence_interleaving_shapes_match_paper() {
+    // Paper Fig. 9: IPv4-radix reads the packet first, then works almost
+    // entirely in non-packet memory; Flow Classification interleaves.
+    let mut b = bench(AppId::Ipv4Radix);
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 6);
+    let r = b
+        .process_packet(&trace.next_packet(), Detail::full())
+        .unwrap();
+    let seq = memory_sequence(&r);
+    let last_packet_access = seq.iter().rposition(|p| p.packet).unwrap();
+    let first_nonpacket = seq.iter().position(|p| !p.packet).unwrap();
+    assert!(first_nonpacket < seq.len());
+    // After the header phase, the tail of the run is non-packet only.
+    let tail_packet_accesses = seq[last_packet_access..].iter().filter(|p| p.packet).count();
+    assert_eq!(tail_packet_accesses, 1, "only the final header write");
+    // The lookup phase dominates: >80% of accesses are non-packet.
+    let np = seq.iter().filter(|p| !p.packet).count();
+    assert!(np * 10 > seq.len() * 8);
+}
+
+#[test]
+fn analysis_accumulates_over_multiple_traces() {
+    let config = WorkloadConfig::small();
+    let app = App::build(AppId::Tsa, &config).unwrap();
+    let mut b = PacketBench::with_config(app, &config).unwrap();
+    let block_map = b.block_map().clone();
+    let mut analysis = TraceAnalysis::new(b.app().image().program(), &block_map);
+    for profile in TraceProfile::all() {
+        let trace = SyntheticTrace::new(profile, 7);
+        b.run_trace(trace.take(25), Detail::counts(), |_, r| {
+            analysis.add(&block_map, &r)
+        })
+        .unwrap();
+    }
+    assert_eq!(analysis.packets(), 100);
+    assert!(analysis.avg_instructions() > 500.0);
+    let curve = analysis.coverage_curve();
+    assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn block_probabilities_expose_rare_paths() {
+    // Run a trace with occasional corrupted packets: the drop path's
+    // blocks must show up with low probability (paper Fig. 7's rarely
+    // executed blocks).
+    let mut b = bench(AppId::Ipv4Trie);
+    let block_map = b.block_map().clone();
+    let mut analysis = TraceAnalysis::new(b.app().image().program(), &block_map);
+    let mut trace = SyntheticTrace::new(TraceProfile::cos(), 8);
+    for i in 0..100 {
+        let mut p = trace.next_packet();
+        if i % 10 == 0 {
+            p.l3_mut()[10] ^= 0xff; // corrupt the checksum
+        }
+        let r = b.process_packet(&p, Detail::counts()).unwrap();
+        analysis.add(&block_map, &r);
+    }
+    let probs = analysis.block_probabilities();
+    assert!(probs.iter().any(|&p| p > 0.99), "common path");
+    assert!(
+        probs.iter().any(|&p| p > 0.0 && p < 0.2),
+        "rare (drop) path must exist"
+    );
+}
+
+#[test]
+fn runs_all_four_apps_back_to_back() {
+    // A whole-suite smoke test: every app processes every profile.
+    let config = WorkloadConfig::small();
+    for id in AppId::ALL {
+        for profile in TraceProfile::all() {
+            let app = App::build(id, &config).unwrap();
+            let mut b = PacketBench::with_config(app, &config).unwrap();
+            let trace = SyntheticTrace::new(profile, 11);
+            let mut n = 0;
+            b.run_trace(trace.take(10), Detail::counts(), |_, _| n += 1)
+                .unwrap();
+            assert_eq!(n, 10, "{id} {}", profile.name);
+        }
+    }
+}
+
+#[test]
+fn uarch_models_report_sane_rates() {
+    let mut b = bench(AppId::Tsa);
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 12);
+    let detail = Detail {
+        uarch: true,
+        ..Detail::counts()
+    };
+    let mut total_branches = 0u64;
+    let mut total_misses = 0u64;
+    for _ in 0..30 {
+        let r = b.process_packet(&trace.next_packet(), detail).unwrap();
+        let u = r.stats.uarch.unwrap();
+        total_branches += u.branches;
+        total_misses += u.mispredictions;
+        assert!(u.icache_accesses == r.stats.instret);
+        assert!(u.dcache_accesses == r.stats.mem.total());
+    }
+    assert!(total_branches > 0);
+    // TSA's loops are regular; the bimodal predictor should do well.
+    assert!(
+        (total_misses as f64) < 0.35 * total_branches as f64,
+        "{total_misses}/{total_branches}"
+    );
+}

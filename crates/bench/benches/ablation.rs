@@ -9,12 +9,12 @@
 //! * **flow-table buckets** — chain length vs bucket-array size, the
 //!   classic space/time trade in the classification application.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use packetbench::apps::AppId;
 use packetbench::framework::Detail;
 use packetbench::WorkloadConfig;
 use packetbench_bench::{bench_for, TRACE_SEED};
+use tinybench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn recording_detail(c: &mut Criterion) {
     let config = WorkloadConfig::default();
@@ -95,19 +95,23 @@ fn flow_buckets(c: &mut Criterion) {
         let mut bench = bench_for(AppId::FlowClass, &config);
         let mut trace = SyntheticTrace::new(TraceProfile::cos(), TRACE_SEED);
         let packets = trace.take_packets(256);
-        group.bench_with_input(BenchmarkId::from_parameter(buckets), &packets, |b, packets| {
-            b.iter(|| {
-                let mut n = 0u64;
-                for p in packets {
-                    n += bench
-                        .process_packet(p, Detail::counts())
-                        .unwrap()
-                        .stats
-                        .instret;
-                }
-                n
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buckets),
+            &packets,
+            |b, packets| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    for p in packets {
+                        n += bench
+                            .process_packet(p, Detail::counts())
+                            .unwrap()
+                            .stats
+                            .instret;
+                    }
+                    n
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -2,13 +2,13 @@
 //! collection (PC and memory traces for Figs. 6/9) and the per-trace
 //! block analyses (Figs. 7/8).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use packetbench::analysis::{memory_sequence, InstructionPattern};
 use packetbench::apps::AppId;
 use packetbench::framework::Detail;
 use packetbench::WorkloadConfig;
 use packetbench_bench::{analyze, bench_for, TRACE_SEED};
+use tinybench::{criterion_group, criterion_main, Criterion};
 
 fn fig6_instruction_pattern(c: &mut Criterion) {
     let config = WorkloadConfig::default();
@@ -41,9 +41,7 @@ fn fig9_memory_sequence(c: &mut Criterion) {
         let mut trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
         let packet = trace.next_packet();
         let record = bench.process_packet(&packet, Detail::full()).unwrap();
-        group.bench_function(id.slug(), |b| {
-            b.iter(|| memory_sequence(&record).len())
-        });
+        group.bench_function(id.slug(), |b| b.iter(|| memory_sequence(&record).len()));
     }
     group.finish();
 }

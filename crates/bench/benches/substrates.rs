@@ -3,16 +3,16 @@
 //! and the trace formats. These quantify the building blocks the
 //! framework composes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nettrace::checksum;
 use nettrace::pcap::{PcapReader, PcapWriter};
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use nettrace::LinkType;
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 use nproute::lctrie::LcTrie;
 use nproute::radix::RadixTree;
 use nproute::TableGenerator;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tinybench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn lpm_structures(c: &mut Criterion) {
     let table = TableGenerator::new(1, 16).generate(2048);
@@ -23,12 +23,7 @@ fn lpm_structures(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("lpm_lookup");
     group.bench_function("linear_scan", |b| {
-        b.iter(|| {
-            addrs
-                .iter()
-                .filter_map(|&a| table.lookup_linear(a))
-                .count()
-        })
+        b.iter(|| addrs.iter().filter_map(|&a| table.lookup_linear(a)).count())
     });
     group.bench_function("radix", |b| {
         b.iter(|| addrs.iter().filter_map(|&a| radix.lookup(a)).count())
@@ -60,24 +55,32 @@ fn anonymizers(c: &mut Criterion) {
     let tsa = ipanon::Tsa::new(7);
     let mut group = c.benchmark_group("anonymize_1k");
     group.bench_function("full_bit_by_bit", |b| {
-        b.iter(|| (0..1000u32).map(|i| full.anonymize(i * 2654435761)).sum::<u32>())
+        b.iter(|| {
+            (0..1000u32)
+                .map(|i| full.anonymize(i * 2654435761))
+                .sum::<u32>()
+        })
     });
     group.bench_function("tsa_tables", |b| {
-        b.iter(|| (0..1000u32).map(|i| tsa.anonymize(i * 2654435761)).sum::<u32>())
+        b.iter(|| {
+            (0..1000u32)
+                .map(|i| tsa.anonymize(i * 2654435761))
+                .sum::<u32>()
+        })
     });
     group.finish();
     c.bench_function("tsa_table_build", |b| {
-        b.iter(|| ipanon::Tsa::new(criterion::black_box(9)).anonymize(1))
+        b.iter(|| ipanon::Tsa::new(tinybench::black_box(9)).anonymize(1))
     });
 }
 
 fn checksums(c: &mut Criterion) {
     let data: Vec<u8> = (0..1500u32).map(|i| i as u8).collect();
     c.bench_function("checksum_1500B", |b| {
-        b.iter(|| checksum::checksum(criterion::black_box(&data)))
+        b.iter(|| checksum::checksum(tinybench::black_box(&data)))
     });
     c.bench_function("checksum_incremental_update", |b| {
-        b.iter(|| checksum::update(criterion::black_box(0x1234), 0x4006, 0x3f06))
+        b.iter(|| checksum::update(tinybench::black_box(0x1234), 0x4006, 0x3f06))
     });
 }
 
@@ -113,8 +116,8 @@ fn interpreter(c: &mut Criterion) {
     let program = Program::new(
         vec![
             Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
-            Inst::lui(reg::T1, 2),                           // 131072 iterations
-            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1),   // loop:
+            Inst::lui(reg::T1, 2),                         // 131072 iterations
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1), // loop:
             Inst::with_imm(Op::Lw, reg::T2, reg::GP, 0),
             Inst::branch(Op::Blt, reg::T0, reg::T1, -12),
             Inst::jr(reg::RA),
@@ -129,21 +132,17 @@ fn interpreter(c: &mut Criterion) {
             cpu.run(&mut mem, &RunConfig::default()).unwrap().instret
         })
     });
-    group.bench_with_input(
-        BenchmarkId::new("loop_with_uarch", "393k"),
-        &(),
-        |b, ()| {
-            b.iter(|| {
-                let mut mem = Memory::new();
-                let mut cpu = Cpu::new(&program, map);
-                let config = RunConfig {
-                    uarch: Some(npsim::uarch::UarchConfig::default()),
-                    ..RunConfig::default()
-                };
-                cpu.run(&mut mem, &config).unwrap().instret
-            })
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("loop_with_uarch", "393k"), &(), |b, ()| {
+        b.iter(|| {
+            let mut mem = Memory::new();
+            let mut cpu = Cpu::new(&program, map);
+            let config = RunConfig {
+                uarch: Some(npsim::uarch::UarchConfig::default()),
+                ..RunConfig::default()
+            };
+            cpu.run(&mut mem, &config).unwrap().instret
+        })
+    });
     group.finish();
 }
 

@@ -4,12 +4,12 @@
 //! quantity because the interpreter does work proportional to it), and
 //! the aggregation paths behind Tables IV-VI.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use packetbench::apps::AppId;
 use packetbench::framework::Detail;
 use packetbench::WorkloadConfig;
 use packetbench_bench::{analyze, bench_for, TRACE_SEED};
+use tinybench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn per_packet_processing(c: &mut Criterion) {
     let config = WorkloadConfig::default();

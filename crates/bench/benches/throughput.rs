@@ -1,0 +1,73 @@
+//! Host-throughput benchmark for the trace engine: simulated packets per
+//! wall-clock second for every application, serial and parallel, written
+//! to `BENCH_throughput.json`.
+//!
+//! Not a Criterion bench: the engine is timed end to end (including
+//! per-worker application builds), which is what `pb run --threads`
+//! reports. Run with `cargo bench --bench throughput [-- <packets>]`.
+
+use std::io::Write;
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Packet;
+use packetbench::apps::AppId;
+use packetbench::engine::Engine;
+use packetbench::framework::Detail;
+use packetbench_bench::TRACE_SEED;
+
+const DEFAULT_PACKETS: usize = 3000;
+const RUNS: usize = 3;
+
+/// Best (highest) packets/sec over `RUNS` runs — the minimum-noise
+/// estimate on a shared host.
+fn best_pps(engine: &Engine, packets: &[Packet], threads: usize) -> (f64, usize) {
+    let mut best = 0.0f64;
+    let mut used = 1;
+    for _ in 0..RUNS {
+        let run = engine
+            .run(packets, Detail::counts(), threads)
+            .expect("trace runs");
+        if run.packets_per_sec() > best {
+            best = run.packets_per_sec();
+        }
+        used = run.threads;
+    }
+    (best, used)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_PACKETS);
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let packets = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED).take_packets(n);
+
+    let mut entries = Vec::new();
+    for id in AppId::WITH_EXTENSIONS {
+        let engine = Engine::new(id);
+        let (serial, _) = best_pps(&engine, &packets, 1);
+        let (parallel, used) = best_pps(&engine, &packets, 0);
+        println!(
+            "{:<12} serial {serial:>9.0} pps   parallel({used}) {parallel:>9.0} pps   x{:.2}",
+            id.slug(),
+            parallel / serial
+        );
+        entries.push(format!(
+            "    \"{}\": {{\"serial_pps\": {serial:.0}, \"parallel_pps\": {parallel:.0}, \"parallel_threads\": {used}}}",
+            id.slug()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"trace\": \"MRA\",\n  \"packets\": {n},\n  \"host_threads\": {host_threads},\n  \"apps\": {{\n{}\n  }}\n}}\n",
+        entries.join(",\n")
+    );
+    // Land the file at the workspace root regardless of cargo's bench CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json");
+    let mut file = std::fs::File::create(&path).expect("create BENCH_throughput.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {} ({host_threads} host threads)", path.display());
+}

@@ -1,7 +1,7 @@
-use packetbench::apps::{App, AppId};
-use packetbench::framework::{Detail, PacketBench};
-use packetbench::config::WorkloadConfig;
 use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::apps::{App, AppId};
+use packetbench::config::WorkloadConfig;
+use packetbench::framework::{Detail, PacketBench};
 
 fn main() {
     let config = WorkloadConfig::default();
@@ -21,8 +21,16 @@ fn main() {
                 min = min.min(r.stats.instret);
                 max = max.max(r.stats.instret);
             }
-            println!("{:<22} {:<4} avg={:>6} min={:>6} max={:>6} pkt_mem={:>4} npkt_mem={:>5}",
-                id.name(), profile.name, sum/n, min, max, pk/n, npk/n);
+            println!(
+                "{:<22} {:<4} avg={:>6} min={:>6} max={:>6} pkt_mem={:>4} npkt_mem={:>5}",
+                id.name(),
+                profile.name,
+                sum / n,
+                min,
+                max,
+                pk / n,
+                npk / n
+            );
         }
     }
 }

@@ -3,17 +3,35 @@
 //! benches.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Packet;
 use packetbench::analysis::{
     memory_sequence, DelayModel, FlowGraph, InstructionPattern, PipelinePartition, TraceAnalysis,
 };
 use packetbench::apps::{App, AppId};
+use packetbench::engine::Engine;
 use packetbench::framework::{Detail, PacketBench};
 use packetbench::{report, WorkloadConfig};
 
 /// Seed used for every generated trace: the reports are deterministic.
 pub const TRACE_SEED: u64 = 2005_0320; // ISPASS 2005
+
+/// Simulated packets since the last [`take_packets_processed`] call —
+/// `report_main` uses this for its throughput summary line.
+static PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+fn count_processed(n: usize) {
+    PROCESSED.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Returns the number of packets simulated since the last call, resetting
+/// the counter.
+pub fn take_packets_processed() -> u64 {
+    PROCESSED.swap(0, Ordering::Relaxed)
+}
 
 /// Packet counts per experiment.
 #[derive(Debug, Clone, Copy)]
@@ -56,8 +74,8 @@ pub fn bench_for(id: AppId, config: &WorkloadConfig) -> PacketBench {
     PacketBench::with_config(app, config).expect("framework initializes")
 }
 
-/// Runs `packets` of `profile` through `id` and returns the accumulated
-/// analysis.
+/// Runs `packets` of `profile` through `id` serially and returns the
+/// accumulated analysis.
 pub fn analyze(
     id: AppId,
     profile: TraceProfile,
@@ -65,15 +83,40 @@ pub fn analyze(
     detail: Detail,
     config: &WorkloadConfig,
 ) -> TraceAnalysis {
-    let mut bench = bench_for(id, config);
-    let block_map = bench.block_map().clone();
-    let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
-    let trace = SyntheticTrace::new(profile, TRACE_SEED);
-    bench
-        .run_trace(trace.take(packets), detail, |_, r| {
-            analysis.add(&block_map, &r)
-        })
+    analyze_threaded(id, profile, packets, detail, config, 1)
+}
+
+/// Like [`analyze`], on `threads` workers (0 = available parallelism).
+/// Aggregate statistics are identical at every thread count; the serial
+/// path streams records through one reused scratch buffer.
+pub fn analyze_threaded(
+    id: AppId,
+    profile: TraceProfile,
+    packets: usize,
+    detail: Detail,
+    config: &WorkloadConfig,
+    threads: usize,
+) -> TraceAnalysis {
+    let trace: Vec<Packet> = SyntheticTrace::new(profile, TRACE_SEED).take_packets(packets);
+    count_processed(trace.len());
+    if threads == 1 {
+        let mut bench = bench_for(id, config);
+        let block_map = bench.block_map().clone();
+        let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
+        bench
+            .run_trace_ref(&trace, detail, |_, r| analysis.add(&block_map, r))
+            .expect("trace runs");
+        return analysis;
+    }
+    let run = Engine::with_config(id, *config)
+        .run(&trace, detail, threads)
         .expect("trace runs");
+    let app = App::build(id, config).expect("application assembles");
+    let block_map = npsim::bblock::BlockMap::build(app.image().program());
+    let mut analysis = TraceAnalysis::new(app.image().program(), &block_map);
+    for record in &run.records {
+        analysis.add(&block_map, record);
+    }
     analysis
 }
 
@@ -82,18 +125,56 @@ pub fn analyze(
 pub fn report_main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let counts = if quick { Counts::quick() } else { Counts::paper() };
+    let counts = if quick {
+        Counts::quick()
+    } else {
+        Counts::paper()
+    };
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(0);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--threads")
+        })
+        .map(|(_, a)| a.as_str())
         .collect();
     let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
-    render_report(&counts, want);
+    take_packets_processed();
+    let start = Instant::now();
+    render_report_threaded(&counts, want, threads);
+    let elapsed = start.elapsed().as_secs_f64();
+    let packets = take_packets_processed();
+    println!(
+        "# {packets} packets on {threads} thread(s) in {elapsed:.1} s ({:.0} packets/sec)",
+        if elapsed > 0.0 {
+            packets as f64 / elapsed
+        } else {
+            0.0
+        }
+    );
 }
 
-/// Renders every exhibit `want` selects, with the given packet counts.
+/// Renders every exhibit `want` selects, with the given packet counts,
+/// serially.
 pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
+    render_report_threaded(counts, want, 1);
+}
+
+/// Renders every exhibit `want` selects, spreading the heavy table passes
+/// over `threads` workers. Exhibit contents are identical at every thread
+/// count.
+pub fn render_report_threaded(counts: &Counts, want: impl Fn(&str) -> bool, threads: usize) {
     let config = WorkloadConfig::default();
     let traces = TraceProfile::all();
     let trace_names: Vec<&str> = traces.iter().map(|p| p.name).collect();
@@ -108,7 +189,14 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
         let mut cells3 = [[report::MemCell::default(); 4]; 4];
         for (a, id) in AppId::ALL.into_iter().enumerate() {
             for (t, profile) in traces.iter().enumerate() {
-                let analysis = analyze(id, *profile, counts.tables23, Detail::counts(), &config);
+                let analysis = analyze_threaded(
+                    id,
+                    *profile,
+                    counts.tables23,
+                    Detail::counts(),
+                    &config,
+                    threads,
+                );
                 let (instr, mem) = report::table23_cells(&analysis);
                 cells2[a][t] = instr;
                 cells3[a][t] = mem;
@@ -145,12 +233,13 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
         let mut rows5 = Vec::new();
         let mut rows6 = Vec::new();
         for id in AppId::ALL {
-            let analysis = analyze(
+            let analysis = analyze_threaded(
                 id,
                 TraceProfile::cos(),
                 counts.tables56,
                 Detail::counts(),
                 &config,
+                threads,
             );
             rows5.push((id, analysis.instruction_histogram()));
             rows6.push((id, analysis.unique_histogram()));
@@ -276,22 +365,27 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
             let mut bench = bench_for(id, &config);
             let block_map = bench.block_map().clone();
             let mut pc_traces: Vec<Vec<u32>> = Vec::new();
-            let trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+            let trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED)
+                .take_packets(counts.figures.min(100));
+            count_processed(trace.len());
             bench
-                .run_trace(
-                    trace.take(counts.figures.min(100)),
+                .run_trace_ref(
+                    &trace,
                     Detail {
                         pc_trace: true,
                         ..Detail::counts()
                     },
-                    |_, r| pc_traces.push(r.stats.pc_trace),
+                    |_, r| pc_traces.push(r.stats.pc_trace.clone()),
                 )
                 .expect("trace runs");
             let mut graph = FlowGraph::new(&block_map);
             for pc_trace in &pc_traces {
                 graph.add_trace(bench.app().image().program(), &block_map, pc_trace);
             }
-            println!("{}", graph.to_dot(&format!("{} packet-processing dynamics", id.name())));
+            println!(
+                "{}",
+                graph.to_dot(&format!("{} packet-processing dynamics", id.name()))
+            );
             println!("# hot path: {:?}", graph.hot_path());
             println!();
         }
@@ -310,24 +404,25 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
             let mut bench = bench_for(id, &config);
             let block_map = bench.block_map().clone();
             let mut pc_traces: Vec<Vec<u32>> = Vec::new();
-            let trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+            let trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED)
+                .take_packets(counts.figures.min(100));
+            count_processed(trace.len());
             bench
-                .run_trace(
-                    trace.take(counts.figures.min(100)),
+                .run_trace_ref(
+                    &trace,
                     Detail {
                         pc_trace: true,
                         ..Detail::counts()
                     },
-                    |_, r| pc_traces.push(r.stats.pc_trace),
+                    |_, r| pc_traces.push(r.stats.pc_trace.clone()),
                 )
                 .expect("trace runs");
             let mut graph = FlowGraph::new(&block_map);
             for t in &pc_traces {
                 graph.add_trace(bench.app().image().program(), &block_map, t);
             }
-            let speedup = |stages: usize| {
-                PipelinePartition::compute(&block_map, &graph, stages).speedup()
-            };
+            let speedup =
+                |stages: usize| PipelinePartition::compute(&block_map, &graph, stages).speedup();
             let p4 = PipelinePartition::compute(&block_map, &graph, 4);
             println!(
                 "{:<22} {:>9.2}x {:>9.2}x {:>9.2}x {:>9.0}%",
@@ -351,7 +446,13 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
             "Application", "cycles/packet", "kpps @ 600 MHz", "kpps @ 1.4 GHz"
         );
         for id in AppId::WITH_EXTENSIONS {
-            let analysis = analyze(id, TraceProfile::mra(), counts.figures, Detail::counts(), &config);
+            let analysis = analyze(
+                id,
+                TraceProfile::mra(),
+                counts.figures,
+                Detail::counts(),
+                &config,
+            );
             println!(
                 "{:<22} {:>14.0} {:>18.1} {:>18.1}",
                 id.name(),
@@ -379,7 +480,10 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
             e.1 += 1;
         }
         println!("IPsec-enc (PPA extension): instructions vs captured packet size");
-        println!("{:>10} {:>10} {:>16}", "bytes", "packets", "avg instructions");
+        println!(
+            "{:>10} {:>10} {:>16}",
+            "bytes", "packets", "avg instructions"
+        );
         for (size, (sum, n)) in by_size {
             println!("{:>10} {:>10} {:>16.0}", size, n, sum as f64 / n as f64);
         }
@@ -397,12 +501,14 @@ pub fn render_report(counts: &Counts, want: impl Fn(&str) -> bool) {
         );
         for id in AppId::ALL {
             let mut bench = bench_for(id, &config);
-            let trace = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED);
+            let trace =
+                SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED).take_packets(counts.figures);
+            count_processed(trace.len());
             let mut acc: BTreeMap<&str, f64> = BTreeMap::new();
             let mut n = 0u64;
             bench
-                .run_trace(
-                    trace.take(counts.figures),
+                .run_trace_ref(
+                    &trace,
                     Detail {
                         uarch: true,
                         ..Detail::counts()

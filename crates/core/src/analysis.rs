@@ -329,8 +329,7 @@ mod tests {
         let config = WorkloadConfig::small();
         let app = App::build(id, &config).unwrap();
         let mut bench = PacketBench::with_config(app, &config).unwrap();
-        let mut analysis =
-            TraceAnalysis::new(bench.app().image().program(), bench.block_map());
+        let mut analysis = TraceAnalysis::new(bench.app().image().program(), bench.block_map());
         let trace = SyntheticTrace::new(TraceProfile::mra(), 21);
         let block_map = bench.block_map().clone();
         bench
@@ -396,8 +395,10 @@ mod tests {
         let record = bench
             .process_packet(&trace.next_packet(), Detail::full())
             .unwrap();
-        let pattern =
-            InstructionPattern::from_pc_trace(bench.app().image().program(), &record.stats.pc_trace);
+        let pattern = InstructionPattern::from_pc_trace(
+            bench.app().image().program(),
+            &record.stats.pc_trace,
+        );
         assert_eq!(pattern.points().len() as u64, record.stats.instret);
         // TSA's anonymization loop re-executes instructions: far fewer
         // unique instructions than steps.
@@ -551,11 +552,8 @@ impl FlowGraph {
     /// transition counts and the hot path highlighted.
     pub fn to_dot(&self, title: &str) -> String {
         use std::fmt::Write as _;
-        let hot: std::collections::HashSet<(usize, usize)> = self
-            .hot_path()
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect();
+        let hot: std::collections::HashSet<(usize, usize)> =
+            self.hot_path().windows(2).map(|w| (w[0], w[1])).collect();
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{title}\" {{");
         let _ = writeln!(out, "  rankdir=TB; node [shape=box];");
@@ -616,7 +614,11 @@ impl DelayModel {
         if analysis.points().is_empty() {
             return 0.0;
         }
-        analysis.points().iter().map(|p| self.estimate(p)).sum::<f64>()
+        analysis
+            .points()
+            .iter()
+            .map(|p| self.estimate(p))
+            .sum::<f64>()
             / analysis.points().len() as f64
     }
 
@@ -720,7 +722,12 @@ mod graph_tests {
                 assert!(model.throughput_pps(&analysis, 600e6) > 100_000.0);
             }
         }
-        assert!(means[0] > means[1] * 5.0, "radix {} vs trie {}", means[0], means[1]);
+        assert!(
+            means[0] > means[1] * 5.0,
+            "radix {} vs trie {}",
+            means[0],
+            means[1]
+        );
     }
 
     #[test]

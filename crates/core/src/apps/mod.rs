@@ -11,10 +11,10 @@
 
 use nettrace::ip::Ipv4Header;
 use npasm::Image;
-use npsim::{Memory, MemoryMap};
 use nproute::lctrie::{LcTrie, LcTrieImage};
 use nproute::radix::{RadixImage, RadixTree};
 use nproute::{RouteTable, TableGenerator};
+use npsim::{Memory, MemoryMap};
 
 use crate::config::WorkloadConfig;
 use crate::error::BenchError;
@@ -169,8 +169,8 @@ impl App {
 
         let golden = match id {
             AppId::Ipv4Radix => {
-                let table =
-                    TableGenerator::new(config.table_seed, config.ports).generate(config.radix_routes);
+                let table = TableGenerator::new(config.table_seed, config.ports)
+                    .generate(config.radix_routes);
                 let tree = RadixTree::build(&table);
                 Golden::Radix {
                     table,
@@ -189,7 +189,10 @@ impl App {
                 }
             }
             AppId::FlowClass => Golden::Flow {
-                golden: flowclass::FlowTable::new(config.flow_buckets, config.flow_capacity as usize),
+                golden: flowclass::FlowTable::new(
+                    config.flow_buckets,
+                    config.flow_capacity as usize,
+                ),
                 image: None,
             },
             AppId::Tsa => Golden::Tsa {

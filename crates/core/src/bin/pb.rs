@@ -19,7 +19,8 @@ use nettrace::synth::{SyntheticTrace, TraceProfile};
 use nettrace::Packet;
 use packetbench::analysis::TraceAnalysis;
 use packetbench::apps::{App, AppId};
-use packetbench::framework::{Detail, PacketBench};
+use packetbench::engine::Engine;
+use packetbench::framework::Detail;
 use packetbench::WorkloadConfig;
 
 fn main() -> ExitCode {
@@ -102,8 +103,11 @@ USAGE:
   pb traces                        list trace profiles
   pb disasm --app <app>            disassemble an application
   pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
-         [--verify] [--uarch] [--seed <n>]
-  pb anonymize <in.pcap> <out.pcap> [--seed <n>]"
+         [--verify] [--uarch] [--seed <n>] [--threads <n>]
+  pb anonymize <in.pcap> <out.pcap> [--seed <n>]
+
+`pb run --threads 0` (the default) uses all available cores; statistics
+are bit-identical at every thread count."
     );
 }
 
@@ -151,7 +155,11 @@ fn app_from(args: &Args) -> Result<AppId, String> {
 fn cmd_disasm(args: &Args) -> Result<(), String> {
     let id = app_from(args)?;
     let app = App::build(id, &WorkloadConfig::default()).map_err(|e| e.to_string())?;
-    println!("; {} — {} instructions", id.name(), app.image().program().len());
+    println!(
+        "; {} — {} instructions",
+        id.name(),
+        app.image().program().len()
+    );
     print!("{}", npasm::disassemble(app.image().program()));
     Ok(())
 }
@@ -172,6 +180,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .unwrap_or(42);
     let verify = args.flags.iter().any(|f| f == "verify");
     let uarch = args.flags.iter().any(|f| f == "uarch");
+    let threads: usize = args
+        .options
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads value `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
 
     // Packet source: pcap file or synthetic profile.
     let packets: Vec<Packet> = if let Some(path) = args.options.get("pcap") {
@@ -182,38 +196,46 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .collect::<Result<_, _>>()
             .map_err(|e| e.to_string())?
     } else {
-        let profile_name = args.options.get("trace").map(String::as_str).unwrap_or("MRA");
+        let profile_name = args
+            .options
+            .get("trace")
+            .map(String::as_str)
+            .unwrap_or("MRA");
         let profile = TraceProfile::by_name(profile_name)
             .ok_or_else(|| format!("unknown trace profile `{profile_name}`"))?;
         SyntheticTrace::new(profile, seed).take_packets(n)
     };
 
     let config = WorkloadConfig::default();
-    let app = App::build(id, &config).map_err(|e| e.to_string())?;
-    let mut bench = PacketBench::with_config(app, &config).map_err(|e| e.to_string())?;
-    let block_map = bench.block_map().clone();
-    let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
     let detail = Detail {
         uarch,
         ..Detail::counts()
     };
+    let engine = Engine::with_config(id, config).verify(verify);
+    let run = engine
+        .run(&packets, detail, threads)
+        .map_err(|e| e.to_string())?;
 
+    // Analysis metadata (program + basic blocks) from a host-side build.
+    let app = App::build(id, &config).map_err(|e| e.to_string())?;
+    let block_map = npsim::bblock::BlockMap::build(app.image().program());
+    let mut analysis = TraceAnalysis::new(app.image().program(), &block_map);
     let mut cycles = 0u64;
-    for (i, packet) in packets.iter().enumerate() {
-        let record = if verify {
-            bench.process_verified(packet, detail)
-        } else {
-            bench.process_packet(packet, detail)
-        }
-        .map_err(|e| format!("packet {i}: {e}"))?;
+    for record in &run.records {
         if let Some(u) = record.stats.uarch {
             cycles += u.cycles;
         }
-        analysis.add(&block_map, &record);
+        analysis.add(&block_map, record);
     }
 
     println!("application:            {}", id.name());
     println!("packets:                {}", analysis.packets());
+    println!(
+        "threads:                {} ({:.1} ms wall, {:.0} packets/sec)",
+        run.threads,
+        run.elapsed.as_secs_f64() * 1e3,
+        run.packets_per_sec()
+    );
     println!("avg instructions:       {:.1}", analysis.avg_instructions());
     println!(
         "avg memory accesses:    {:.1} packet + {:.1} non-packet",

@@ -1,0 +1,346 @@
+//! The parallel trace engine: fans a packet trace over sharded worker
+//! threads, each owning a private [`PacketBench`], and merges the results
+//! back into trace order.
+//!
+//! ## Determinism
+//!
+//! The engine is built so aggregate statistics are **bit-identical at any
+//! thread count**:
+//!
+//! * Stateless applications (radix, trie, TSA, IPsec) round-robin packets
+//!   over workers — per-packet results depend only on the packet, so
+//!   placement is free.
+//! * Flow Classification shards by the flow table's *bucket* of the
+//!   packet's 5-tuple. Every flow that could share a hash chain lands on
+//!   the same worker, so each worker's chains evolve exactly as the
+//!   serial run's chains do and per-flow counts stay exact.
+//! * Workers process their packets in trace order and report
+//!   `(packet_index, record, emitted packets)` tuples; the engine
+//!   reassembles them into trace order, so records and output packets are
+//!   independent of scheduling. Output-packet timestamps come from the
+//!   global trace position ([`PacketBench::process_packet_at`]), not from
+//!   worker-local counters.
+//! * `threads <= 1` takes the exact serial path — one `PacketBench`, no
+//!   threads spawned.
+//!
+//! Known limits of parallel bit-identity (counts detail is always exact):
+//! with `Detail::uarch` the Flow Classification cache statistics can
+//! differ from serial, because each worker lays its shard of the flow
+//! table into its own memory; and if the flow table overflows capacity,
+//! overflow ordering is per-worker. The default workloads do neither.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use nettrace::Packet;
+
+use crate::apps::{App, AppId};
+use crate::config::WorkloadConfig;
+use crate::error::BenchError;
+use crate::framework::{Detail, PacketBench, PacketRecord};
+
+/// A parallel (or serial) runner for one application over a packet trace.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    id: AppId,
+    config: WorkloadConfig,
+    verify: bool,
+}
+
+impl Engine {
+    /// An engine for `id` with the default workload configuration.
+    pub fn new(id: AppId) -> Engine {
+        Engine::with_config(id, WorkloadConfig::default())
+    }
+
+    /// An engine for `id` with an explicit workload configuration.
+    pub fn with_config(id: AppId, config: WorkloadConfig) -> Engine {
+        Engine {
+            id,
+            config,
+            verify: false,
+        }
+    }
+
+    /// Enables or disables golden-model verification of every packet.
+    pub fn verify(mut self, verify: bool) -> Engine {
+        self.verify = verify;
+        self
+    }
+
+    /// The application this engine runs.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// The workload configuration in force.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Which worker a packet belongs to. Flow Classification shards by
+    /// hash bucket so chained flows stay together; everything else
+    /// round-robins by position.
+    fn shard_of(&self, position: usize, packet: &Packet, threads: usize) -> usize {
+        if self.id == AppId::FlowClass {
+            if let Ok(key) = flowclass::FlowKey::from_l3(packet.l3()) {
+                return key.bucket(self.config.flow_buckets) as usize % threads;
+            }
+            // Unparsable packets never touch the flow table; placement
+            // is free.
+        }
+        position % threads
+    }
+
+    /// Runs `packets` on `threads` workers (0 = available parallelism)
+    /// and returns the merged, trace-ordered results.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing packet — the same error a
+    /// serial run would have stopped at.
+    pub fn run(
+        &self,
+        packets: &[Packet],
+        detail: Detail,
+        threads: usize,
+    ) -> Result<EngineRun, BenchError> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let threads = threads.clamp(1, packets.len().max(1));
+        let start = Instant::now();
+        if threads == 1 {
+            return self.run_serial(packets, detail, start);
+        }
+
+        let assignments: Vec<usize> = packets
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.shard_of(i, p, threads))
+            .collect();
+
+        type Batch = Vec<(usize, PacketRecord, Vec<Packet>)>;
+        let (tx, rx) = mpsc::channel::<Result<Batch, (usize, BenchError)>>();
+        let mut slots: Vec<Option<(PacketRecord, Vec<Packet>)>> = Vec::new();
+        slots.resize_with(packets.len(), || None);
+        let mut first_error: Option<(usize, BenchError)> = None;
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let tx = tx.clone();
+                let indices: Vec<usize> = assignments
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &shard)| shard == worker)
+                    .map(|(i, _)| i)
+                    .collect();
+                if indices.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    let _ = tx.send(self.worker_run(&indices, packets, detail));
+                });
+            }
+            drop(tx);
+            for result in rx {
+                match result {
+                    Ok(batch) => {
+                        for (i, record, outs) in batch {
+                            slots[i] = Some((record, outs));
+                        }
+                    }
+                    Err((i, e)) => {
+                        if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            first_error = Some((i, e));
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        let mut records = Vec::with_capacity(packets.len());
+        let mut output_packets = Vec::new();
+        for slot in slots {
+            let (record, outs) = slot.expect("every packet produced a record");
+            records.push(record);
+            output_packets.extend(outs);
+        }
+        Ok(EngineRun {
+            records,
+            output_packets,
+            threads,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn run_serial(
+        &self,
+        packets: &[Packet],
+        detail: Detail,
+        start: Instant,
+    ) -> Result<EngineRun, BenchError> {
+        let app = App::build(self.id, &self.config)?;
+        let mut bench = PacketBench::with_config(app, &self.config)?;
+        let mut records = Vec::with_capacity(packets.len());
+        for packet in packets {
+            let mut record = PacketRecord::empty();
+            bench.process_packet_into(packet, detail, &mut record)?;
+            if self.verify {
+                bench.verify_record(packet, &record)?;
+            }
+            records.push(record);
+        }
+        Ok(EngineRun {
+            records,
+            output_packets: bench.take_output_packets(),
+            threads: 1,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// One worker: a private `PacketBench`, its assigned packets in trace
+    /// order, results tagged with their trace index.
+    #[allow(clippy::type_complexity)]
+    fn worker_run(
+        &self,
+        indices: &[usize],
+        packets: &[Packet],
+        detail: Detail,
+    ) -> Result<Vec<(usize, PacketRecord, Vec<Packet>)>, (usize, BenchError)> {
+        let first = indices.first().copied().unwrap_or(0);
+        let app = App::build(self.id, &self.config).map_err(|e| (first, e))?;
+        let mut bench = PacketBench::with_config(app, &self.config).map_err(|e| (first, e))?;
+        let mut batch = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let packet = &packets[i];
+            let mut record = PacketRecord::empty();
+            bench
+                .process_packet_at(i as u64, packet, detail, &mut record)
+                .map_err(|e| (i, e))?;
+            if self.verify {
+                bench.verify_record(packet, &record).map_err(|e| (i, e))?;
+            }
+            let outs = bench.take_output_packets();
+            batch.push((i, record, outs));
+        }
+        Ok(batch)
+    }
+}
+
+/// The merged, trace-ordered result of an [`Engine::run`].
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// One record per input packet, in trace order.
+    pub records: Vec<PacketRecord>,
+    /// Packets the application emitted via `write_packet_to_file`, in
+    /// trace order of the packets that emitted them.
+    pub output_packets: Vec<Packet>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock time of the run, including per-worker app builds.
+    pub elapsed: Duration,
+}
+
+impl EngineRun {
+    /// Total instructions executed across all packets.
+    pub fn total_instructions(&self) -> u64 {
+        self.records.iter().map(|r| r.stats.instret).sum()
+    }
+
+    /// Simulated packets per wall-clock second.
+    pub fn packets_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.records.len() as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::synth::{SyntheticTrace, TraceProfile};
+
+    fn trace(n: usize, seed: u64) -> Vec<Packet> {
+        let mut t = SyntheticTrace::new(TraceProfile::mra(), seed);
+        (0..n).map(|_| t.next_packet()).collect()
+    }
+
+    #[test]
+    fn serial_engine_matches_packetbench() {
+        let packets = trace(80, 9);
+        let run = Engine::new(AppId::Ipv4Trie)
+            .run(&packets, Detail::counts(), 1)
+            .unwrap();
+        assert_eq!(run.threads, 1);
+        assert_eq!(run.records.len(), packets.len());
+
+        let app = App::build(AppId::Ipv4Trie, &WorkloadConfig::default()).unwrap();
+        let mut bench = PacketBench::new(app).unwrap();
+        for (i, p) in packets.iter().enumerate() {
+            let r = bench.process_packet(p, Detail::counts()).unwrap();
+            assert_eq!(r.stats.instret, run.records[i].stats.instret);
+            assert_eq!(r.verdict, run.records[i].verdict);
+            assert_eq!(r.return_value, run.records[i].return_value);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_flow() {
+        let packets = trace(200, 11);
+        let engine = Engine::new(AppId::FlowClass);
+        let serial = engine.run(&packets, Detail::counts(), 1).unwrap();
+        let parallel = engine.run(&packets, Detail::counts(), 3).unwrap();
+        assert_eq!(parallel.threads, 3);
+        for (a, b) in serial.records.iter().zip(&parallel.records) {
+            assert_eq!(a.return_value, b.return_value);
+            assert_eq!(a.stats.instret, b.stats.instret);
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let packets = trace(10, 13);
+        let run = Engine::new(AppId::Ipv4Trie)
+            .run(&packets, Detail::counts(), 0)
+            .unwrap();
+        assert!(run.threads >= 1);
+        assert_eq!(run.records.len(), 10);
+    }
+
+    #[test]
+    fn error_reporting_is_deterministic() {
+        let mut packets = trace(40, 17);
+        // Two short packets; the engine must report the lower index no
+        // matter how workers race.
+        packets[31] = Packet::from_l3(nettrace::Timestamp::default(), vec![0x45; 8]);
+        packets[7] = Packet::from_l3(nettrace::Timestamp::default(), vec![0x45; 8]);
+        for threads in [1, 2, 4] {
+            let err = Engine::new(AppId::Ipv4Radix)
+                .run(&packets, Detail::counts(), threads)
+                .unwrap_err();
+            assert!(
+                matches!(err, BenchError::BadPacket(_)),
+                "threads={threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_mode_works_in_parallel() {
+        let packets = trace(60, 19);
+        let run = Engine::new(AppId::Ipv4Radix)
+            .verify(true)
+            .run(&packets, Detail::counts(), 4)
+            .unwrap();
+        assert_eq!(run.records.len(), 60);
+    }
+}

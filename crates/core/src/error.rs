@@ -82,6 +82,8 @@ mod tests {
         assert!(e.to_string().contains("simulation fault"));
         assert!(e.source().is_some());
         assert!(BenchError::NoEntryPoint { app: "x" }.source().is_none());
-        assert!(!BenchError::Mismatch { what: "nh".into() }.to_string().is_empty());
+        assert!(!BenchError::Mismatch { what: "nh".into() }
+            .to_string()
+            .is_empty());
     }
 }

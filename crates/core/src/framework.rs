@@ -11,9 +11,7 @@
 
 use nettrace::{Packet, Timestamp};
 use npsim::bblock::BlockMap;
-use npsim::{
-    reg, Cpu, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome,
-};
+use npsim::{reg, Cpu, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome};
 
 use crate::apps::App;
 use crate::config::WorkloadConfig;
@@ -85,9 +83,7 @@ impl Detail {
         RunConfig {
             record_pc_trace: self.pc_trace,
             record_mem_trace: self.mem_trace,
-            uarch: self
-                .uarch
-                .then(|| self.uarch_config.unwrap_or_default()),
+            uarch: self.uarch.then(|| self.uarch_config.unwrap_or_default()),
             ..RunConfig::default()
         }
     }
@@ -104,6 +100,24 @@ pub struct PacketRecord {
     /// The application's `a0` on return (next hop, flow count, or
     /// anonymized address, depending on the application).
     pub return_value: u32,
+}
+
+impl PacketRecord {
+    /// An empty record suitable as reusable scratch for
+    /// [`PacketBench::process_packet_into`].
+    pub fn empty() -> PacketRecord {
+        PacketRecord {
+            stats: RunStats::for_program(0),
+            verdict: Verdict::Returned,
+            return_value: 0,
+        }
+    }
+}
+
+impl Default for PacketRecord {
+    fn default() -> PacketRecord {
+        PacketRecord::empty()
+    }
 }
 
 struct FrameworkSys<'a> {
@@ -210,6 +224,12 @@ impl PacketBench {
         &self.out_packets
     }
 
+    /// Removes and returns the packets emitted so far via
+    /// `write_packet_to_file`, leaving the output buffer empty.
+    pub fn take_output_packets(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.out_packets)
+    }
+
     /// Packets processed so far.
     pub fn packets_processed(&self) -> u64 {
         self.packets_processed
@@ -226,6 +246,52 @@ impl PacketBench {
         packet: &Packet,
         detail: Detail,
     ) -> Result<PacketRecord, BenchError> {
+        let mut record = PacketRecord::empty();
+        self.process_packet_into(packet, detail, &mut record)?;
+        Ok(record)
+    }
+
+    /// Runs one packet, recording into caller-provided scratch so repeated
+    /// calls at [`Detail::counts`] perform no per-packet heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketBench::process_packet`].
+    pub fn process_packet_into(
+        &mut self,
+        packet: &Packet,
+        detail: Detail,
+        record: &mut PacketRecord,
+    ) -> Result<(), BenchError> {
+        self.process_packet_with_clock(packet, detail, None, record)
+    }
+
+    /// Runs one packet as if it were the 0-based `index`-th packet of a
+    /// trace: output packets emitted via `write_packet_to_file` are
+    /// timestamped by trace position. The parallel engine uses this so a
+    /// worker's output is identical to what a serial run would produce at
+    /// the same position.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketBench::process_packet`].
+    pub fn process_packet_at(
+        &mut self,
+        index: u64,
+        packet: &Packet,
+        detail: Detail,
+        record: &mut PacketRecord,
+    ) -> Result<(), BenchError> {
+        self.process_packet_with_clock(packet, detail, Some((index + 1) as u32), record)
+    }
+
+    fn process_packet_with_clock(
+        &mut self,
+        packet: &Packet,
+        detail: Detail,
+        clock: Option<u32>,
+        record: &mut PacketRecord,
+    ) -> Result<(), BenchError> {
         let l3 = packet.l3();
         if l3.len() < 20 {
             return Err(BenchError::BadPacket(
@@ -250,14 +316,17 @@ impl PacketBench {
         let mut handler = FrameworkSys {
             verdict: Verdict::Returned,
             out: &mut self.out_packets,
-            clock: self.packets_processed as u32,
+            clock: clock.unwrap_or(self.packets_processed as u32),
         };
-        let stats = cpu.run_with(&mut self.mem, &detail.run_config(), &mut handler)?;
-        Ok(PacketRecord {
-            stats,
-            verdict: handler.verdict,
-            return_value: cpu.reg(reg::A0),
-        })
+        cpu.run_into(
+            &mut self.mem,
+            &detail.run_config(),
+            &mut handler,
+            &mut record.stats,
+        )?;
+        record.verdict = handler.verdict;
+        record.return_value = cpu.reg(reg::A0);
+        Ok(())
     }
 
     /// Runs one packet and checks the result against the application's
@@ -275,9 +344,25 @@ impl PacketBench {
         detail: Detail,
     ) -> Result<PacketRecord, BenchError> {
         let record = self.process_packet(packet, detail)?;
-        let l3 = packet.l3().to_vec();
-        self.app.verify(&l3, &record, &self.mem)?;
+        self.verify_record(packet, &record)?;
         Ok(record)
+    }
+
+    /// Checks an already-computed record against the application's golden
+    /// model. The golden model is stateful for Flow Classification, so
+    /// records must be verified in the order their packets were processed.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Mismatch`] when the application and its golden model
+    /// disagree.
+    pub fn verify_record(
+        &mut self,
+        packet: &Packet,
+        record: &PacketRecord,
+    ) -> Result<(), BenchError> {
+        let l3 = packet.l3().to_vec();
+        self.app.verify(&l3, record, &self.mem)
     }
 
     /// Runs `packets` through the application, calling `visit` with each
@@ -299,6 +384,32 @@ impl PacketBench {
         for (i, packet) in packets.into_iter().enumerate() {
             let record = self.process_packet(&packet, detail)?;
             visit(i as u64, record);
+        }
+        Ok(())
+    }
+
+    /// Runs borrowed `packets` through the application, calling `visit`
+    /// with each record. Unlike [`PacketBench::run_trace`] this neither
+    /// consumes the packets nor allocates a fresh record per packet — one
+    /// scratch [`PacketRecord`] is reused for the whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing packet.
+    pub fn run_trace_ref<'a, I, F>(
+        &mut self,
+        packets: I,
+        detail: Detail,
+        mut visit: F,
+    ) -> Result<(), BenchError>
+    where
+        I: IntoIterator<Item = &'a Packet>,
+        F: FnMut(u64, &PacketRecord),
+    {
+        let mut record = PacketRecord::empty();
+        for (i, packet) in packets.into_iter().enumerate() {
+            self.process_packet_into(packet, detail, &mut record)?;
+            visit(i as u64, &record);
         }
         Ok(())
     }

@@ -46,11 +46,13 @@
 pub mod analysis;
 pub mod apps;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod framework;
 pub mod report;
 
 pub use apps::{App, AppId};
 pub use config::WorkloadConfig;
+pub use engine::{Engine, EngineRun};
 pub use error::BenchError;
 pub use framework::{Detail, PacketBench, PacketRecord, Verdict};

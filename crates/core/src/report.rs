@@ -178,7 +178,11 @@ pub fn render_instruction_pattern(title: &str, pattern: &InstructionPattern) -> 
     for &(step, unique) in pattern.points() {
         let _ = writeln!(out, "{step} {unique}");
     }
-    let _ = writeln!(out, "# unique instructions: {}", pattern.unique_instructions());
+    let _ = writeln!(
+        out,
+        "# unique instructions: {}",
+        pattern.unique_instructions()
+    );
     out
 }
 
@@ -256,8 +260,7 @@ mod tests {
     #[test]
     fn variation_table_formats_shares() {
         let hist = Histogram::collect([10u64, 10, 12, 13].into_iter());
-        let text =
-            render_variation_table("Table V: Variation", &[(AppId::Ipv4Trie, hist)]);
+        let text = render_variation_table("Table V: Variation", &[(AppId::Ipv4Trie, hist)]);
         assert!(text.contains("10 (50.00%)"));
         assert!(text.contains("13 ("));
     }
@@ -278,8 +281,8 @@ mod tests {
 
     #[test]
     fn instruction_pattern_renders_points_and_summary() {
-        use npsim::{Program, MemoryMap};
         use npsim::isa::{reg, Inst, Op};
+        use npsim::{MemoryMap, Program};
         let map = MemoryMap::default();
         let program = Program::new(
             vec![
@@ -308,8 +311,16 @@ mod tests {
         use crate::analysis::MemSeqPoint;
         use npsim::AccessKind;
         let seq = vec![
-            MemSeqPoint { step: 0, packet: true, kind: AccessKind::Read },
-            MemSeqPoint { step: 3, packet: false, kind: AccessKind::Write },
+            MemSeqPoint {
+                step: 0,
+                packet: true,
+                kind: AccessKind::Read,
+            },
+            MemSeqPoint {
+                step: 3,
+                packet: false,
+                kind: AccessKind::Write,
+            },
         ];
         let text = render_memory_sequence("Fig 9", &seq);
         assert!(text.contains("0 1 R"));
@@ -318,7 +329,10 @@ mod tests {
 
     #[test]
     fn table3_formats_both_columns() {
-        let cells = [[MemCell { packet: 32.0, non_packet: 836.0 }; 4]; 4];
+        let cells = [[MemCell {
+            packet: 32.0,
+            non_packet: 836.0,
+        }; 4]; 4];
         let text = render_table3(&["MRA", "COS", "ODU", "LAN"], &cells);
         assert!(text.contains("Packet"));
         assert!(text.contains("Non-packet"));

@@ -92,11 +92,7 @@ impl FlowImage {
 
     /// Reads a flow node's `(packets, bytes)` by walking the image — a
     /// host-side reference used by the equivalence tests.
-    pub fn find_flow(
-        &self,
-        mem: &Memory,
-        key: &crate::FlowKey,
-    ) -> Option<(u32, u32)> {
+    pub fn find_flow(&self, mem: &Memory, key: &crate::FlowKey) -> Option<(u32, u32)> {
         let bucket = key.bucket(self.buckets);
         let mut node = mem.read_u32(self.buckets_base + 4 * bucket);
         while node != 0 {

@@ -112,7 +112,7 @@ pub struct FlowState {
 /// identical to the simulated-memory layout in [`layout`].
 #[derive(Debug, Clone)]
 pub struct FlowTable {
-    buckets: Vec<Option<usize>>, // head index into `nodes`
+    buckets: Vec<Option<usize>>,            // head index into `nodes`
     nodes: Vec<(FlowState, Option<usize>)>, // (state, next)
     capacity: usize,
 }

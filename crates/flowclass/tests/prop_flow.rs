@@ -1,68 +1,88 @@
-//! Property test: the chained-hash flow table behaves exactly like a
-//! `HashMap`-based model under arbitrary packet sequences.
+//! Randomized (seeded, deterministic) test: the chained-hash flow table
+//! behaves exactly like a `HashMap`-based model under arbitrary packet
+//! sequences.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 use flowclass::{FlowKey, FlowTable};
 
-fn arb_key() -> impl Strategy<Value = FlowKey> {
-    // A small universe so flows repeat.
-    (0u32..20, 0u32..20, 0u16..4, 0u16..4, prop_oneof![Just(6u8), Just(17u8), Just(1u8)])
-        .prop_map(|(src, dst, sp, dp, protocol)| FlowKey {
-            src,
-            dst,
-            src_port: sp * 1000,
-            dst_port: dp * 1000,
-            protocol,
-        })
+/// Keys drawn from a small universe so flows repeat.
+fn arb_key(rng: &mut StdRng) -> FlowKey {
+    const PROTOCOLS: [u8; 3] = [6, 17, 1];
+    FlowKey {
+        src: rng.gen_range(0u32..20),
+        dst: rng.gen_range(0u32..20),
+        src_port: rng.gen_range(0u16..4) * 1000,
+        dst_port: rng.gen_range(0u16..4) * 1000,
+        protocol: PROTOCOLS[rng.gen_range(0usize..PROTOCOLS.len())],
+    }
 }
 
-proptest! {
-    #[test]
-    fn flow_table_matches_hashmap_model(
-        packets in proptest::collection::vec((arb_key(), 20u32..1500), 0..300),
-        buckets in prop_oneof![Just(1u32), Just(4), Just(64)],
-    ) {
+#[test]
+fn flow_table_matches_hashmap_model() {
+    const BUCKET_CHOICES: [u32; 3] = [1, 4, 64];
+    let mut rng = StdRng::seed_from_u64(0x464c_0001);
+    for _ in 0..120 {
+        let buckets = BUCKET_CHOICES[rng.gen_range(0usize..BUCKET_CHOICES.len())];
+        let count = rng.gen_range(0usize..300);
         let mut table = FlowTable::new(buckets, 10_000);
         let mut model: HashMap<FlowKey, (u32, u32)> = HashMap::new();
-        for (key, bytes) in packets {
+        for _ in 0..count {
+            let key = arb_key(&mut rng);
+            let bytes = rng.gen_range(20u32..1500);
             let entry = model.entry(key).or_insert((0, 0));
             entry.0 += 1;
             entry.1 = entry.1.wrapping_add(bytes);
             let got = table.process(key, bytes);
-            prop_assert_eq!(got, Some(entry.0));
+            assert_eq!(got, Some(entry.0));
         }
-        prop_assert_eq!(table.flow_count(), model.len());
+        assert_eq!(table.flow_count(), model.len());
         for (key, &(packets, bytes)) in &model {
             let state = table.get(key).expect("flow exists");
-            prop_assert_eq!(state.packets, packets);
-            prop_assert_eq!(state.bytes, bytes);
+            assert_eq!(state.packets, packets);
+            assert_eq!(state.bytes, bytes);
         }
     }
+}
 
-    #[test]
-    fn capacity_limits_are_exact(
-        keys in proptest::collection::hash_set(arb_key(), 5..30),
-        capacity in 1usize..5,
-    ) {
+#[test]
+fn capacity_limits_are_exact() {
+    let mut rng = StdRng::seed_from_u64(0x464c_0002);
+    for _ in 0..120 {
+        let capacity = rng.gen_range(1usize..5);
+        // A set of distinct keys, insertion order preserved.
+        let mut keys: Vec<FlowKey> = Vec::new();
+        let wanted = rng.gen_range(5usize..30);
+        while keys.len() < wanted {
+            let key = arb_key(&mut rng);
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
         let mut table = FlowTable::new(16, capacity);
-        let keys: Vec<FlowKey> = keys.into_iter().collect();
         for (i, key) in keys.iter().enumerate() {
             let got = table.process(*key, 1);
             if i < capacity {
-                prop_assert_eq!(got, Some(1));
+                assert_eq!(got, Some(1));
             } else {
-                prop_assert_eq!(got, None);
+                assert_eq!(got, None);
             }
         }
-        prop_assert_eq!(table.flow_count(), capacity.min(keys.len()));
+        assert_eq!(table.flow_count(), capacity.min(keys.len()));
     }
+}
 
-    #[test]
-    fn hash_is_stable_and_bucket_in_range(key in arb_key(), buckets in prop_oneof![Just(1u32), Just(256), Just(8192)]) {
-        prop_assert_eq!(key.hash(), key.hash());
-        prop_assert!(key.bucket(buckets) < buckets);
+#[test]
+fn hash_is_stable_and_bucket_in_range() {
+    const BUCKET_CHOICES: [u32; 3] = [1, 256, 8192];
+    let mut rng = StdRng::seed_from_u64(0x464c_0003);
+    for _ in 0..500 {
+        let key = arb_key(&mut rng);
+        let buckets = BUCKET_CHOICES[rng.gen_range(0usize..BUCKET_CHOICES.len())];
+        assert_eq!(key.hash(), key.hash());
+        assert!(key.bucket(buckets) < buckets);
     }
 }

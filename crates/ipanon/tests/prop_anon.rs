@@ -1,33 +1,61 @@
-//! Property tests for the anonymization invariants: prefix preservation
-//! (exactly — common prefixes survive, divergence points survive) and
-//! injectivity.
+//! Randomized (seeded, deterministic) tests for the anonymization
+//! invariants: prefix preservation (exactly — common prefixes survive,
+//! divergence points survive) and injectivity.
 
-use proptest::prelude::*;
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 use ipanon::{common_prefix_len, PrefixPreserving, Tsa};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draws address pairs that share a prefix often enough to exercise the
+/// interesting cases (uniform pairs almost never share more than a few
+/// bits).
+fn arb_pair(rng: &mut StdRng) -> (u32, u32) {
+    let a = rng.gen::<u32>();
+    let b = match rng.gen_range(0u32..4) {
+        0 => rng.gen::<u32>(),
+        1 => a ^ (1 << rng.gen_range(0u32..32)), // differ in one bit
+        2 => a ^ rng.gen_range(1u32..0x1_0000),  // shared top half
+        _ => a,                                  // identical
+    };
+    (a, b)
+}
 
-    #[test]
-    fn full_scheme_preserves_prefix_length_exactly(key: u64, a: u32, b: u32) {
+#[test]
+fn full_scheme_preserves_prefix_length_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0001);
+    for _ in 0..64 {
+        let key = rng.gen::<u64>();
+        let (a, b) = arb_pair(&mut rng);
         let anon = PrefixPreserving::new(key);
         let before = common_prefix_len(a, b);
         let after = common_prefix_len(anon.anonymize(a), anon.anonymize(b));
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    #[test]
-    fn full_scheme_is_injective_pairwise(key: u64, a: u32, b: u32) {
-        prop_assume!(a != b);
+#[test]
+fn full_scheme_is_injective_pairwise() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0002);
+    for _ in 0..64 {
+        let key = rng.gen::<u64>();
+        let (a, b) = arb_pair(&mut rng);
+        if a == b {
+            continue;
+        }
         let anon = PrefixPreserving::new(key);
-        prop_assert_ne!(anon.anonymize(a), anon.anonymize(b));
+        assert_ne!(anon.anonymize(a), anon.anonymize(b));
     }
+}
 
-    #[test]
-    fn full_scheme_is_deterministic(key: u64, addr: u32) {
+#[test]
+fn full_scheme_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0003);
+    for _ in 0..64 {
+        let key = rng.gen::<u64>();
+        let addr = rng.gen::<u32>();
         let anon = PrefixPreserving::new(key);
-        prop_assert_eq!(anon.anonymize(addr), anon.anonymize(addr));
+        assert_eq!(anon.anonymize(addr), anon.anonymize(addr));
     }
 }
 
@@ -39,39 +67,57 @@ fn tsas() -> &'static [Tsa; 2] {
     TSAS.get_or_init(|| [Tsa::new(0xfeed_f00d), Tsa::new(42)])
 }
 
-proptest! {
-    #[test]
-    fn tsa_preserves_prefix_length_exactly(which in 0usize..2, a: u32, b: u32) {
-        let tsa = &tsas()[which];
+#[test]
+fn tsa_preserves_prefix_length_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0004);
+    for _ in 0..256 {
+        let tsa = &tsas()[rng.gen_range(0usize..2)];
+        let (a, b) = arb_pair(&mut rng);
         let before = common_prefix_len(a, b);
         let after = common_prefix_len(tsa.anonymize(a), tsa.anonymize(b));
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    #[test]
-    fn tsa_is_injective_pairwise(which in 0usize..2, a: u32, b: u32) {
-        prop_assume!(a != b);
-        let tsa = &tsas()[which];
-        prop_assert_ne!(tsa.anonymize(a), tsa.anonymize(b));
+#[test]
+fn tsa_is_injective_pairwise() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0005);
+    for _ in 0..256 {
+        let tsa = &tsas()[rng.gen_range(0usize..2)];
+        let (a, b) = arb_pair(&mut rng);
+        if a == b {
+            continue;
+        }
+        assert_ne!(tsa.anonymize(a), tsa.anonymize(b));
     }
+}
 
-    #[test]
-    fn tsa_replication_property(which in 0usize..2, top_a: u16, top_b: u16, low: u16) {
+#[test]
+fn tsa_replication_property() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0006);
+    for _ in 0..256 {
         // The low 16 bits anonymize identically under every top prefix —
         // the speed/privacy trade the paper's TSA makes.
-        let tsa = &tsas()[which];
+        let tsa = &tsas()[rng.gen_range(0usize..2)];
+        let top_a = rng.gen::<u16>();
+        let top_b = rng.gen::<u16>();
+        let low = rng.gen::<u16>();
         let a = (u32::from(top_a) << 16) | u32::from(low);
         let b = (u32::from(top_b) << 16) | u32::from(low);
-        prop_assert_eq!(tsa.anonymize(a) & 0xffff, tsa.anonymize(b) & 0xffff);
+        assert_eq!(tsa.anonymize(a) & 0xffff, tsa.anonymize(b) & 0xffff);
     }
+}
 
-    #[test]
-    fn tsa_agrees_with_full_scheme_on_divergence_structure(which in 0usize..2, a: u32, b: u32) {
+#[test]
+fn tsa_agrees_with_full_scheme_on_divergence_structure() {
+    let mut rng = StdRng::seed_from_u64(0x414e_0007);
+    let full = PrefixPreserving::new(0x1111);
+    for _ in 0..256 {
         // Both schemes preserve the divergence point, so they agree on
         // *where* two anonymized addresses first differ.
-        let tsa = &tsas()[which];
-        let full = PrefixPreserving::new(0x1111);
-        prop_assert_eq!(
+        let tsa = &tsas()[rng.gen_range(0usize..2)];
+        let (a, b) = arb_pair(&mut rng);
+        assert_eq!(
             common_prefix_len(tsa.anonymize(a), tsa.anonymize(b)),
             common_prefix_len(full.anonymize(a), full.anonymize(b))
         );

@@ -103,8 +103,8 @@ mod tests {
         // Walk a TTL from 64 down to 1, comparing incremental updates with
         // full recomputation at every step.
         let mut header = [
-            0x45, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x00, 0x00, 64, 17, 0, 0, 192, 168, 0, 1, 10,
-            1, 2, 3,
+            0x45, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x00, 0x00, 64, 17, 0, 0, 192, 168, 0, 1, 10, 1, 2,
+            3,
         ];
         let mut sum = {
             let mut h = header;

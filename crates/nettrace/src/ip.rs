@@ -64,9 +64,7 @@ impl Ipv4Header {
         let version = data[0] >> 4;
         let ihl = data[0] & 0x0f;
         if version != 4 {
-            return Err(TraceError::MalformedPacket {
-                reason: "not IPv4",
-            });
+            return Err(TraceError::MalformedPacket { reason: "not IPv4" });
         }
         if ihl < 5 {
             return Err(TraceError::MalformedPacket {

@@ -289,7 +289,9 @@ mod tests {
         let mut reader = PcapReader::new(cut).unwrap();
         assert!(matches!(
             reader.next_packet(),
-            Err(TraceError::Truncated { what: "pcap record body" })
+            Err(TraceError::Truncated {
+                what: "pcap record body"
+            })
         ));
         // Cut mid record header.
         let cut = &file[..28];

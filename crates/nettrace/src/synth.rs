@@ -16,8 +16,8 @@
 //! Everything is driven by a seeded PRNG: the same profile and seed always
 //! generate byte-identical packets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 use crate::ip::{proto, Ipv4Header, TcpHeader, UdpHeader};
 use crate::packet::{LinkType, Packet, Timestamp};
@@ -368,7 +368,8 @@ impl SyntheticTrace {
             }
         }
         // Deterministic payload fill.
-        let payload_start = 20 + usize::from(header.protocol == proto::TCP) * 20
+        let payload_start = 20
+            + usize::from(header.protocol == proto::TCP) * 20
             + usize::from(header.protocol == proto::UDP) * 8;
         for (i, byte) in l3.iter_mut().enumerate().skip(payload_start.min(captured)) {
             *byte = (i as u8) ^ (flow.seq as u8);
@@ -498,7 +499,10 @@ mod tests {
         assert_eq!(p.link, LinkType::Ethernet);
         assert_eq!(p.data[12], 0x08);
         assert_eq!(p.l3()[0] >> 4, 4);
-        assert_eq!(p.orig_len as usize, 14 + usize::from(Ipv4Header::parse(p.l3()).unwrap().total_len));
+        assert_eq!(
+            p.orig_len as usize,
+            14 + usize::from(Ipv4Header::parse(p.l3()).unwrap().total_len)
+        );
     }
 
     #[test]

@@ -177,12 +177,8 @@ pub fn assemble(source: &str, map: MemoryMap) -> Result<Image, AsmError> {
                 // same line.
                 if let Some(Stmt::Directive(d)) = &line.stmt {
                     let aligned = match d {
-                        Directive::Word(exprs) => {
-                            Some(here_after - 4 * exprs.len() as u32)
-                        }
-                        Directive::Half(exprs) => {
-                            Some(here_after - 2 * exprs.len() as u32)
-                        }
+                        Directive::Word(exprs) => Some(here_after - 4 * exprs.len() as u32),
+                        Directive::Half(exprs) => Some(here_after - 2 * exprs.len() as u32),
                         Directive::Align(_) => Some(here_after),
                         _ => None,
                     };
@@ -365,11 +361,7 @@ fn hi_lo(v: u32) -> (i32, i32) {
     ((v >> 16) as i32, (v & 0xffff) as i32)
 }
 
-fn bad(
-    mnemonic: &str,
-    expected: &'static str,
-    line_no: u32,
-) -> AsmError {
+fn bad(mnemonic: &str, expected: &'static str, line_no: u32) -> AsmError {
     AsmError::new(
         line_no,
         AsmErrorKind::BadOperands {
@@ -827,14 +819,12 @@ mod tests {
 
     #[test]
     fn byte_half_word_layout() {
-        let image = asm(
-            ".text
+        let image = asm(".text
              main: ret
              .data
              b: .byte 1, 2
              h: .half 0x0304
-             w: .word 0x05060708",
-        );
+             w: .word 0x05060708");
         let base = image.data_base();
         assert_eq!(image.symbol("b"), Some(base));
         assert_eq!(image.symbol("h"), Some(base + 2));
@@ -844,13 +834,11 @@ mod tests {
 
     #[test]
     fn align_moves_labels() {
-        let image = asm(
-            ".text
+        let image = asm(".text
              main: ret
              .data
              a: .byte 1
-             w: .word 9",
-        );
+             w: .word 9");
         // .word aligns to 4; label w must point at the aligned slot.
         assert_eq!(image.symbol("w"), Some(image.data_base() + 4));
         assert_eq!(image.data()[4], 9);
@@ -858,13 +846,11 @@ mod tests {
 
     #[test]
     fn space_reserves_zeroed_bytes() {
-        let image = asm(
-            ".text
+        let image = asm(".text
              main: ret
              .data
              buf: .space 16
-             end: .byte 0xff",
-        );
+             end: .byte 0xff");
         assert_eq!(image.symbol("end"), Some(image.data_base() + 16));
         assert_eq!(image.data().len(), 17);
         assert!(image.data()[..16].iter().all(|&b| b == 0));
@@ -872,13 +858,11 @@ mod tests {
 
     #[test]
     fn word_with_label_value() {
-        let image = asm(
-            ".text
+        let image = asm(".text
              main: ret
              .data
              ptr: .word target
-             target: .word 7",
-        );
+             target: .word 7");
         let target = image.symbol("target").unwrap();
         assert_eq!(
             u32::from_le_bytes(image.data()[0..4].try_into().unwrap()),

@@ -93,7 +93,10 @@ impl fmt::Display for AsmError {
             }
             AsmErrorKind::WrongSection(what) => write!(f, "{what} not allowed in this section"),
             AsmErrorKind::BranchTooFar { label, distance } => {
-                write!(f, "branch to `{label}` is {distance} bytes away, out of reach")
+                write!(
+                    f,
+                    "branch to `{label}` is {distance} bytes away, out of reach"
+                )
             }
         }
     }

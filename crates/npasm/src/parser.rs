@@ -108,7 +108,10 @@ fn lex(line: &str, line_no: u32) -> Result<Vec<Token>, AsmError> {
                 }
                 let text = &line[start..start + (i - start)];
                 let value = parse_number(text).ok_or_else(|| {
-                    AsmError::new(line_no, AsmErrorKind::Syntax(format!("bad number `{text}`")))
+                    AsmError::new(
+                        line_no,
+                        AsmErrorKind::Syntax(format!("bad number `{text}`")),
+                    )
                 })?;
                 tokens.push(Token::Number(value));
             }

@@ -1,50 +1,80 @@
-//! Property test: disassembling any program the assembler can produce and
-//! re-assembling the text yields the identical instruction stream.
+//! Randomized (seeded, deterministic) test: disassembling any program the
+//! assembler can produce and re-assembling the text yields the identical
+//! instruction stream.
 
-use proptest::prelude::*;
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 use npasm::{assemble, disassemble};
 use npsim::MemoryMap;
 
 /// Generates random but always-assemblable source: straight-line ALU and
-/// memory instructions sprinkled with labels and short branches to them.
-fn arb_source() -> impl Strategy<Value = String> {
-    let line = prop_oneof![
-        (0u8..6).prop_map(|r| format!("        addi t{r}, t{r}, 1")),
-        (0u8..6, 0u8..6).prop_map(|(a, b)| format!("        add t{a}, t{b}, t{a}")),
-        (0u8..6, -64i32..64).prop_map(|(r, o)| format!("        lw t{r}, {}(gp)", o * 4)),
-        (0u8..6, -64i32..64).prop_map(|(r, o)| format!("        sw t{r}, {}(gp)", o * 4)),
-        (0u8..6).prop_map(|r| format!("        slli t{r}, t{r}, 3")),
-        (0u8..6, -30000i32..30000).prop_map(|(r, v)| format!("        li t{r}, {v}")),
-        Just("        nop".to_string()),
-    ];
-    proptest::collection::vec(line, 1..40).prop_map(|mut lines| {
-        // A loop skeleton surrounds the random body so branches exist.
-        let mut src = String::from("main:\n        li s0, 0\nloop:\n");
-        src.push_str(&lines.join("\n"));
-        lines.clear();
-        src.push_str(
-            "\n        addi s0, s0, 1\n        li s1, 3\n        blt s0, s1, loop\n        beqz s0, main\n        ret\n",
-        );
-        src
-    })
+/// memory instructions sprinkled inside a loop skeleton so branches exist.
+fn arb_source(rng: &mut StdRng) -> String {
+    let count = rng.gen_range(1usize..40);
+    let mut body = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = match rng.gen_range(0usize..7) {
+            0 => {
+                let r = rng.gen_range(0u8..6);
+                format!("        addi t{r}, t{r}, 1")
+            }
+            1 => {
+                let a = rng.gen_range(0u8..6);
+                let b = rng.gen_range(0u8..6);
+                format!("        add t{a}, t{b}, t{a}")
+            }
+            2 => {
+                let r = rng.gen_range(0u8..6);
+                let o = rng.gen_range(-64i32..64);
+                format!("        lw t{r}, {}(gp)", o * 4)
+            }
+            3 => {
+                let r = rng.gen_range(0u8..6);
+                let o = rng.gen_range(-64i32..64);
+                format!("        sw t{r}, {}(gp)", o * 4)
+            }
+            4 => {
+                let r = rng.gen_range(0u8..6);
+                format!("        slli t{r}, t{r}, 3")
+            }
+            5 => {
+                let r = rng.gen_range(0u8..6);
+                let v = rng.gen_range(-30000i32..30000);
+                format!("        li t{r}, {v}")
+            }
+            _ => "        nop".to_string(),
+        };
+        body.push(line);
+    }
+    // A loop skeleton surrounds the random body so branches exist.
+    let mut src = String::from("main:\n        li s0, 0\nloop:\n");
+    src.push_str(&body.join("\n"));
+    src.push_str(
+        "\n        addi s0, s0, 1\n        li s1, 3\n        blt s0, s1, loop\n        beqz s0, main\n        ret\n",
+    );
+    src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn disassemble_reassemble_is_identity(src in arb_source()) {
+#[test]
+fn disassemble_reassemble_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0x4153_0001);
+    for _ in 0..64 {
+        let src = arb_source(&mut rng);
         let map = MemoryMap::default();
         let image = assemble(&src, map).expect("generated source assembles");
         let text = disassemble(image.program());
         let again = assemble(&text, map).expect("disassembly reassembles");
-        prop_assert_eq!(again.program().insts(), image.program().insts());
+        assert_eq!(again.program().insts(), image.program().insts());
     }
+}
 
-    #[test]
-    fn assembled_loop_terminates_with_expected_count(src in arb_source()) {
-        use npsim::{Cpu, Memory, RunConfig};
+#[test]
+fn assembled_loop_terminates_with_expected_count() {
+    use npsim::{Cpu, Memory, RunConfig};
+    let mut rng = StdRng::seed_from_u64(0x4153_0002);
+    for _ in 0..64 {
+        let src = arb_source(&mut rng);
         let map = MemoryMap::default();
         let image = assemble(&src, map).expect("assembles");
         let mut mem = Memory::new();
@@ -52,7 +82,7 @@ proptest! {
         let mut cpu = Cpu::new(image.program(), map);
         let stats = cpu.run(&mut mem, &RunConfig::default()).expect("runs");
         // The skeleton loops exactly 3 times.
-        prop_assert_eq!(cpu.reg(npsim::reg::S0), 3);
-        prop_assert!(stats.instret > 10);
+        assert_eq!(cpu.reg(npsim::reg::S0), 3);
+        assert!(stats.instret > 10);
     }
 }

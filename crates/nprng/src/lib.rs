@@ -1,0 +1,259 @@
+//! # nprng — a zero-dependency seeded PRNG
+//!
+//! Everything in this repository that draws random numbers (synthetic
+//! traces, routing-table generation, randomized tests) must be *seeded and
+//! reproducible*: the paper's tables are regenerated bit-identically from
+//! fixed seeds. This crate provides that generator without any external
+//! dependency — the build environment is fully offline.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, a
+//! well-studied combination with 256 bits of state and a 2^256 - 1
+//! period — far beyond what trace synthesis needs. The API mirrors the
+//! small slice of the `rand` crate this workspace historically used
+//! (`StdRng::seed_from_u64`, `gen`, `gen_range`), so call sites read the
+//! same; only the crate name differs.
+//!
+//! ```
+//! use nprng::rngs::StdRng;
+//! use nprng::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let word: u32 = rng.gen();
+//! let die = rng.gen_range(1..7);
+//! assert!((1..7).contains(&die));
+//! // Equal seeds generate identical streams.
+//! assert_eq!(StdRng::seed_from_u64(42).gen::<u32>(), word);
+//! ```
+
+use std::ops::Range;
+
+/// Conventional name parity with `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values a generator can draw uniformly from its whole domain.
+pub trait Sample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Values a generator can draw uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws one value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// The generator interface: a raw 64-bit source plus typed draws.
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 raw bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Draws a uniformly distributed value of `T`.
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Expand the seed with SplitMix64 so that similar seeds produce
+        // uncorrelated states (and the all-zero state is unreachable).
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Multiply-shift bounded sampling (Lemire): uniform enough
+                // for workload generation, and branch-free.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Sample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn similar_seeds_are_uncorrelated() {
+        // SplitMix64 expansion must decorrelate adjacent seeds.
+        let mut ones = 0u32;
+        for seed in 0..64u64 {
+            let a = StdRng::seed_from_u64(seed).gen::<u64>();
+            let b = StdRng::seed_from_u64(seed + 1).gen::<u64>();
+            ones += (a ^ b).count_ones();
+        }
+        // Expect ~32 differing bits per pair; allow a wide margin.
+        assert!((24 * 64..40 * 64).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(1u32..7);
+            assert!((1..7).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen[1..7].iter().all(|&s| s), "all values reachable");
+    }
+
+    #[test]
+    fn gen_range_supports_the_workspace_types() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: u8 = rng.gen_range(16..128);
+        assert!((16..128).contains(&a));
+        let b: u16 = rng.gen_range(1024..u16::MAX);
+        assert!((1024..u16::MAX).contains(&b));
+        let c: usize = rng.gen_range(0..8);
+        assert!(c < 8);
+        let d: i32 = rng.gen_range(-5..5);
+        assert!((-5..5).contains(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.gen_range(3u32..3);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+
+    #[test]
+    fn u32_bits_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut ones = 0u64;
+        for _ in 0..4096 {
+            ones += u64::from(rng.gen::<u32>().count_ones());
+        }
+        let expected = 4096 * 16;
+        assert!((ones as i64 - expected).abs() < expected / 20, "{ones}");
+    }
+}

@@ -111,17 +111,14 @@ impl LcTrie {
             branch = next;
         }
         let first_child = self.nodes.len();
-        self.nodes
-            .extend(std::iter::repeat_n(0, 1usize << branch));
-        self.nodes[slot] = (u32::from(branch) << 27)
-            | (u32::from(skip) << 21)
-            | (first_child as u32 & ADR_MASK);
+        self.nodes.extend(std::iter::repeat_n(0, 1usize << branch));
+        self.nodes[slot] =
+            (u32::from(branch) << 27) | (u32::from(skip) << 21) | (first_child as u32 & ADR_MASK);
         // Partition the range by the branch bits and recurse.
         let mut start = lo;
         for bucket in 0..(1usize << branch) {
             let mut end = start;
-            while end < hi && extract(self.leaves[end].prefix.value, pos, branch) == bucket as u32
-            {
+            while end < hi && extract(self.leaves[end].prefix.value, pos, branch) == bucket as u32 {
                 end += 1;
             }
             debug_assert!(end > start, "empty bucket despite non-empty check");
@@ -218,13 +215,7 @@ fn expand_disjoint(table: &RouteTable) -> Vec<Leaf> {
         node.route = Some(entry.next_hop);
     }
 
-    fn collect(
-        node: &TNode,
-        value: u32,
-        len: u8,
-        inherited: Option<NextHop>,
-        out: &mut Vec<Leaf>,
-    ) {
+    fn collect(node: &TNode, value: u32, len: u8, inherited: Option<NextHop>, out: &mut Vec<Leaf>) {
         let current = node.route.or(inherited);
         match (&node.children[0], &node.children[1]) {
             (None, None) => {
@@ -306,8 +297,8 @@ fn buckets_all_nonempty(leaves: &[Leaf], pos: u8, branch: u8) -> bool {
 mod tests {
     use super::*;
     use crate::table::TableGenerator;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use nprng::rngs::StdRng;
+    use nprng::{Rng, SeedableRng};
 
     #[test]
     fn matches_linear_reference_on_generated_tables() {
@@ -400,7 +391,12 @@ mod tests {
         // Sorted, disjoint: each leaf's range ends before the next begins.
         for pair in leaves.windows(2) {
             let end = pair[0].prefix.value | !Prefix::mask(pair[0].prefix.len);
-            assert!(end < pair[1].prefix.value, "{} vs {}", pair[0].prefix, pair[1].prefix);
+            assert!(
+                end < pair[1].prefix.value,
+                "{} vs {}",
+                pair[0].prefix,
+                pair[1].prefix
+            );
         }
         // Complete: consecutive ranges are adjacent (default route covers all).
         for pair in leaves.windows(2) {

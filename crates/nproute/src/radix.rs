@@ -277,8 +277,8 @@ fn align8(addr: u32) -> u32 {
 mod tests {
     use super::*;
     use crate::table::TableGenerator;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use nprng::rngs::StdRng;
+    use nprng::{Rng, SeedableRng};
 
     #[test]
     fn matches_linear_reference_on_generated_tables() {
@@ -332,7 +332,7 @@ mod tests {
         assert_ne!(route, 0);
         assert_eq!(mem.read_u32(route + 8), 9);
         assert_eq!(mem.read_u32(route + 12), 0); // len 0
-        // Right child holds the /1 route.
+                                                 // Right child holds the /1 route.
         let right = mem.read_u32(root + 4);
         assert_ne!(right, 0);
         let route1 = mem.read_u32(right + 8);

@@ -1,8 +1,8 @@
 //! Routing tables: entries, a linear-scan LPM reference, and a seeded
 //! generator with a realistic prefix-length distribution.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 /// An output-port / next-hop identifier.
 pub type NextHop = u32;

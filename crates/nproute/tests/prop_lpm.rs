@@ -1,66 +1,93 @@
-//! Property test: on arbitrary routing tables, the radix tree and the
-//! LC-trie both compute exactly the linear-scan longest-prefix match —
-//! including tables without a default route, with nested prefixes, and
-//! with host routes.
+//! Randomized (seeded, deterministic) test: on arbitrary routing tables,
+//! the radix tree and the LC-trie both compute exactly the linear-scan
+//! longest-prefix match — including tables without a default route, with
+//! nested prefixes, and with host routes.
 
-use proptest::prelude::*;
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 use nproute::lctrie::LcTrie;
 use nproute::radix::RadixTree;
 use nproute::{Prefix, RouteTable};
 
-fn arb_table() -> impl Strategy<Value = RouteTable> {
-    proptest::collection::vec((any::<u32>(), 0u8..=32, 0u32..16), 1..80).prop_map(|entries| {
-        let mut table = RouteTable::new();
-        for (value, len, nh) in entries {
-            table.insert(Prefix::new(value, len), nh);
-        }
-        table
-    })
+fn arb_table(rng: &mut StdRng) -> RouteTable {
+    let count = rng.gen_range(1usize..80);
+    let mut table = RouteTable::new();
+    for _ in 0..count {
+        let value = rng.gen::<u32>();
+        let len = rng.gen_range(0u8..33);
+        let nh = rng.gen_range(0u32..16);
+        table.insert(Prefix::new(value, len), nh);
+    }
+    table
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn radix_equals_linear(table in arb_table(), addrs in proptest::collection::vec(any::<u32>(), 1..64)) {
+#[test]
+fn radix_equals_linear() {
+    let mut rng = StdRng::seed_from_u64(0x4c50_0001);
+    for _ in 0..128 {
+        let table = arb_table(&mut rng);
         let tree = RadixTree::build(&table);
-        for addr in addrs {
-            prop_assert_eq!(tree.lookup(addr), table.lookup_linear(addr), "addr {:#010x}", addr);
+        let probes = rng.gen_range(1usize..64);
+        for _ in 0..probes {
+            let addr = rng.gen::<u32>();
+            assert_eq!(
+                tree.lookup(addr),
+                table.lookup_linear(addr),
+                "addr {addr:#010x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn lctrie_equals_linear(table in arb_table(), addrs in proptest::collection::vec(any::<u32>(), 1..64)) {
+#[test]
+fn lctrie_equals_linear() {
+    let mut rng = StdRng::seed_from_u64(0x4c50_0002);
+    for _ in 0..128 {
+        let table = arb_table(&mut rng);
         let trie = LcTrie::build(&table);
-        for addr in addrs {
-            prop_assert_eq!(trie.lookup(addr), table.lookup_linear(addr), "addr {:#010x}", addr);
+        let probes = rng.gen_range(1usize..64);
+        for _ in 0..probes {
+            let addr = rng.gen::<u32>();
+            assert_eq!(
+                trie.lookup(addr),
+                table.lookup_linear(addr),
+                "addr {addr:#010x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn lookups_on_inserted_prefixes_hit(table in arb_table()) {
+#[test]
+fn lookups_on_inserted_prefixes_hit() {
+    let mut rng = StdRng::seed_from_u64(0x4c50_0003);
+    for _ in 0..128 {
         // Looking up an address inside each inserted prefix must find a
         // route at least as long as that prefix.
+        let table = arb_table(&mut rng);
         let tree = RadixTree::build(&table);
         let trie = LcTrie::build(&table);
         for entry in table.entries() {
             let addr = entry.prefix.value; // the all-zero host in the prefix
-            prop_assert!(tree.lookup(addr).is_some());
-            prop_assert!(trie.lookup(addr).is_some());
+            assert!(tree.lookup(addr).is_some());
+            assert!(trie.lookup(addr).is_some());
         }
     }
+}
 
-    #[test]
-    fn memory_images_serialize_without_overlap(table in arb_table()) {
-        use npsim::Memory;
+#[test]
+fn memory_images_serialize_without_overlap() {
+    use npsim::Memory;
+    let mut rng = StdRng::seed_from_u64(0x4c50_0004);
+    for _ in 0..128 {
+        let table = arb_table(&mut rng);
         let mut mem = Memory::new();
         let tree = RadixTree::build(&table);
         let image = tree.write_into(&mut mem, 0x2000_0000);
-        prop_assert!(image.end > image.header);
-        prop_assert!(image.node_count >= 1);
+        assert!(image.end > image.header);
+        assert!(image.node_count >= 1);
         let trie = LcTrie::build(&table);
         let image2 = trie.write_into(&mut mem, image.end + 16);
-        prop_assert!(image2.end > image2.header);
+        assert!(image2.end > image2.header);
     }
 }

@@ -54,10 +54,9 @@ impl BlockMap {
                         is_leader[i + 1] = true;
                     }
                 }
-                Op::Jr | Op::Jalr | Op::Sys | Op::Halt
-                    if i + 1 < n => {
-                        is_leader[i + 1] = true;
-                    }
+                Op::Jr | Op::Jalr | Op::Sys | Op::Halt if i + 1 < n => {
+                    is_leader[i + 1] = true;
+                }
                 _ => {}
             }
         }

@@ -188,6 +188,7 @@ impl MemCounts {
         self.packet_total() + self.non_packet_total()
     }
 
+    #[inline]
     fn record(&mut self, region: Region, kind: AccessKind) {
         match (region, kind) {
             (Region::Packet, AccessKind::Read) => self.packet_reads += 1,
@@ -273,6 +274,38 @@ impl RunStats {
     pub fn unique_instructions(&self) -> usize {
         self.executed.count()
     }
+
+    /// Empty statistics sized for a program of `len` static instructions.
+    pub fn for_program(len: usize) -> RunStats {
+        RunStats {
+            instret: 0,
+            op_mix: OpMix::new(),
+            executed: BitSet::new(len),
+            mem: MemCounts::default(),
+            pc_trace: Vec::new(),
+            mem_trace: Vec::new(),
+            halt: HaltReason::Returned,
+            uarch: None,
+        }
+    }
+
+    /// Resets every counter for a program of `len` static instructions,
+    /// reusing the existing allocations when capacities match — this is
+    /// what makes repeated packet runs allocation-free.
+    pub fn reset_for(&mut self, len: usize) {
+        self.instret = 0;
+        self.op_mix = OpMix::new();
+        if self.executed.capacity() == len {
+            self.executed.clear();
+        } else {
+            self.executed = BitSet::new(len);
+        }
+        self.mem = MemCounts::default();
+        self.pc_trace.clear();
+        self.mem_trace.clear();
+        self.halt = HaltReason::Returned;
+        self.uarch = None;
+    }
 }
 
 /// The NP32 interpreter.
@@ -348,44 +381,110 @@ impl<'p> Cpu<'p> {
         config: &RunConfig,
         handler: &mut dyn SysHandler,
     ) -> Result<RunStats, SimError> {
-        let mut stats = RunStats {
-            instret: 0,
-            op_mix: OpMix::new(),
-            executed: BitSet::new(self.program.len()),
-            mem: MemCounts::default(),
-            pc_trace: Vec::new(),
-            mem_trace: Vec::new(),
-            halt: HaltReason::Returned,
-            uarch: None,
-        };
+        let mut stats = RunStats::for_program(self.program.len());
+        self.run_into(mem, config, handler, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Like [`Cpu::run_with`], but records into caller-provided statistics
+    /// (reset on entry), so a run performs no heap allocation when `stats`
+    /// is reused across packets and no traces are requested.
+    ///
+    /// On error `stats` holds whatever was recorded up to the fault.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpu::run_with`].
+    pub fn run_into(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
+        stats.reset_for(self.program.len());
         let mut uarch = config.uarch.as_ref().map(Uarch::new);
+        // Two monomorphic loops: the lean one drops every per-instruction
+        // branch that only matters when traces or uarch models are on, which
+        // is what `Detail::counts()` runs all day.
+        if uarch.is_none() && !config.record_pc_trace && !config.record_mem_trace {
+            self.exec::<false>(mem, config, handler, stats, &mut uarch)?;
+        } else {
+            self.exec::<true>(mem, config, handler, stats, &mut uarch)?;
+        }
+
+        if let Some(u) = uarch {
+            stats.uarch = Some(UarchStats {
+                branches: u.predictor.predictions(),
+                mispredictions: u.predictor.mispredictions(),
+                icache_accesses: u.icache.accesses(),
+                icache_misses: u.icache.misses(),
+                dcache_accesses: u.dcache.accesses(),
+                dcache_misses: u.dcache.misses(),
+                cycles: u.cycles(),
+                stall_cycles: u.stall_cycles(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The interpreter loop. `FULL` compiles in PC/memory tracing and the
+    /// uarch hooks; `FULL = false` requires `uarch` to be `None` and both
+    /// trace flags off, and records only what `Detail::counts()` needs.
+    fn exec<const FULL: bool>(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+        uarch: &mut Option<Uarch>,
+    ) -> Result<(), SimError> {
+        // Hoist the dispatch state: the program reference outlives `self`'s
+        // borrow, so the fetch below is one fused compare and an index.
+        let program: &'p Program = self.program;
+        let text_base = program.text_base();
+        let insts = program.insts();
+        let max_instructions = config.max_instructions;
+        // The fused range check below folds the sentinel test into the
+        // out-of-range cold path; that is only sound while the sentinel
+        // cannot alias a text address.
+        debug_assert!(
+            ((RETURN_SENTINEL.wrapping_sub(text_base) >> 2) as usize) >= insts.len(),
+            "return sentinel aliases the text region"
+        );
 
         loop {
-            if self.pc == RETURN_SENTINEL {
-                stats.halt = HaltReason::Returned;
-                break;
+            // One branch on the hot path: in-range, 4-aligned PCs fall
+            // through; sentinel, misaligned, and escaped PCs all land in
+            // the cold arm, which re-checks in the documented order.
+            let offset = self.pc.wrapping_sub(text_base);
+            let index = (offset >> 2) as usize;
+            if offset & 3 != 0 || index >= insts.len() {
+                if self.pc == RETURN_SENTINEL {
+                    stats.halt = HaltReason::Returned;
+                    break;
+                }
+                if !self.pc.is_multiple_of(4) {
+                    return Err(SimError::MisalignedPc { pc: self.pc });
+                }
+                return Err(SimError::PcOutOfRange { pc: self.pc });
             }
-            if !self.pc.is_multiple_of(4) {
-                return Err(SimError::MisalignedPc { pc: self.pc });
-            }
-            let index = self
-                .program
-                .index_of(self.pc)
-                .ok_or(SimError::PcOutOfRange { pc: self.pc })?;
-            if stats.instret >= config.max_instructions {
+            if stats.instret >= max_instructions {
                 return Err(SimError::InstructionBudgetExceeded {
-                    limit: config.max_instructions,
+                    limit: max_instructions,
                 });
             }
-            let inst = self.program.insts()[index];
+            let inst = insts[index];
             stats.instret += 1;
             stats.executed.insert(index);
             stats.op_mix.record(inst.op);
-            if config.record_pc_trace {
-                stats.pc_trace.push(self.pc);
-            }
-            if let Some(u) = uarch.as_mut() {
-                u.retire(self.pc, &inst);
+            if FULL {
+                if config.record_pc_trace {
+                    stats.pc_trace.push(self.pc);
+                }
+                if let Some(u) = uarch.as_mut() {
+                    u.retire(self.pc, &inst);
+                }
             }
 
             let next_pc = self.pc.wrapping_add(4);
@@ -394,28 +493,36 @@ impl<'p> Cpu<'p> {
             macro_rules! load {
                 ($addr:expr, $size:expr) => {{
                     let addr: u32 = $addr;
-                    self.note_access(
-                        &mut stats,
-                        uarch.as_mut(),
-                        config,
-                        addr,
-                        $size,
-                        AccessKind::Read,
-                    );
+                    if FULL {
+                        self.note_access(
+                            &mut *stats,
+                            uarch.as_mut(),
+                            config,
+                            addr,
+                            $size,
+                            AccessKind::Read,
+                        );
+                    } else {
+                        stats.mem.record(self.map.region(addr), AccessKind::Read);
+                    }
                     addr
                 }};
             }
             macro_rules! store {
                 ($addr:expr, $size:expr) => {{
                     let addr: u32 = $addr;
-                    self.note_access(
-                        &mut stats,
-                        uarch.as_mut(),
-                        config,
-                        addr,
-                        $size,
-                        AccessKind::Write,
-                    );
+                    if FULL {
+                        self.note_access(
+                            &mut *stats,
+                            uarch.as_mut(),
+                            config,
+                            addr,
+                            $size,
+                            AccessKind::Write,
+                        );
+                    } else {
+                        stats.mem.record(self.map.region(addr), AccessKind::Write);
+                    }
                     addr
                 }};
             }
@@ -423,54 +530,56 @@ impl<'p> Cpu<'p> {
             let rs1 = self.regs[inst.rs1.index()];
             let rs2 = self.regs[inst.rs2.index()];
             let imm = inst.imm;
+            let rd = inst.rd.index();
 
+            // Arms write `regs[rd]` unconditionally; the `regs[0] = 0`
+            // after the match undoes any write to the zero register, which
+            // trades a data-dependent branch per ALU op for one store.
             match inst.op {
-                Op::Add => self.set_reg(inst.rd, rs1.wrapping_add(rs2)),
-                Op::Sub => self.set_reg(inst.rd, rs1.wrapping_sub(rs2)),
-                Op::And => self.set_reg(inst.rd, rs1 & rs2),
-                Op::Or => self.set_reg(inst.rd, rs1 | rs2),
-                Op::Xor => self.set_reg(inst.rd, rs1 ^ rs2),
-                Op::Nor => self.set_reg(inst.rd, !(rs1 | rs2)),
-                Op::Sll => self.set_reg(inst.rd, rs1.wrapping_shl(rs2 & 31)),
-                Op::Srl => self.set_reg(inst.rd, rs1.wrapping_shr(rs2 & 31)),
-                Op::Sra => self.set_reg(inst.rd, ((rs1 as i32).wrapping_shr(rs2 & 31)) as u32),
-                Op::Slt => self.set_reg(inst.rd, ((rs1 as i32) < (rs2 as i32)) as u32),
-                Op::Sltu => self.set_reg(inst.rd, (rs1 < rs2) as u32),
-                Op::Mul => self.set_reg(inst.rd, rs1.wrapping_mul(rs2)),
-                Op::Mulhu => {
-                    self.set_reg(inst.rd, ((rs1 as u64 * rs2 as u64) >> 32) as u32)
-                }
-                Op::Divu => self.set_reg(inst.rd, rs1.checked_div(rs2).unwrap_or(u32::MAX)),
-                Op::Remu => self.set_reg(inst.rd, if rs2 == 0 { rs1 } else { rs1 % rs2 }),
-                Op::Addi => self.set_reg(inst.rd, rs1.wrapping_add(imm as u32)),
-                Op::Andi => self.set_reg(inst.rd, rs1 & (imm as u32)),
-                Op::Ori => self.set_reg(inst.rd, rs1 | (imm as u32)),
-                Op::Xori => self.set_reg(inst.rd, rs1 ^ (imm as u32)),
-                Op::Slli => self.set_reg(inst.rd, rs1.wrapping_shl(imm as u32)),
-                Op::Srli => self.set_reg(inst.rd, rs1.wrapping_shr(imm as u32)),
-                Op::Srai => self.set_reg(inst.rd, ((rs1 as i32).wrapping_shr(imm as u32)) as u32),
-                Op::Slti => self.set_reg(inst.rd, ((rs1 as i32) < imm) as u32),
-                Op::Sltiu => self.set_reg(inst.rd, (rs1 < imm as u32) as u32),
-                Op::Lui => self.set_reg(inst.rd, (imm as u32) << 16),
+                Op::Add => self.regs[rd] = rs1.wrapping_add(rs2),
+                Op::Sub => self.regs[rd] = rs1.wrapping_sub(rs2),
+                Op::And => self.regs[rd] = rs1 & rs2,
+                Op::Or => self.regs[rd] = rs1 | rs2,
+                Op::Xor => self.regs[rd] = rs1 ^ rs2,
+                Op::Nor => self.regs[rd] = !(rs1 | rs2),
+                Op::Sll => self.regs[rd] = rs1.wrapping_shl(rs2 & 31),
+                Op::Srl => self.regs[rd] = rs1.wrapping_shr(rs2 & 31),
+                Op::Sra => self.regs[rd] = ((rs1 as i32).wrapping_shr(rs2 & 31)) as u32,
+                Op::Slt => self.regs[rd] = ((rs1 as i32) < (rs2 as i32)) as u32,
+                Op::Sltu => self.regs[rd] = (rs1 < rs2) as u32,
+                Op::Mul => self.regs[rd] = rs1.wrapping_mul(rs2),
+                Op::Mulhu => self.regs[rd] = ((rs1 as u64 * rs2 as u64) >> 32) as u32,
+                Op::Divu => self.regs[rd] = rs1.checked_div(rs2).unwrap_or(u32::MAX),
+                Op::Remu => self.regs[rd] = if rs2 == 0 { rs1 } else { rs1 % rs2 },
+                Op::Addi => self.regs[rd] = rs1.wrapping_add(imm as u32),
+                Op::Andi => self.regs[rd] = rs1 & (imm as u32),
+                Op::Ori => self.regs[rd] = rs1 | (imm as u32),
+                Op::Xori => self.regs[rd] = rs1 ^ (imm as u32),
+                Op::Slli => self.regs[rd] = rs1.wrapping_shl(imm as u32),
+                Op::Srli => self.regs[rd] = rs1.wrapping_shr(imm as u32),
+                Op::Srai => self.regs[rd] = ((rs1 as i32).wrapping_shr(imm as u32)) as u32,
+                Op::Slti => self.regs[rd] = ((rs1 as i32) < imm) as u32,
+                Op::Sltiu => self.regs[rd] = (rs1 < imm as u32) as u32,
+                Op::Lui => self.regs[rd] = (imm as u32) << 16,
                 Op::Lb => {
                     let addr = load!(rs1.wrapping_add(imm as u32), 1);
-                    self.set_reg(inst.rd, mem.read_u8(addr) as i8 as i32 as u32);
+                    self.regs[rd] = mem.read_u8(addr) as i8 as i32 as u32;
                 }
                 Op::Lbu => {
                     let addr = load!(rs1.wrapping_add(imm as u32), 1);
-                    self.set_reg(inst.rd, mem.read_u8(addr) as u32);
+                    self.regs[rd] = mem.read_u8(addr) as u32;
                 }
                 Op::Lh => {
                     let addr = load!(rs1.wrapping_add(imm as u32), 2);
-                    self.set_reg(inst.rd, mem.read_u16(addr) as i16 as i32 as u32);
+                    self.regs[rd] = mem.read_u16(addr) as i16 as i32 as u32;
                 }
                 Op::Lhu => {
                     let addr = load!(rs1.wrapping_add(imm as u32), 2);
-                    self.set_reg(inst.rd, mem.read_u16(addr) as u32);
+                    self.regs[rd] = mem.read_u16(addr) as u32;
                 }
                 Op::Lw => {
                     let addr = load!(rs1.wrapping_add(imm as u32), 4);
-                    self.set_reg(inst.rd, mem.read_u32(addr));
+                    self.regs[rd] = mem.read_u32(addr);
                 }
                 Op::Sb => {
                     let addr = store!(rs1.wrapping_add(imm as u32), 1);
@@ -493,8 +602,10 @@ impl<'p> Cpu<'p> {
                         Op::Bltu => rs1 < rs2,
                         _ => rs1 >= rs2,
                     };
-                    if let Some(u) = uarch.as_mut() {
-                        u.branch(self.pc, taken);
+                    if FULL {
+                        if let Some(u) = uarch.as_mut() {
+                            u.branch(self.pc, taken);
+                        }
                     }
                     if taken {
                         target = next_pc.wrapping_add(imm as u32);
@@ -502,29 +613,27 @@ impl<'p> Cpu<'p> {
                 }
                 Op::J => target = next_pc.wrapping_add(imm as u32),
                 Op::Jal => {
-                    self.set_reg(crate::reg::RA, next_pc);
+                    self.regs[crate::reg::RA.index()] = next_pc;
                     target = next_pc.wrapping_add(imm as u32);
                 }
                 Op::Jr => target = rs1,
                 Op::Jalr => {
-                    self.set_reg(inst.rd, next_pc);
+                    self.regs[rd] = next_pc;
                     target = rs1;
                 }
-                Op::Sys => {
-                    match handler.sys(imm as u32, &mut self.regs, mem) {
-                        Ok(SysOutcome::Continue) => {}
-                        Ok(SysOutcome::Stop) => {
-                            stats.halt = HaltReason::SysStop;
-                            self.pc = next_pc;
-                            break;
-                        }
-                        Err(SimError::UnknownSyscall { code, .. }) => {
-                            return Err(SimError::UnknownSyscall { code, pc: self.pc });
-                        }
-                        Err(e) => return Err(e),
+                Op::Sys => match handler.sys(imm as u32, &mut self.regs, mem) {
+                    Ok(SysOutcome::Continue) => {}
+                    Ok(SysOutcome::Stop) => {
+                        stats.halt = HaltReason::SysStop;
+                        self.regs[0] = 0;
+                        self.pc = next_pc;
+                        break;
                     }
-                    self.regs[0] = 0; // keep the zero register zero
-                }
+                    Err(SimError::UnknownSyscall { code, .. }) => {
+                        return Err(SimError::UnknownSyscall { code, pc: self.pc });
+                    }
+                    Err(e) => return Err(e),
+                },
                 Op::Halt => {
                     stats.halt = HaltReason::Halted;
                     self.pc = next_pc;
@@ -532,22 +641,11 @@ impl<'p> Cpu<'p> {
                 }
             }
 
+            self.regs[0] = 0; // keep the zero register zero
             self.pc = target;
         }
 
-        if let Some(u) = uarch {
-            stats.uarch = Some(UarchStats {
-                branches: u.predictor.predictions(),
-                mispredictions: u.predictor.mispredictions(),
-                icache_accesses: u.icache.accesses(),
-                icache_misses: u.icache.misses(),
-                dcache_accesses: u.dcache.accesses(),
-                dcache_misses: u.dcache.misses(),
-                cycles: u.cycles(),
-                stall_cycles: u.stall_cycles(),
-            });
-        }
-        Ok(stats)
+        Ok(())
     }
 
     fn note_access(
@@ -585,7 +683,10 @@ mod tests {
         MemoryMap::default()
     }
 
-    fn run_program(insts: Vec<Inst>, setup: impl FnOnce(&mut Cpu, &mut Memory)) -> (Vec<u32>, RunStats) {
+    fn run_program(
+        insts: Vec<Inst>,
+        setup: impl FnOnce(&mut Cpu, &mut Memory),
+    ) -> (Vec<u32>, RunStats) {
         let program = Program::new(insts, map().text_base);
         let mut mem = Memory::new();
         let mut cpu = Cpu::new(&program, map());

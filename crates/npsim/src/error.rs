@@ -69,7 +69,10 @@ impl fmt::Display for SimError {
                 write!(f, "immediate {imm} out of range for `{op}`")
             }
             SimError::MisalignedOffset { op, imm } => {
-                write!(f, "control-flow offset {imm} for `{op}` is not a multiple of 4")
+                write!(
+                    f,
+                    "control-flow offset {imm} for `{op}` is not a multiple of 4"
+                )
             }
             SimError::TruncatedText { len } => {
                 write!(f, "text image length {len} is not a multiple of 4")

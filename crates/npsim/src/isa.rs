@@ -49,7 +49,9 @@ impl Reg {
         (n < 32).then_some(Reg(n))
     }
 
-    /// The register number as an array index.
+    /// The register number as an array index (always `< 32` by
+    /// construction).
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -94,8 +96,8 @@ impl fmt::Display for Reg {
 
 const REG_NAMES: [&str; 32] = [
     "zero", "ra", "sp", "gp", "a0", "a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3", "t4",
-    "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "t8", "t9",
-    "fp", "at",
+    "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "t8", "t9", "fp",
+    "at",
 ];
 
 /// ABI register constants.
@@ -450,8 +452,8 @@ impl Op {
     pub fn class(self) -> OpClass {
         use Op::*;
         match self {
-            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi
-            | Ori | Xori | Slli | Srli | Srai | Slti | Sltiu | Lui => OpClass::Alu,
+            Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Sltiu | Lui => OpClass::Alu,
             Mul | Mulhu | Divu | Remu => OpClass::MulDiv,
             Lb | Lbu | Lh | Lhu | Lw => OpClass::Load,
             Sb | Sh | Sw => OpClass::Store,

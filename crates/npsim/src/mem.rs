@@ -2,11 +2,16 @@
 //! plus the semantic region map that underpins the paper's packet /
 //! non-packet memory distinction.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 use std::fmt;
 
 const PAGE_SIZE: u32 = 4096;
 const PAGE_MASK: u32 = PAGE_SIZE - 1;
+/// log2 of the number of entries in one second-level index leaf.
+const L2_BITS: u32 = 10;
+const L2_SIZE: usize = 1 << L2_BITS;
+/// First-level index entries: 2^32 addresses / 4 KiB pages / L2_SIZE.
+const L1_SIZE: usize = 1 << (32 - 12 - L2_BITS);
 
 /// Semantic memory regions of the simulated network processor.
 ///
@@ -132,6 +137,7 @@ impl MemoryMap {
     }
 
     /// Classifies a *data* address (never returns [`Region::Text`]).
+    #[inline]
     pub fn region(&self, addr: u32) -> Region {
         if addr >= self.packet_base && addr < self.packet_end {
             Region::Packet
@@ -166,6 +172,14 @@ impl Default for MemoryMap {
 /// the zeroed SRAM of an embedded target. Unaligned accesses are permitted
 /// and assembled byte-wise.
 ///
+/// Storage is a flat frame pool reached through a two-level page index
+/// plus a one-entry last-page cache, so the sequential access patterns the
+/// interpreter produces (packet staging, table walks, stack traffic)
+/// resolve in a couple of loads instead of an ordered-map walk. The cache
+/// lives in a [`Cell`] so reads stay `&self`; `Memory` is therefore `Send`
+/// but intentionally not `Sync` — concurrent simulation gives each worker
+/// its own `Memory`.
+///
 /// ```
 /// use npsim::Memory;
 /// let mut mem = Memory::new();
@@ -175,44 +189,106 @@ impl Default for MemoryMap {
 /// assert_eq!(mem.read_u8(0x2000_0003), 0xde);
 /// assert_eq!(mem.read_u32(0x3000_0000), 0); // untouched reads as zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: BTreeMap<u32, Box<[u8]>>,
+    /// Zero-filled 4 KiB frames, indexed by slot. The fixed-size array
+    /// type keeps the page length a compile-time constant, so in-page
+    /// indexing needs no bounds checks.
+    frames: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+    /// Two-level page table: `index[pn >> L2_BITS][pn & (L2_SIZE - 1)]`
+    /// holds `slot + 1`, or 0 for an unmapped page.
+    index: Vec<Option<Box<[u32; L2_SIZE]>>>,
+    /// Last page translated: `(page_base, slot + 1)`; slot 0 means empty.
+    last: Cell<(u32, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Memory {
-        Memory::default()
+        Memory {
+            frames: Vec::new(),
+            index: vec![None; L1_SIZE],
+            last: Cell::new((0, 0)),
+        }
     }
 
-    fn page(&self, addr: u32) -> Option<&[u8]> {
-        self.pages.get(&(addr & !PAGE_MASK)).map(|p| p.as_ref())
+    /// Translates an address to a frame slot, or `None` if the page was
+    /// never touched. Updates the last-page cache.
+    #[inline]
+    fn slot_of(&self, addr: u32) -> Option<usize> {
+        let page_base = addr & !PAGE_MASK;
+        let (cached_base, cached_slot) = self.last.get();
+        if cached_slot != 0 && cached_base == page_base {
+            return Some((cached_slot - 1) as usize);
+        }
+        let pn = (addr >> 12) as usize;
+        let entry = self.index[pn >> L2_BITS].as_ref()?[pn & (L2_SIZE - 1)];
+        if entry == 0 {
+            return None;
+        }
+        self.last.set((page_base, entry));
+        Some((entry - 1) as usize)
     }
 
-    fn page_mut(&mut self, addr: u32) -> &mut Box<[u8]> {
-        self.pages
-            .entry(addr & !PAGE_MASK)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    /// Translates an address to a frame slot, allocating the page (and its
+    /// index leaf) on first touch.
+    #[inline]
+    fn slot_ensure(&mut self, addr: u32) -> usize {
+        let page_base = addr & !PAGE_MASK;
+        let (cached_base, cached_slot) = self.last.get();
+        if cached_slot != 0 && cached_base == page_base {
+            return (cached_slot - 1) as usize;
+        }
+        let pn = (addr >> 12) as usize;
+        let leaf = self.index[pn >> L2_BITS].get_or_insert_with(|| Box::new([0u32; L2_SIZE]));
+        let entry = &mut leaf[pn & (L2_SIZE - 1)];
+        if *entry == 0 {
+            self.frames.push(Box::new([0u8; PAGE_SIZE as usize]));
+            *entry = self.frames.len() as u32;
+        }
+        let slot = *entry;
+        self.last.set((page_base, slot));
+        (slot - 1) as usize
+    }
+
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.slot_of(addr).map(|s| &*self.frames[s])
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        let slot = self.slot_ensure(addr);
+        &mut self.frames[slot]
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
         self.page(addr)
             .map_or(0, |p| p[(addr & PAGE_MASK) as usize])
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
         self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Reads a little-endian half-word (may be unaligned).
+    #[inline]
     pub fn read_u16(&self, addr: u32) -> u16 {
         u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
     }
 
     /// Writes a little-endian half-word (may be unaligned).
+    #[inline]
     pub fn write_u16(&mut self, addr: u32, value: u16) {
         let b = value.to_le_bytes();
         self.write_u8(addr, b[0]);
@@ -220,6 +296,7 @@ impl Memory {
     }
 
     /// Reads a little-endian word (may be unaligned).
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
         // Fast path: aligned within one page.
         if addr & PAGE_MASK <= PAGE_SIZE - 4 {
@@ -238,6 +315,7 @@ impl Memory {
     }
 
     /// Writes a little-endian word (may be unaligned).
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         if addr & PAGE_MASK <= PAGE_SIZE - 4 {
             let p = self.page_mut(addr);
@@ -250,37 +328,63 @@ impl Memory {
         }
     }
 
-    /// Copies a byte slice into memory starting at `addr`.
+    /// Copies a byte slice into memory starting at `addr`, one page-sized
+    /// chunk at a time.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (offset, &byte) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(offset as u32), byte);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = rest.len().min(PAGE_SIZE as usize - off);
+            let slot = self.slot_ensure(addr);
+            self.frames[slot][off..off + n].copy_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            addr = addr.wrapping_add(n as u32);
         }
     }
 
     /// Reads `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|offset| self.read_u8(addr.wrapping_add(offset as u32)))
-            .collect()
+        let mut out = vec![0u8; len];
+        let mut addr = addr;
+        let mut filled = 0;
+        while filled < len {
+            let off = (addr & PAGE_MASK) as usize;
+            let n = (len - filled).min(PAGE_SIZE as usize - off);
+            if let Some(slot) = self.slot_of(addr) {
+                out[filled..filled + n].copy_from_slice(&self.frames[slot][off..off + n]);
+            }
+            filled += n;
+            addr = addr.wrapping_add(n as u32);
+        }
+        out
     }
 
     /// The number of 4 KiB pages that have been touched.
     pub fn allocated_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
     }
 
     /// Releases every page, returning the memory to its pristine state.
     pub fn clear(&mut self) {
-        self.pages.clear();
+        self.frames.clear();
+        self.index.iter_mut().for_each(|leaf| *leaf = None);
+        self.last.set((0, 0));
     }
 
-    /// Zeroes `[addr, addr + len)` without deallocating pages.
+    /// Zeroes `[addr, addr + len)` without deallocating pages; pages never
+    /// touched stay unmapped (they already read as zero).
     pub fn zero_range(&mut self, addr: u32, len: u32) {
-        for offset in 0..len {
-            let a = addr.wrapping_add(offset);
-            if self.page(a).is_some() {
-                self.write_u8(a, 0);
+        let mut addr = addr;
+        let mut rest = len;
+        while rest > 0 {
+            let off = addr & PAGE_MASK;
+            let n = rest.min(PAGE_SIZE - off);
+            if let Some(slot) = self.slot_of(addr) {
+                self.frames[slot][off as usize..(off + n) as usize].fill(0);
             }
+            rest -= n;
+            addr = addr.wrapping_add(n);
         }
     }
 }
@@ -335,6 +439,45 @@ mod tests {
         assert_eq!(mem.allocated_pages(), 1);
         assert_eq!(mem.read_u32(0x1000), 0); // zeroed
         assert_eq!(mem.read_u32(0x1004), 0);
+    }
+
+    #[test]
+    fn page_cache_survives_interleaved_pages() {
+        let mut mem = Memory::new();
+        // Alternate between two pages so the one-entry cache keeps missing
+        // and refilling; values must stay correct throughout.
+        for i in 0..64u32 {
+            mem.write_u32(0x1000_0000 + i * 4, i);
+            mem.write_u32(0x2000_0000 + i * 4, !i);
+        }
+        for i in 0..64u32 {
+            assert_eq!(mem.read_u32(0x1000_0000 + i * 4), i);
+            assert_eq!(mem.read_u32(0x2000_0000 + i * 4), !i);
+        }
+        assert_eq!(mem.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn clear_resets_cache_and_index() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x3000_0000, 7);
+        assert_eq!(mem.read_u32(0x3000_0000), 7); // cache now holds the page
+        mem.clear();
+        assert_eq!(mem.allocated_pages(), 0);
+        assert_eq!(mem.read_u32(0x3000_0000), 0); // stale cache must not leak
+        mem.write_u32(0x3000_0000, 9);
+        assert_eq!(mem.read_u32(0x3000_0000), 9);
+        assert_eq!(mem.allocated_pages(), 1);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Memory::new();
+        a.write_u32(0x2000_0000, 5);
+        let mut b = a.clone();
+        b.write_u32(0x2000_0000, 6);
+        assert_eq!(a.read_u32(0x2000_0000), 5);
+        assert_eq!(b.read_u32(0x2000_0000), 6);
     }
 
     #[test]

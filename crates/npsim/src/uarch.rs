@@ -260,6 +260,7 @@ impl OpMix {
     }
 
     /// Records one executed instruction.
+    #[inline]
     pub fn record(&mut self, op: Op) {
         self.counts[op.class() as usize] += 1;
     }
@@ -380,8 +381,29 @@ fn uses_rs2(op: Op) -> bool {
     use Op::*;
     matches!(
         op,
-        Add | Sub | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu | Mul | Mulhu | Divu
-            | Remu | Sb | Sh | Sw | Beq | Bne | Blt | Bge | Bltu | Bgeu
+        Add | Sub
+            | And
+            | Or
+            | Xor
+            | Nor
+            | Sll
+            | Srl
+            | Sra
+            | Slt
+            | Sltu
+            | Mul
+            | Mulhu
+            | Divu
+            | Remu
+            | Sb
+            | Sh
+            | Sw
+            | Beq
+            | Bne
+            | Blt
+            | Bge
+            | Bltu
+            | Bgeu
     )
 }
 

@@ -43,6 +43,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `index >= capacity`.
+    #[inline]
     pub fn insert(&mut self, index: usize) -> bool {
         assert!(index < self.capacity, "bit {index} out of capacity");
         let word = &mut self.words[index / 64];

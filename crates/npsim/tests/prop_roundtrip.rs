@@ -1,173 +1,190 @@
-//! Property tests for the NP32 encoder/decoder, memory, and bit-set
-//! utilities.
+//! Randomized (seeded, deterministic) tests for the NP32 encoder/decoder,
+//! memory, and bit-set utilities.
 
-use proptest::prelude::*;
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
 
 use npsim::encode::{decode, encode};
 use npsim::isa::{Inst, Op, Reg};
 use npsim::util::BitSet;
 use npsim::Memory;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn arb_reg(rng: &mut StdRng) -> Reg {
+    Reg::new(rng.gen_range(0u8..32))
 }
 
-/// A strategy over instructions whose immediates are valid for their
-/// encoding fields.
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        // R-type
-        (
-            prop_oneof![
-                Just(Op::Add),
-                Just(Op::Sub),
-                Just(Op::And),
-                Just(Op::Or),
-                Just(Op::Xor),
-                Just(Op::Nor),
-                Just(Op::Sll),
-                Just(Op::Srl),
-                Just(Op::Sra),
-                Just(Op::Slt),
-                Just(Op::Sltu),
-                Just(Op::Mul),
-                Just(Op::Mulhu),
-                Just(Op::Divu),
-                Just(Op::Remu),
-            ],
-            arb_reg(),
-            arb_reg(),
-            arb_reg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Inst::rtype(op, rd, rs1, rs2)),
-        // I-type signed
-        (
-            prop_oneof![Just(Op::Addi), Just(Op::Slti), Just(Op::Sltiu)],
-            arb_reg(),
-            arb_reg(),
-            -(1i32 << 15)..(1i32 << 15)
-        )
-            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
-        // I-type unsigned
-        (
-            prop_oneof![Just(Op::Andi), Just(Op::Ori), Just(Op::Xori)],
-            arb_reg(),
-            arb_reg(),
-            0i32..=0xffff
-        )
-            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
-        // shifts
-        (
-            prop_oneof![Just(Op::Slli), Just(Op::Srli), Just(Op::Srai)],
-            arb_reg(),
-            arb_reg(),
-            0i32..32
-        )
-            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
-        // lui
-        (arb_reg(), 0i32..=0xffff).prop_map(|(rd, imm)| Inst::lui(rd, imm)),
-        // loads
-        (
-            prop_oneof![Just(Op::Lb), Just(Op::Lbu), Just(Op::Lh), Just(Op::Lhu), Just(Op::Lw)],
-            arb_reg(),
-            arb_reg(),
-            -(1i32 << 15)..(1i32 << 15)
-        )
-            .prop_map(|(op, rd, rs1, imm)| Inst::with_imm(op, rd, rs1, imm)),
-        // stores
-        (
-            prop_oneof![Just(Op::Sb), Just(Op::Sh), Just(Op::Sw)],
-            arb_reg(),
-            arb_reg(),
-            -(1i32 << 15)..(1i32 << 15)
-        )
-            .prop_map(|(op, rs2, rs1, imm)| Inst::store(op, rs2, rs1, imm)),
-        // branches (word-aligned offsets)
-        (
-            prop_oneof![
-                Just(Op::Beq),
-                Just(Op::Bne),
-                Just(Op::Blt),
-                Just(Op::Bge),
-                Just(Op::Bltu),
-                Just(Op::Bgeu)
-            ],
-            arb_reg(),
-            arb_reg(),
-            -(1i32 << 15)..(1i32 << 15)
-        )
-            .prop_map(|(op, rs1, rs2, words)| Inst::branch(op, rs1, rs2, words * 4)),
-        // jumps
-        (
-            prop_oneof![Just(Op::J), Just(Op::Jal)],
-            -(1i32 << 25)..(1i32 << 25)
-        )
-            .prop_map(|(op, words)| Inst::jump(op, words * 4)),
-        arb_reg().prop_map(Inst::jr),
-        (0u32..=0xffff).prop_map(Inst::sys),
-        Just(Inst::halt()),
-    ]
+fn imm16s(rng: &mut StdRng) -> i32 {
+    rng.gen_range(-(1i32 << 15)..(1i32 << 15))
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trips(inst in arb_inst()) {
+/// Draws an instruction whose immediates are valid for its encoding
+/// fields — the same distribution the old proptest strategy produced.
+fn arb_inst(rng: &mut StdRng) -> Inst {
+    const RTYPE: [Op; 15] = [
+        Op::Add,
+        Op::Sub,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Nor,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Slt,
+        Op::Sltu,
+        Op::Mul,
+        Op::Mulhu,
+        Op::Divu,
+        Op::Remu,
+    ];
+    const ITYPE_S: [Op; 3] = [Op::Addi, Op::Slti, Op::Sltiu];
+    const ITYPE_U: [Op; 3] = [Op::Andi, Op::Ori, Op::Xori];
+    const SHIFTS: [Op; 3] = [Op::Slli, Op::Srli, Op::Srai];
+    const LOADS: [Op; 5] = [Op::Lb, Op::Lbu, Op::Lh, Op::Lhu, Op::Lw];
+    const STORES: [Op; 3] = [Op::Sb, Op::Sh, Op::Sw];
+    const BRANCHES: [Op; 6] = [Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu, Op::Bgeu];
+
+    match rng.gen_range(0usize..11) {
+        0 => {
+            let op = RTYPE[rng.gen_range(0..RTYPE.len())];
+            Inst::rtype(op, arb_reg(rng), arb_reg(rng), arb_reg(rng))
+        }
+        1 => {
+            let op = ITYPE_S[rng.gen_range(0..ITYPE_S.len())];
+            Inst::with_imm(op, arb_reg(rng), arb_reg(rng), imm16s(rng))
+        }
+        2 => {
+            let op = ITYPE_U[rng.gen_range(0..ITYPE_U.len())];
+            Inst::with_imm(
+                op,
+                arb_reg(rng),
+                arb_reg(rng),
+                rng.gen_range(0i32..0x1_0000),
+            )
+        }
+        3 => {
+            let op = SHIFTS[rng.gen_range(0..SHIFTS.len())];
+            Inst::with_imm(op, arb_reg(rng), arb_reg(rng), rng.gen_range(0i32..32))
+        }
+        4 => Inst::lui(arb_reg(rng), rng.gen_range(0i32..0x1_0000)),
+        5 => {
+            let op = LOADS[rng.gen_range(0..LOADS.len())];
+            Inst::with_imm(op, arb_reg(rng), arb_reg(rng), imm16s(rng))
+        }
+        6 => {
+            let op = STORES[rng.gen_range(0..STORES.len())];
+            Inst::store(op, arb_reg(rng), arb_reg(rng), imm16s(rng))
+        }
+        7 => {
+            let op = BRANCHES[rng.gen_range(0..BRANCHES.len())];
+            Inst::branch(op, arb_reg(rng), arb_reg(rng), imm16s(rng) * 4)
+        }
+        8 => {
+            let op = if rng.gen::<bool>() { Op::J } else { Op::Jal };
+            Inst::jump(op, rng.gen_range(-(1i32 << 25)..(1i32 << 25)) * 4)
+        }
+        9 => Inst::jr(arb_reg(rng)),
+        _ => {
+            if rng.gen::<bool>() {
+                Inst::sys(rng.gen_range(0u32..0x1_0000))
+            } else {
+                Inst::halt()
+            }
+        }
+    }
+}
+
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x4e50_0001);
+    for _ in 0..4000 {
+        let inst = arb_inst(&mut rng);
         let word = encode(&inst).expect("valid instruction encodes");
         let back = decode(word).expect("encoded word decodes");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst);
     }
+}
 
-    #[test]
-    fn decode_never_panics(word: u32) {
+#[test]
+fn decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x4e50_0002);
+    for _ in 0..20_000 {
+        let _ = decode(rng.gen::<u32>());
+    }
+    // Plus the edge words a uniform draw is unlikely to hit.
+    for word in [0, 1, u32::MAX, u32::MAX - 1, 0x8000_0000, 0x7fff_ffff] {
         let _ = decode(word);
     }
+}
 
-    #[test]
-    fn decoded_words_reencode_identically(word: u32) {
+#[test]
+fn decoded_words_reencode_identically() {
+    let mut rng = StdRng::seed_from_u64(0x4e50_0003);
+    for _ in 0..20_000 {
+        let word = rng.gen::<u32>();
         if let Ok(inst) = decode(word) {
             // Re-encoding may canonicalize ignored bits, but decoding the
             // re-encoded word must be stable.
             let word2 = encode(&inst).expect("decoded inst re-encodes");
-            prop_assert_eq!(decode(word2).unwrap(), inst);
+            assert_eq!(decode(word2).unwrap(), inst);
         }
     }
+}
 
-    #[test]
-    fn memory_word_round_trip(addr: u32, value: u32) {
+#[test]
+fn memory_word_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x4e50_0004);
+    for i in 0..2000 {
+        // Mix uniform addresses with page-boundary straddlers.
+        let addr = if i % 4 == 0 {
+            (rng.gen::<u32>() & !0xfff) | rng.gen_range(0xffd_u32..0x1003)
+        } else {
+            rng.gen::<u32>()
+        };
+        let value = rng.gen::<u32>();
         let mut mem = Memory::new();
         mem.write_u32(addr, value);
-        prop_assert_eq!(mem.read_u32(addr), value);
+        assert_eq!(mem.read_u32(addr), value, "addr {addr:#010x}");
         // Byte composition agrees with little-endian order.
         let bytes = value.to_le_bytes();
         for (i, &b) in bytes.iter().enumerate() {
-            prop_assert_eq!(mem.read_u8(addr.wrapping_add(i as u32)), b);
+            assert_eq!(mem.read_u8(addr.wrapping_add(i as u32)), b);
         }
     }
+}
 
-    #[test]
-    fn memory_bulk_round_trip(addr: u32, data in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn memory_bulk_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x4e50_0005);
+    for _ in 0..400 {
+        let addr = rng.gen::<u32>();
+        let len = rng.gen_range(0usize..300);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         let mut mem = Memory::new();
         mem.write_bytes(addr, &data);
-        prop_assert_eq!(mem.read_bytes(addr, data.len()), data);
+        assert_eq!(mem.read_bytes(addr, data.len()), data, "addr {addr:#010x}");
     }
+}
 
-    #[test]
-    fn bitset_agrees_with_hashset_model(
-        ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..100)
-    ) {
+#[test]
+fn bitset_agrees_with_hashset_model() {
+    let mut rng = StdRng::seed_from_u64(0x4e50_0006);
+    for _ in 0..300 {
+        let ops = rng.gen_range(0usize..100);
         let mut set = BitSet::new(200);
         let mut model = std::collections::HashSet::new();
-        for (index, _insert) in ops {
+        for _ in 0..ops {
+            let index = rng.gen_range(0usize..200);
             set.insert(index);
             model.insert(index);
         }
-        prop_assert_eq!(set.count(), model.len());
+        assert_eq!(set.count(), model.len());
         for i in 0..200 {
-            prop_assert_eq!(set.contains(i), model.contains(&i), "bit {}", i);
+            assert_eq!(set.contains(i), model.contains(&i), "bit {i}");
         }
         let listed: Vec<usize> = set.iter().collect();
         let mut expected: Vec<usize> = model.into_iter().collect();
         expected.sort_unstable();
-        prop_assert_eq!(listed, expected);
+        assert_eq!(listed, expected);
     }
 }

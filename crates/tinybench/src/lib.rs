@@ -1,0 +1,270 @@
+//! # tinybench — a minimal, dependency-free benchmark harness
+//!
+//! The bench targets in this workspace were written against Criterion's
+//! API; this crate provides the same surface (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros, `black_box`) with a
+//! self-contained implementation, because the build environment is
+//! offline. It measures wall-clock time with `std::time::Instant`,
+//! auto-scales iteration counts to a target sample duration, and reports
+//! the median and minimum time per iteration.
+//!
+//! Environment knobs:
+//!
+//! * `TINYBENCH_SAMPLES` — samples per benchmark (default 10).
+//! * `TINYBENCH_SAMPLE_MS` — target milliseconds per sample (default 20).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness state. One instance runs every registered benchmark.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+    sample_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let env_usize = |name: &str, default| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Criterion {
+            samples: env_usize("TINYBENCH_SAMPLES", 10).max(2),
+            sample_ms: env_usize("TINYBENCH_SAMPLE_MS", 20) as u64,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.samples, self.sample_ms, &mut f);
+        print_report(&name.to_string(), &report);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.samples)
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.samples(), self.criterion.sample_ms, &mut f);
+        print_report(&format!("{}/{}", self.name, id), &report);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.samples(), self.criterion.sample_ms, &mut |b| {
+            f(b, input)
+        });
+        print_report(&format!("{}/{}", self.name, id.0), &report);
+        self
+    }
+
+    /// Ends the group (statistics are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    target: Duration,
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count so one measurement
+    /// spans roughly the target sample duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up / calibration pass.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.ns_per_iter = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, sample_ms: u64, f: &mut F) -> Report {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            target: Duration::from_millis(sample_ms),
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        times.push(bencher.ns_per_iter);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        samples: times.len(),
+    }
+}
+
+fn print_report(name: &str, report: &Report) {
+    println!(
+        "{:<48} median {:>12} min {:>12} ({} samples)",
+        name,
+        format_ns(report.median_ns),
+        format_ns(report.min_ns),
+        report.samples
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects benchmark functions into a runnable group function, exactly
+/// like `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to a `main` that runs the given groups, exactly like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut b = Bencher {
+            target: Duration::from_millis(1),
+            ns_per_iter: 0.0,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion {
+            samples: 2,
+            sample_ms: 1,
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(2u32).pow(2)));
+        group.bench_with_input(BenchmarkId::new("pow", 3), &3u32, |b, &p| {
+            b.iter(|| black_box(2u32).pow(p))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let old_avg = old_flow_cost.0 as f64 / old_flow_cost.1 as f64;
         println!("avg instructions, new flow:      {new_avg:7.1}");
         println!("avg instructions, existing flow: {old_avg:7.1}");
-        println!("creation premium:                {:6.1}%", 100.0 * (new_avg / old_avg - 1.0));
+        println!(
+            "creation premium:                {:6.1}%",
+            100.0 * (new_avg / old_avg - 1.0)
+        );
     }
 
     // Heavy hitters from the golden model mirror (kept in sync with the
@@ -77,8 +80,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<44} {:>8} {:>10}",
             format!(
                 "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} proto {}",
-                k.src >> 24, (k.src >> 16) & 255, (k.src >> 8) & 255, k.src & 255, k.src_port,
-                k.dst >> 24, (k.dst >> 16) & 255, (k.dst >> 8) & 255, k.dst & 255, k.dst_port,
+                k.src >> 24,
+                (k.src >> 16) & 255,
+                (k.src >> 8) & 255,
+                k.src & 255,
+                k.src_port,
+                k.dst >> 24,
+                (k.dst >> 16) & 255,
+                (k.dst >> 8) & 255,
+                k.dst & 255,
+                k.dst_port,
                 k.protocol
             ),
             f.packets,

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let packets: usize = args.get(2).and_then(|n| n.parse().ok()).unwrap_or(200);
 
     println!("application: {app_id}");
-    println!("trace:       {} ({})", profile.name, profile.link_description());
+    println!(
+        "trace:       {} ({})",
+        profile.name,
+        profile.link_description()
+    );
     println!("packets:     {packets}");
     println!();
 
@@ -40,13 +44,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.add(&block_map, &record);
     })?;
 
-    println!("avg instructions / packet:        {:8.1}", analysis.avg_instructions());
-    println!("avg packet-memory accesses:       {:8.1}", analysis.avg_packet_mem());
-    println!("avg non-packet-memory accesses:   {:8.1}", analysis.avg_non_packet_mem());
+    println!(
+        "avg instructions / packet:        {:8.1}",
+        analysis.avg_instructions()
+    );
+    println!(
+        "avg packet-memory accesses:       {:8.1}",
+        analysis.avg_packet_mem()
+    );
+    println!(
+        "avg non-packet-memory accesses:   {:8.1}",
+        analysis.avg_non_packet_mem()
+    );
     let hist = analysis.instruction_histogram();
     println!("instruction-count modes:");
     for (value, share) in hist.top_k(3) {
-        println!("  {value:>8} instructions  ({:5.2}% of packets)", share * 100.0);
+        println!(
+            "  {value:>8} instructions  ({:5.2}% of packets)",
+            share * 100.0
+        );
     }
     if let (Some((min, _)), Some((max, _))) = (hist.min(), hist.max()) {
         println!("range: {min} ..= {max} instructions");

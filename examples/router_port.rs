@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or(curve.len());
         println!("== {} ==", id.name());
         println!("  forwarded:                {forwarded}/{packets}");
-        println!("  avg instructions/packet:  {:.0}", analysis.avg_instructions());
+        println!(
+            "  avg instructions/packet:  {:.0}",
+            analysis.avg_instructions()
+        );
         println!(
             "  avg memory accesses:      {:.0} packet + {:.0} non-packet",
             analysis.avg_packet_mem(),

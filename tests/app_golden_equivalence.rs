@@ -53,9 +53,9 @@ fn tsa_matches_golden_on_all_traces() {
 fn radix_and_trie_agree_on_shared_table() {
     // Build both golden structures over one table; they must produce the
     // same longest-prefix match as the linear reference everywhere.
+    use nprng::rngs::StdRng;
+    use nprng::{Rng, SeedableRng};
     use nproute::{lctrie::LcTrie, radix::RadixTree, TableGenerator};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     let table = TableGenerator::new(77, 16).generate(600);
     let radix = RadixTree::build(&table);

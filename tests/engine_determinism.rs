@@ -1,0 +1,137 @@
+//! The parallel trace engine must be an observational no-op: for every
+//! application, running a seeded MRA trace on 2, 4, or 7 workers must
+//! produce bit-identical per-packet records, aggregate statistics, and
+//! output packets to the serial run.
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Packet;
+use packetbench::apps::{App, AppId};
+use packetbench::engine::{Engine, EngineRun};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::WorkloadConfig;
+
+const TRACE_SEED: u64 = 2005_0320;
+const PACKETS: usize = 400;
+const THREAD_COUNTS: [usize; 3] = [2, 4, 7];
+
+fn mra_trace(n: usize) -> Vec<Packet> {
+    SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED).take_packets(n)
+}
+
+fn assert_runs_identical(id: AppId, serial: &EngineRun, parallel: &EngineRun, threads: usize) {
+    let context = |i: usize| format!("{}: packet {i} at {threads} threads", id.name());
+    assert_eq!(serial.records.len(), parallel.records.len());
+    for (i, (a, b)) in serial.records.iter().zip(&parallel.records).enumerate() {
+        assert_eq!(a.verdict, b.verdict, "verdict, {}", context(i));
+        assert_eq!(a.return_value, b.return_value, "return, {}", context(i));
+        assert_eq!(a.stats.instret, b.stats.instret, "instret, {}", context(i));
+        assert_eq!(a.stats.mem, b.stats.mem, "mem counts, {}", context(i));
+        assert_eq!(a.stats.op_mix, b.stats.op_mix, "op mix, {}", context(i));
+        assert_eq!(a.stats.halt, b.stats.halt, "halt reason, {}", context(i));
+        assert_eq!(
+            a.stats.executed,
+            b.stats.executed,
+            "executed set, {}",
+            context(i)
+        );
+    }
+    assert_eq!(
+        serial.output_packets.len(),
+        parallel.output_packets.len(),
+        "{}: output packet count at {threads} threads",
+        id.name()
+    );
+    for (i, (a, b)) in serial
+        .output_packets
+        .iter()
+        .zip(&parallel.output_packets)
+        .enumerate()
+    {
+        // `Packet` equality covers bytes, link framing, and timestamp.
+        assert_eq!(a, b, "output packet {i}, {threads} threads");
+    }
+}
+
+#[test]
+fn every_app_is_thread_count_invariant() {
+    let packets = mra_trace(PACKETS);
+    for id in AppId::WITH_EXTENSIONS {
+        let engine = Engine::new(id);
+        let serial = engine.run(&packets, Detail::counts(), 1).unwrap();
+        assert_eq!(serial.threads, 1);
+        for threads in THREAD_COUNTS {
+            let parallel = engine.run(&packets, Detail::counts(), threads).unwrap();
+            assert_eq!(parallel.threads, threads);
+            assert_runs_identical(id, &serial, &parallel, threads);
+        }
+    }
+}
+
+#[test]
+fn engine_serial_path_matches_packetbench() {
+    let packets = mra_trace(120);
+    for id in AppId::WITH_EXTENSIONS {
+        let run = Engine::new(id).run(&packets, Detail::counts(), 1).unwrap();
+
+        let config = WorkloadConfig::default();
+        let app = App::build(id, &config).unwrap();
+        let mut bench = PacketBench::with_config(app, &config).unwrap();
+        for (i, packet) in packets.iter().enumerate() {
+            let record = bench.process_packet(packet, Detail::counts()).unwrap();
+            assert_eq!(
+                record.stats.instret,
+                run.records[i].stats.instret,
+                "{}: packet {i}",
+                id.name()
+            );
+            assert_eq!(record.verdict, run.records[i].verdict);
+            assert_eq!(record.return_value, run.records[i].return_value);
+            assert_eq!(record.stats.mem, run.records[i].stats.mem);
+        }
+        assert_eq!(run.output_packets.len(), bench.take_output_packets().len());
+    }
+}
+
+#[test]
+fn aggregate_tables_are_thread_count_invariant() {
+    // The quantities behind the paper's Tables II/III/V: total and
+    // per-packet instruction counts and region-classified memory accesses.
+    let packets = mra_trace(PACKETS);
+    for id in AppId::ALL {
+        let engine = Engine::new(id);
+        let serial = engine.run(&packets, Detail::counts(), 1).unwrap();
+        let total = |run: &EngineRun| {
+            let insts: u64 = run.records.iter().map(|r| r.stats.instret).sum();
+            let pkt: u64 = run.records.iter().map(|r| r.stats.mem.packet_total()).sum();
+            let non: u64 = run
+                .records
+                .iter()
+                .map(|r| r.stats.mem.non_packet_total())
+                .sum();
+            (insts, pkt, non)
+        };
+        for threads in THREAD_COUNTS {
+            let parallel = engine.run(&packets, Detail::counts(), threads).unwrap();
+            assert_eq!(
+                total(&serial),
+                total(&parallel),
+                "{}: aggregates at {threads} threads",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn verified_parallel_runs_pass_golden_models() {
+    let packets = mra_trace(150);
+    for id in AppId::WITH_EXTENSIONS {
+        for threads in [1, 4] {
+            let run = Engine::new(id)
+                .verify(true)
+                .run(&packets, Detail::counts(), threads)
+                .unwrap();
+            assert_eq!(run.records.len(), packets.len(), "{}", id.name());
+        }
+    }
+}

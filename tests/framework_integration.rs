@@ -96,7 +96,8 @@ fn instruction_pattern_matches_unique_count_for_every_app() {
         let r = b
             .process_packet(&trace.next_packet(), Detail::full())
             .unwrap();
-        let pattern = InstructionPattern::from_pc_trace(b.app().image().program(), &r.stats.pc_trace);
+        let pattern =
+            InstructionPattern::from_pc_trace(b.app().image().program(), &r.stats.pc_trace);
         assert_eq!(
             pattern.unique_instructions() as usize,
             r.stats.unique_instructions(),
@@ -120,7 +121,10 @@ fn memory_sequence_interleaving_shapes_match_paper() {
     let first_nonpacket = seq.iter().position(|p| !p.packet).unwrap();
     assert!(first_nonpacket < seq.len());
     // After the header phase, the tail of the run is non-packet only.
-    let tail_packet_accesses = seq[last_packet_access..].iter().filter(|p| p.packet).count();
+    let tail_packet_accesses = seq[last_packet_access..]
+        .iter()
+        .filter(|p| p.packet)
+        .count();
     assert_eq!(tail_packet_accesses, 1, "only the final header write");
     // The lookup phase dominates: >80% of accesses are non-packet.
     let np = seq.iter().filter(|p| !p.packet).count();

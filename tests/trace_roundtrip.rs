@@ -36,7 +36,10 @@ fn pcap_round_trip_preserves_workload_statistics() {
         writer.write_packet(p).unwrap();
     }
     writer.into_inner().unwrap();
-    let reread: Vec<Packet> = PcapReader::new(&file[..]).unwrap().map(|r| r.unwrap()).collect();
+    let reread: Vec<Packet> = PcapReader::new(&file[..])
+        .unwrap()
+        .map(|r| r.unwrap())
+        .collect();
     assert_eq!(reread.len(), packets.len());
 
     // ...the per-packet workload statistics are identical. (TSA keeps a
@@ -62,7 +65,10 @@ fn ethernet_pcap_round_trip_strips_framing_consistently() {
         writer.write_packet(p).unwrap();
     }
     writer.into_inner().unwrap();
-    let reread: Vec<Packet> = PcapReader::new(&file[..]).unwrap().map(|r| r.unwrap()).collect();
+    let reread: Vec<Packet> = PcapReader::new(&file[..])
+        .unwrap()
+        .map(|r| r.unwrap())
+        .collect();
     for (a, b) in packets.iter().zip(&reread) {
         assert_eq!(a.l3(), b.l3());
     }

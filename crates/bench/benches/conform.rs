@@ -1,0 +1,55 @@
+//! Conformance-corpus throughput: differential programs checked per
+//! wall-clock second, written to `BENCH_conform.json`.
+//!
+//! Each corpus item runs three interpreters (reference, full-detail,
+//! counts-only) and diffs every statistic, so this measures the cost of
+//! the whole differential harness — the number CI pays on every push.
+//! Run with `cargo bench --bench conform [-- <corpus>]`.
+
+use std::io::Write;
+use std::time::Instant;
+
+use npconform::{run_corpus, ConformConfig};
+
+const DEFAULT_CORPUS: usize = 300;
+const RUNS: usize = 3;
+
+fn best_pps(config: &ConformConfig) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let report = run_corpus(config);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(report.passed(), "corpus diverged inside the benchmark");
+        let pps = report.programs as f64 / elapsed;
+        if pps > best {
+            best = pps;
+        }
+    }
+    best
+}
+
+fn main() {
+    let corpus: usize = std::env::args()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_CORPUS);
+    let config = ConformConfig {
+        corpus,
+        seed: 42,
+        ..ConformConfig::default()
+    };
+    let pps = best_pps(&config);
+    println!("conform corpus: {corpus} programs, best {pps:.0} programs/sec");
+
+    let json = format!(
+        "{{\n  \"corpus\": {corpus},\n  \"seed\": 42,\n  \"programs_per_sec\": {pps:.0}\n}}\n"
+    );
+    // Land the file at the workspace root regardless of cargo's bench CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_conform.json");
+    let mut file = std::fs::File::create(&path).expect("create BENCH_conform.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", path.display());
+}

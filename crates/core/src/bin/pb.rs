@@ -6,6 +6,7 @@
 //! pb disasm --app <app>            disassemble an application
 //! pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
 //!        [--verify] [--uarch] [--seed <n>]
+//! pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
 //! pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 //! ```
 
@@ -89,6 +90,7 @@ fn run() -> Result<(), String> {
         "traces" => cmd_traces(),
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
+        "conform" => cmd_conform(&args),
         "anonymize" => cmd_anonymize(&args),
         other => Err(format!("unknown command `{other}` (try `pb` for usage)")),
     }
@@ -104,10 +106,17 @@ USAGE:
   pb disasm --app <app>            disassemble an application
   pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
          [--verify] [--uarch] [--seed <n>] [--threads <n>]
+  pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
   pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 
 `pb run --threads 0` (the default) uses all available cores; statistics
-are bit-identical at every thread count."
+are bit-identical at every thread count.
+
+`pb conform` differentially tests the optimized simulator against a
+reference interpreter: a seeded corpus of random programs plus all five
+applications, across the full-detail, counts-only, and multi-threaded
+paths. On divergence it exits nonzero and writes a minimized repro to
+the --repro path (default conform_repro.s)."
     );
 }
 
@@ -256,6 +265,93 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     if verify {
         println!("golden-model check:     all packets verified");
+    }
+    Ok(())
+}
+
+fn cmd_conform(args: &Args) -> Result<(), String> {
+    let corpus: usize = args
+        .options
+        .get("corpus")
+        .map(|v| v.parse().map_err(|_| format!("bad --corpus value `{v}`")))
+        .transpose()?
+        .unwrap_or(500);
+    let seed: u64 = args
+        .options
+        .get("seed")
+        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let threads: usize = args
+        .options
+        .get("threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads value `{v}`")))
+        .transpose()?
+        .unwrap_or(4);
+    let repro_path = args
+        .options
+        .get("repro")
+        .map(String::as_str)
+        .unwrap_or("conform_repro.s");
+
+    // Leg 1: the generated-program corpus through reference, full-detail,
+    // and counts-only interpreters.
+    let report = npconform::run_corpus(&npconform::ConformConfig {
+        corpus,
+        seed,
+        ..npconform::ConformConfig::default()
+    });
+    println!(
+        "corpus:       {} generated programs, seed {seed}: {}",
+        report.programs,
+        if report.passed() {
+            "all paths bit-identical".to_string()
+        } else {
+            format!("{} DIVERGED", report.failures.len())
+        }
+    );
+    if let Some(failure) = report.failures.first() {
+        for d in failure.divergences.iter().take(8) {
+            eprintln!("  {d}");
+        }
+        std::fs::write(repro_path, &failure.asm)
+            .map_err(|e| format!("writing {repro_path}: {e}"))?;
+        eprintln!(
+            "minimized repro ({} instructions) written to {repro_path}",
+            failure.minimized.len()
+        );
+        return Err(format!(
+            "{} of {} corpus programs diverged",
+            report.failures.len(),
+            report.programs
+        ));
+    }
+
+    // Leg 2: every application over a synthetic trace, adding the
+    // multi-threaded engine to the compared paths.
+    let app_packets = (corpus / 5).clamp(20, 200);
+    let mut failed = false;
+    for report in packetbench::conform::check_all_apps(app_packets, seed, threads)
+        .map_err(|e| e.to_string())?
+    {
+        println!(
+            "{:<12} {} packets, {} threads: {}",
+            report.app.slug(),
+            report.packets,
+            report.threads,
+            if report.passed() {
+                "all paths bit-identical".to_string()
+            } else {
+                format!("{} DIVERGENCES", report.divergences.len())
+            }
+        );
+        for d in report.divergences.iter().take(8) {
+            eprintln!("  {d}");
+        }
+        failed |= !report.passed();
+    }
+    if failed {
+        return Err("application conformance failed".into());
     }
     Ok(())
 }

@@ -1,0 +1,261 @@
+//! Application-level differential conformance (the `pb conform` app leg).
+//!
+//! Where `npconform`'s corpus harness cross-checks the interpreter paths
+//! on *generated* programs, this module replays the five real PacketBench
+//! applications — IPv4 radix, IPv4 trie, flow classification, TSA
+//! anonymization, and IPSec encryption — through four paths:
+//!
+//! 1. the reference interpreter ([`npconform::RefCpu`]),
+//! 2. the optimized simulator forced onto its full-detail loop,
+//! 3. the optimized simulator forced onto its counts-only loop,
+//! 4. the multi-threaded [`Engine`],
+//!
+//! each against its own framework instance (own memory, own application
+//! state), asserting bit-identical per-packet statistics, verdicts,
+//! architectural state, memory digests, and emitted output packets.
+//! Applications are stateful (flow tables, anonymization mappings), so
+//! agreeing packet-by-packet over a whole trace is a much stronger check
+//! than any single-packet comparison.
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Packet;
+use npconform::{DiffLevel, ForcedCpu, Outcome, RefCpu};
+use npsim::{Cpu, ExecPath, Interpreter, RunConfig};
+
+use crate::apps::{App, AppId};
+use crate::config::WorkloadConfig;
+use crate::engine::Engine;
+use crate::error::BenchError;
+use crate::framework::{Detail, PacketBench, PacketRecord, Verdict};
+
+/// Conformance result for one application over one trace.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// The application checked.
+    pub app: AppId,
+    /// Packets replayed.
+    pub packets: usize,
+    /// Worker threads used for the engine leg.
+    pub threads: usize,
+    /// Named divergences (empty = all four paths bit-identical).
+    pub divergences: Vec<String>,
+}
+
+impl AppReport {
+    /// Whether all paths agreed on every packet.
+    pub fn passed(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// One leg's observation of one packet.
+struct LegRecord {
+    outcome: Outcome,
+    verdict: Verdict,
+    return_value: u32,
+}
+
+fn run_leg(
+    bench: &mut PacketBench,
+    interp: &mut dyn Interpreter,
+    packet: &Packet,
+    config: &RunConfig,
+) -> Result<LegRecord, BenchError> {
+    let mut record = PacketRecord::empty();
+    bench.process_packet_via(interp, packet, config, &mut record)?;
+    Ok(LegRecord {
+        outcome: Outcome {
+            result: Ok(record.stats.halt),
+            stats: record.stats,
+            state: interp.state(),
+            mem_digest: bench.mem().digest(),
+        },
+        verdict: record.verdict,
+        return_value: record.return_value,
+    })
+}
+
+/// Stop collecting divergences per app beyond this many; one real bug
+/// diverges on nearly every packet and drowning the report helps nobody.
+const MAX_DIVERGENCES: usize = 24;
+
+/// Replays `packets` through `id` on all four paths and reports every
+/// divergence from the reference interpreter.
+///
+/// # Errors
+///
+/// Fails only on framework-level errors (bad packets, simulator faults);
+/// divergences are *reported*, not returned as errors.
+pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppReport, BenchError> {
+    let config = WorkloadConfig::small();
+
+    // Three serial legs, each with its own framework instance. The
+    // reference interpreter re-encodes the program and owns the words; the
+    // forced CPUs borrow this clone.
+    let app = App::build(id, &config)?;
+    let program = app.image().program().clone();
+    let map = app.map();
+    let mut bench_ref = PacketBench::with_config(app, &config)?;
+    let mut interp_ref = RefCpu::new(&program, map)?;
+
+    let mut bench_full = PacketBench::with_config(App::build(id, &config)?, &config)?;
+    let mut interp_full = ForcedCpu::new(Cpu::new(&program, map), ExecPath::Full);
+
+    let mut bench_counts = PacketBench::with_config(App::build(id, &config)?, &config)?;
+    let mut interp_counts = ForcedCpu::new(Cpu::new(&program, map), ExecPath::Counts);
+
+    let full_config = RunConfig {
+        record_pc_trace: true,
+        record_mem_trace: true,
+        ..RunConfig::default()
+    };
+    let counts_config = RunConfig::default();
+
+    let mut divergences = Vec::new();
+    let mut reference_legs = Vec::with_capacity(packets.len());
+    for (i, packet) in packets.iter().enumerate() {
+        let leg_ref = run_leg(&mut bench_ref, &mut interp_ref, packet, &full_config)?;
+        let leg_full = run_leg(&mut bench_full, &mut interp_full, packet, &full_config)?;
+        let leg_counts = run_leg(
+            &mut bench_counts,
+            &mut interp_counts,
+            packet,
+            &counts_config,
+        )?;
+
+        for (name, leg, level) in [
+            ("full", &leg_full, DiffLevel::Full),
+            ("counts", &leg_counts, DiffLevel::Counts),
+        ] {
+            for d in leg_ref.outcome.diff(&leg.outcome, level) {
+                divergences.push(format!("packet {i} {name}: {d}"));
+            }
+            if leg.verdict != leg_ref.verdict {
+                divergences.push(format!(
+                    "packet {i} {name}: verdict: {:?} vs {:?}",
+                    leg_ref.verdict, leg.verdict
+                ));
+            }
+            if leg.return_value != leg_ref.return_value {
+                divergences.push(format!(
+                    "packet {i} {name}: return_value: {} vs {}",
+                    leg_ref.return_value, leg.return_value
+                ));
+            }
+        }
+        reference_legs.push(leg_ref);
+        if divergences.len() >= MAX_DIVERGENCES {
+            break;
+        }
+    }
+
+    if bench_ref.output_packets() != bench_full.output_packets() {
+        divergences.push("full: output packets differ from reference".to_string());
+    }
+    if bench_ref.output_packets() != bench_counts.output_packets() {
+        divergences.push("counts: output packets differ from reference".to_string());
+    }
+
+    // Engine leg: the multi-threaded run must reproduce the reference's
+    // per-packet counts, verdicts, and outputs in trace order.
+    if divergences.len() < MAX_DIVERGENCES {
+        let engine = Engine::with_config(id, config).run(packets, Detail::counts(), threads)?;
+        for (i, (reference, record)) in reference_legs.iter().zip(&engine.records).enumerate() {
+            let r = &reference.outcome.stats;
+            let e = &record.stats;
+            for (field, same) in [
+                ("instret", r.instret == e.instret),
+                ("op_mix", r.op_mix == e.op_mix),
+                ("executed", r.executed == e.executed),
+                ("mem", r.mem == e.mem),
+                ("halt", r.halt == e.halt),
+                ("verdict", reference.verdict == record.verdict),
+                (
+                    "return_value",
+                    reference.return_value == record.return_value,
+                ),
+            ] {
+                if !same {
+                    divergences.push(format!("packet {i} engine({threads}): {field} differs"));
+                }
+            }
+            if divergences.len() >= MAX_DIVERGENCES {
+                break;
+            }
+        }
+        if engine.output_packets != bench_ref.output_packets() {
+            divergences.push(format!(
+                "engine({threads}): output packets differ from reference"
+            ));
+        }
+    }
+
+    divergences.truncate(MAX_DIVERGENCES);
+    Ok(AppReport {
+        app: id,
+        packets: packets.len(),
+        threads,
+        divergences,
+    })
+}
+
+/// Conformance-checks every application (extensions included) over a
+/// seeded synthetic trace, cycling through the paper's four trace
+/// profiles so each application sees a different traffic shape.
+///
+/// # Errors
+///
+/// See [`check_app`].
+pub fn check_all_apps(
+    packets: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<AppReport>, BenchError> {
+    let profiles = TraceProfile::all();
+    AppId::WITH_EXTENSIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let trace =
+                SyntheticTrace::new(profiles[i % profiles.len()], seed).take_packets(packets);
+            check_app(id, &trace, threads)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: usize, seed: u64) -> Vec<Packet> {
+        SyntheticTrace::new(TraceProfile::mra(), seed).take_packets(n)
+    }
+
+    #[test]
+    fn every_app_conforms_on_a_short_trace() {
+        for report in check_all_apps(30, 42, 4).unwrap() {
+            assert!(
+                report.passed(),
+                "{:?} diverged: {:#?}",
+                report.app,
+                report.divergences
+            );
+            assert_eq!(report.packets, 30);
+        }
+    }
+
+    #[test]
+    fn flow_class_conforms_across_thread_counts() {
+        // The stateful app is the one whose engine sharding could skew:
+        // check it at several worker counts over one trace.
+        let packets = trace(60, 7);
+        for threads in [1, 2, 4] {
+            let report = check_app(AppId::FlowClass, &packets, threads).unwrap();
+            assert!(
+                report.passed(),
+                "flow-class at {threads} threads: {:#?}",
+                report.divergences
+            );
+        }
+    }
+}

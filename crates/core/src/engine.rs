@@ -317,6 +317,70 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_produces_an_empty_run() {
+        for threads in [1, 4] {
+            let run = Engine::new(AppId::Ipv4Trie)
+                .run(&[], Detail::counts(), threads)
+                .unwrap();
+            assert!(run.records.is_empty());
+            assert!(run.output_packets.is_empty());
+            assert_eq!(run.total_instructions(), 0);
+        }
+    }
+
+    #[test]
+    fn single_packet_trace_matches_the_framework() {
+        let packets = trace(1, 19);
+        let run = Engine::new(AppId::Ipv4Radix)
+            .run(&packets, Detail::counts(), 4)
+            .unwrap();
+        assert_eq!(run.records.len(), 1);
+
+        let app = App::build(AppId::Ipv4Radix, &WorkloadConfig::default()).unwrap();
+        let mut bench = PacketBench::new(app).unwrap();
+        let r = bench.process_packet(&packets[0], Detail::counts()).unwrap();
+        assert_eq!(r.stats.instret, run.records[0].stats.instret);
+        assert_eq!(r.verdict, run.records[0].verdict);
+        assert_eq!(r.return_value, run.records[0].return_value);
+    }
+
+    #[test]
+    fn more_threads_than_packets_still_merges_exactly() {
+        // Most workers get empty shards; the merge must not invent,
+        // drop, or reorder records.
+        let packets = trace(3, 23);
+        let engine = Engine::new(AppId::FlowClass);
+        let serial = engine.run(&packets, Detail::counts(), 1).unwrap();
+        let wide = engine.run(&packets, Detail::counts(), 8).unwrap();
+        assert_eq!(wide.records.len(), 3);
+        for (a, b) in serial.records.iter().zip(&wide.records) {
+            assert_eq!(a.stats.instret, b.stats.instret);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.return_value, b.return_value);
+        }
+        assert_eq!(serial.output_packets, wide.output_packets);
+    }
+
+    #[test]
+    fn flow_trace_collapsing_to_one_bucket_still_merges_in_order() {
+        // One repeated flow: bucket sharding degenerates to a single
+        // loaded worker with every other shard empty — and the chained
+        // flow state must still evolve exactly as in the serial run.
+        let one = trace(1, 29).pop().unwrap();
+        let packets = vec![one; 50];
+        let engine = Engine::new(AppId::FlowClass);
+        let serial = engine.run(&packets, Detail::counts(), 1).unwrap();
+        let parallel = engine.run(&packets, Detail::counts(), 4).unwrap();
+        for (i, (a, b)) in serial.records.iter().zip(&parallel.records).enumerate() {
+            assert_eq!(a.stats.instret, b.stats.instret, "packet {i}");
+            assert_eq!(a.return_value, b.return_value, "packet {i}");
+        }
+        // The flow counter chained through the single bucket: packet i is
+        // the flow's (i+1)-th sighting.
+        assert_eq!(parallel.records.last().unwrap().return_value, 50);
+    }
+
+    #[test]
     fn error_reporting_is_deterministic() {
         let mut packets = trace(40, 17);
         // Two short packets; the engine must report the lower index no

@@ -11,7 +11,9 @@
 
 use nettrace::{Packet, Timestamp};
 use npsim::bblock::BlockMap;
-use npsim::{reg, Cpu, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome};
+use npsim::{
+    reg, Cpu, Interpreter, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome,
+};
 
 use crate::apps::App;
 use crate::config::WorkloadConfig;
@@ -292,41 +294,57 @@ impl PacketBench {
         clock: Option<u32>,
         record: &mut PacketRecord,
     ) -> Result<(), BenchError> {
-        let l3 = packet.l3();
-        if l3.len() < 20 {
-            return Err(BenchError::BadPacket(
-                nettrace::TraceError::MalformedPacket {
-                    reason: "capture shorter than an IPv4 header",
-                },
-            ));
-        }
-        // Stage the packet; clear a pad region beyond it so a shorter
-        // packet never sees the previous packet's bytes.
-        self.mem.write_bytes(self.map.packet_base, l3);
-        self.mem
-            .zero_range(self.map.packet_base + l3.len() as u32, 64);
-
+        l3_checked(packet)?;
         let program = self.app.image().program();
         let mut cpu = Cpu::new(program, self.map);
-        cpu.pc = self.entry;
-        cpu.set_reg(reg::A0, self.map.packet_base);
-        cpu.set_reg(reg::A1, l3.len() as u32);
-
         self.packets_processed += 1;
-        let mut handler = FrameworkSys {
-            verdict: Verdict::Returned,
-            out: &mut self.out_packets,
-            clock: clock.unwrap_or(self.packets_processed as u32),
-        };
-        cpu.run_into(
+        run_packet_on(
+            &mut cpu,
             &mut self.mem,
+            self.map,
+            self.entry,
+            &mut self.out_packets,
+            clock.unwrap_or(self.packets_processed as u32),
+            packet,
             &detail.run_config(),
-            &mut handler,
-            &mut record.stats,
-        )?;
-        record.verdict = handler.verdict;
-        record.return_value = cpu.reg(reg::A0);
-        Ok(())
+            record,
+        )
+    }
+
+    /// Runs one packet through a caller-supplied [`Interpreter`] instead
+    /// of the built-in optimized CPU, with full control over the
+    /// [`RunConfig`].
+    ///
+    /// This is the conformance entry point: the differential harness
+    /// drives the reference interpreter and each forced simulator loop
+    /// through the *same* staging, register seeding, and `sys` handling
+    /// as a normal run, so any divergence is the interpreter's, not the
+    /// framework's. The interpreter must have been built against this
+    /// application's program and memory map.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketBench::process_packet`].
+    pub fn process_packet_via(
+        &mut self,
+        interp: &mut dyn Interpreter,
+        packet: &Packet,
+        run_config: &RunConfig,
+        record: &mut PacketRecord,
+    ) -> Result<(), BenchError> {
+        l3_checked(packet)?;
+        self.packets_processed += 1;
+        run_packet_on(
+            interp,
+            &mut self.mem,
+            self.map,
+            self.entry,
+            &mut self.out_packets,
+            self.packets_processed as u32,
+            packet,
+            run_config,
+            record,
+        )
     }
 
     /// Runs one packet and checks the result against the application's
@@ -413,6 +431,58 @@ impl PacketBench {
         }
         Ok(())
     }
+}
+
+/// Rejects captures shorter than an IPv4 header.
+fn l3_checked(packet: &Packet) -> Result<&[u8], BenchError> {
+    let l3 = packet.l3();
+    if l3.len() < 20 {
+        return Err(BenchError::BadPacket(
+            nettrace::TraceError::MalformedPacket {
+                reason: "capture shorter than an IPv4 header",
+            },
+        ));
+    }
+    Ok(l3)
+}
+
+/// One packet through one interpreter: the framework sequence shared by
+/// the normal path and the conformance path. Stages the packet, boots the
+/// interpreter at `entry` with the packet pointer and length in
+/// `a0`/`a1`, runs it under the framework `sys` handler, and captures the
+/// verdict and return value.
+#[allow(clippy::too_many_arguments)]
+fn run_packet_on(
+    interp: &mut dyn Interpreter,
+    mem: &mut Memory,
+    map: MemoryMap,
+    entry: u32,
+    out: &mut Vec<Packet>,
+    clock: u32,
+    packet: &Packet,
+    run_config: &RunConfig,
+    record: &mut PacketRecord,
+) -> Result<(), BenchError> {
+    let l3 = l3_checked(packet)?;
+    // Stage the packet; clear a pad region beyond it so a shorter
+    // packet never sees the previous packet's bytes.
+    mem.write_bytes(map.packet_base, l3);
+    mem.zero_range(map.packet_base + l3.len() as u32, 64);
+
+    interp.reset();
+    interp.set_pc(entry);
+    interp.set_reg(reg::A0, map.packet_base);
+    interp.set_reg(reg::A1, l3.len() as u32);
+
+    let mut handler = FrameworkSys {
+        verdict: Verdict::Returned,
+        out,
+        clock,
+    };
+    interp.run_into(mem, run_config, &mut handler, &mut record.stats)?;
+    record.verdict = handler.verdict;
+    record.return_value = interp.state().regs[reg::A0.index()];
+    Ok(())
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 pub mod analysis;
 pub mod apps;
 pub mod config;
+pub mod conform;
 pub mod engine;
 pub mod error;
 pub mod framework;

@@ -64,6 +64,24 @@ pub fn disassemble(program: &Program) -> String {
     out
 }
 
+/// Renders a program as a standalone `.s` repro file.
+///
+/// Prepends `notes` as comment lines and a `main:` entry label to the
+/// [`disassemble`] output, so the file both documents why it exists (the
+/// conformance harness passes the divergence list) and assembles directly
+/// with [`crate::assemble`] or loads as an application entry point.
+pub fn emit_repro(program: &Program, notes: &[String]) -> String {
+    let mut out = String::new();
+    for note in notes {
+        for line in note.lines() {
+            let _ = writeln!(out, "; {line}");
+        }
+    }
+    let _ = writeln!(out, "main:");
+    out.push_str(&disassemble(program));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +108,21 @@ mod tests {
         let image = assemble(src, map).unwrap();
         let text = disassemble(image.program());
         let again = assemble(&text, map).unwrap();
+        assert_eq!(again.program().insts(), image.program().insts());
+    }
+
+    #[test]
+    fn repro_reassembles_and_keeps_notes() {
+        let src = "main: beqz a0, out\n addi a0, a0, 1\nout: ret";
+        let map = MemoryMap::default();
+        let image = assemble(src, map).unwrap();
+        let notes = vec![
+            "found by npconform".to_string(),
+            "instret: 3 vs 4".to_string(),
+        ];
+        let repro = emit_repro(image.program(), &notes);
+        assert!(repro.starts_with("; found by npconform\n; instret: 3 vs 4\nmain:\n"));
+        let again = assemble(&repro, map).unwrap();
         assert_eq!(again.program().insts(), image.program().insts());
     }
 

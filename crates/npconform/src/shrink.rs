@@ -1,0 +1,192 @@
+//! Automatic shrinking of failing programs to minimal repros.
+//!
+//! The shrinker only ever produces programs from the same
+//! assemblable-by-construction family as the generator (see
+//! [`crate::gen`]): instruction count is reduced by *replacing* tail
+//! instructions with `halt` rather than deleting them, which keeps every
+//! branch and jump target inside the program, and actual deletion happens
+//! only from the end and only while no remaining target points past the
+//! new end. A minimized repro therefore always disassembles to labeled
+//! assembly that reassembles bit-identically.
+
+use npsim::isa::{Inst, Op};
+
+/// Whether `inst` transfers control relative to its position.
+fn is_relative(inst: &Inst) -> bool {
+    matches!(
+        inst.op,
+        Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu | Op::J | Op::Jal
+    )
+}
+
+/// Target instruction index of a relative control transfer at `index`.
+fn target_of(index: usize, inst: &Inst) -> i64 {
+    index as i64 + 1 + (inst.imm as i64) / 4
+}
+
+/// Shrinks `program` while `is_failing` keeps returning `true` for it.
+///
+/// `is_failing(&program)` must be `true` on entry (the caller found a
+/// divergence); the result is a smaller or equal program for which it is
+/// still `true`. Three passes, each to a fixpoint:
+///
+/// 1. **halt-truncation** — binary-search the shortest prefix that still
+///    fails, with the tail replaced by `halt` so lengths never change;
+/// 2. **nop-out** — replace each remaining instruction with `nop` if the
+///    program still fails without it;
+/// 3. **tail-trim** — actually delete trailing `halt`/`nop` filler, as
+///    long as no surviving branch or jump targets the deleted range;
+/// 4. **nop-deletion** — once no relative control transfer survives
+///    (branches are usually nopped out by pass 2), interior `nop` filler
+///    can be deleted outright without invalidating any target.
+pub fn shrink(mut program: Vec<Inst>, mut is_failing: impl FnMut(&[Inst]) -> bool) -> Vec<Inst> {
+    debug_assert!(is_failing(&program), "shrink called on a passing program");
+    let len = program.len();
+
+    // Pass 1: halt-truncation. `keep` = number of leading original
+    // instructions; everything after is halt. Failure is usually monotone
+    // in `keep` (more program, more chances to diverge), so binary search
+    // finds the knee fast; the fixpoint loop below repairs any
+    // non-monotonicity the search skipped over.
+    let with_tail_halted = |program: &[Inst], keep: usize| -> Vec<Inst> {
+        let mut candidate = program.to_vec();
+        for inst in candidate.iter_mut().skip(keep) {
+            *inst = Inst::halt();
+        }
+        candidate
+    };
+    let mut lo = 0usize; // largest keep known NOT to fail... searched below
+    let mut hi = len; // smallest keep known to fail (full program fails)
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if is_failing(&with_tail_halted(&program, mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let candidate = with_tail_halted(&program, hi);
+    if is_failing(&candidate) {
+        program = candidate;
+    }
+
+    // Pass 2: nop-out every instruction that is not load-bearing.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..program.len() {
+            if program[i] == Inst::nop() {
+                continue;
+            }
+            let saved = program[i];
+            program[i] = Inst::nop();
+            if is_failing(&program) {
+                changed = true;
+            } else {
+                program[i] = saved;
+            }
+        }
+    }
+
+    // Pass 3: trim the filler tail where no live target reaches into it.
+    loop {
+        let last = program.len() - 1;
+        let trailing_filler =
+            program.len() > 1 && (program[last] == Inst::nop() || program[last].op == Op::Halt);
+        let tail_targeted = program[..last]
+            .iter()
+            .enumerate()
+            .any(|(i, inst)| is_relative(inst) && target_of(i, inst) >= last as i64);
+        if !trailing_filler || tail_targeted {
+            break;
+        }
+        let mut candidate = program.clone();
+        candidate.pop();
+        if is_failing(&candidate) {
+            program = candidate;
+        } else {
+            break;
+        }
+    }
+
+    // Pass 4: with no position-relative instructions left, nops are pure
+    // padding and can be deleted, not just blanked.
+    if !program.iter().any(is_relative) {
+        let mut i = 0;
+        while i < program.len() {
+            if program[i] == Inst::nop() && program.len() > 1 {
+                let mut candidate = program.clone();
+                candidate.remove(i);
+                if is_failing(&candidate) {
+                    program = candidate;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npsim::isa::reg;
+
+    /// A fake failure: the program "fails" iff it executes-in-spirit a
+    /// specific poison instruction (here just: contains it before the
+    /// first halt).
+    fn poison() -> Inst {
+        Inst::with_imm(Op::Addi, reg::T7, reg::T7, 1234)
+    }
+
+    fn fails(program: &[Inst]) -> bool {
+        for inst in program {
+            if *inst == poison() {
+                return true;
+            }
+            if inst.op == Op::Halt {
+                return false;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn shrinks_to_the_poison_instruction() {
+        let mut program = vec![Inst::nop(); 40];
+        program[23] = poison();
+        program.push(Inst::jr(reg::RA));
+        let small = shrink(program, fails);
+        // Halt-truncation drops everything after the poison, and with no
+        // branches left the nop padding before it is deleted outright.
+        assert_eq!(small, vec![poison()]);
+    }
+
+    #[test]
+    fn keeps_branch_targets_in_range() {
+        // A branch at 0 targeting the last slot: trimming must stop
+        // before the target goes out of range.
+        let program = vec![
+            Inst::branch(Op::Beq, reg::ZERO, reg::ZERO, 8), // -> index 3
+            poison(),
+            Inst::nop(),
+            Inst::nop(), // branch target
+        ];
+        let small = shrink(program, |p| p.contains(&poison()));
+        let len = small.len() as i64;
+        for (i, inst) in small.iter().enumerate() {
+            if is_relative(inst) {
+                assert!(target_of(i, inst) < len, "target escaped: {inst}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_still_fails() {
+        let program = vec![poison(), Inst::jr(reg::RA)];
+        let small = shrink(program, |p| p.contains(&poison()));
+        assert!(small.contains(&poison()));
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the differential conformance harness.
+//!
+//! The two halves of the argument: a clean corpus passes (the optimized
+//! simulator conforms to the reference), and a deliberately injected
+//! off-by-one in the counts-only path is caught on every item and shrinks
+//! to an assemblable repro (the harness has teeth).
+
+use npasm::assemble;
+use npconform::{check_program, run_corpus, ConformConfig, Fault};
+use npsim::MemoryMap;
+
+#[test]
+fn clean_corpus_passes() {
+    let report = run_corpus(&ConformConfig {
+        corpus: 150,
+        seed: 42,
+        ..ConformConfig::default()
+    });
+    assert_eq!(report.programs, 150);
+    assert!(
+        report.passed(),
+        "optimized simulator diverged from the reference: {:#?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.index, &f.divergences))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn corpus_is_deterministic_in_the_seed() {
+    let config = ConformConfig {
+        corpus: 5,
+        seed: 7,
+        ..ConformConfig::default()
+    };
+    let a = run_corpus(&config);
+    let b = run_corpus(&config);
+    assert_eq!(a.programs, b.programs);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
+#[test]
+fn injected_off_by_one_is_caught_and_minimized() {
+    // Inject the classic bounds bug into the counts-only path: its packet
+    // region is one byte too long. Every generated program probes the
+    // byte at packet_end, so every corpus item must fail.
+    let config = ConformConfig {
+        corpus: 5,
+        seed: 42,
+        fault: Fault::PacketEndOffByOne,
+        ..ConformConfig::default()
+    };
+    let report = run_corpus(&config);
+    assert_eq!(
+        report.failures.len(),
+        5,
+        "the boundary probe must catch the off-by-one in every program"
+    );
+
+    let failure = &report.failures[0];
+    // The divergence names the misclassified counters on the faulted path.
+    assert!(
+        failure
+            .divergences
+            .iter()
+            .any(|d| d.starts_with("counts: mem.")),
+        "expected a named memory-counter divergence, got {:?}",
+        failure.divergences
+    );
+    // The repro is minimized: the generated program was dozens of
+    // instructions; reading one byte past the packet region needs only a
+    // handful (materialize the address, load, and land somewhere defined).
+    assert!(
+        failure.minimized.len() < 10,
+        "repro not minimal: {} instructions\n{}",
+        failure.minimized.len(),
+        failure.asm
+    );
+    // The minimized program still exhibits the divergence on its own.
+    assert!(
+        !check_program(&failure.minimized, &failure.packet, &config).is_empty(),
+        "minimized repro no longer fails"
+    );
+    // And the .s dump is a faithful, assemblable artifact.
+    let image = assemble(&failure.asm, MemoryMap::default()).expect("repro assembles");
+    assert_eq!(
+        image.program().insts(),
+        &failure.minimized[..],
+        "repro text does not reassemble to the minimized program"
+    );
+    assert!(failure.asm.starts_with("; npconform minimized repro"));
+}
+
+#[test]
+fn fault_free_and_faulted_runs_differ_only_in_the_fault() {
+    // The same seed with no fault passes — the failures above are the
+    // injected bug, not generator flakiness.
+    let report = run_corpus(&ConformConfig {
+        corpus: 5,
+        seed: 42,
+        ..ConformConfig::default()
+    });
+    assert!(report.passed());
+}

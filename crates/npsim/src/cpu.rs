@@ -188,8 +188,11 @@ impl MemCounts {
         self.packet_total() + self.non_packet_total()
     }
 
+    /// Counts one classified access. Public so alternative interpreters
+    /// (the conformance reference model) account accesses through the
+    /// exact same bucketing as the optimized loops.
     #[inline]
-    fn record(&mut self, region: Region, kind: AccessKind) {
+    pub fn record(&mut self, region: Region, kind: AccessKind) {
         match (region, kind) {
             (Region::Packet, AccessKind::Read) => self.packet_reads += 1,
             (Region::Packet, AccessKind::Write) => self.packet_writes += 1,
@@ -308,6 +311,72 @@ impl RunStats {
     }
 }
 
+/// A complete architectural-state snapshot: the register file and the PC.
+///
+/// Two interpreters that agree on [`RunStats`] *and* on `CpuState` (and on
+/// a [`crate::Memory::digest`] of memory) after every run are
+/// architecturally indistinguishable — this is the comparison surface of
+/// the differential conformance harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuState {
+    /// The register file (`regs[0]` is zero by construction).
+    pub regs: [u32; 32],
+    /// The program counter after the run.
+    pub pc: u32,
+}
+
+/// Which of the monomorphized interpreter loops to run.
+///
+/// [`Cpu::run_into`] picks automatically; the conformance harness forces
+/// each loop in turn so both are differentially tested against the
+/// reference model under identical inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Pick from the [`RunConfig`]: counts-only when no traces and no
+    /// uarch models are requested, full otherwise.
+    Auto,
+    /// Force the counts-only loop. Trace flags and uarch models in the
+    /// config are ignored (that loop cannot record them).
+    Counts,
+    /// Force the full-detail loop, even for a counts-only config.
+    Full,
+}
+
+/// A pluggable NP32 interpreter: anything that can boot, be seeded, run a
+/// program against a [`Memory`], and expose its architectural state.
+///
+/// [`Cpu`] (the optimized simulator) implements this; the conformance
+/// crate's deliberately-simple reference interpreter implements it too, so
+/// the framework can drive either through one code path.
+pub trait Interpreter {
+    /// Returns to the boot state: registers cleared, `sp`/`ra`/`gp` seeded
+    /// from the memory map, PC at the text base.
+    fn reset(&mut self);
+
+    /// Sets the program counter.
+    fn set_pc(&mut self, pc: u32);
+
+    /// Writes a register (writes to `zero` are discarded).
+    fn set_reg(&mut self, r: Reg, value: u32);
+
+    /// Snapshots the architectural state.
+    fn state(&self) -> CpuState;
+
+    /// Runs until the program returns, halts, is stopped by the handler,
+    /// or errors, recording into caller-provided statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpu::run_with`].
+    fn run_into(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError>;
+}
+
 /// The NP32 interpreter.
 ///
 /// The register file and PC are public: the framework seeds `a0`/`a1` with
@@ -342,6 +411,24 @@ impl<'p> Cpu<'p> {
     /// The memory map in force.
     pub fn map(&self) -> MemoryMap {
         self.map
+    }
+
+    /// Returns to the boot state [`Cpu::new`] leaves the CPU in, so one
+    /// CPU can be reused across packets.
+    pub fn reset(&mut self) {
+        self.regs = [0u32; 32];
+        self.regs[crate::reg::SP.index()] = self.map.stack_top;
+        self.regs[crate::reg::RA.index()] = RETURN_SENTINEL;
+        self.regs[crate::reg::GP.index()] = self.map.data_base;
+        self.pc = self.program.text_base();
+    }
+
+    /// Snapshots the architectural state (registers + PC).
+    pub fn state(&self) -> CpuState {
+        CpuState {
+            regs: self.regs,
+            pc: self.pc,
+        }
     }
 
     /// Reads a register.
@@ -402,12 +489,47 @@ impl<'p> Cpu<'p> {
         handler: &mut dyn SysHandler,
         stats: &mut RunStats,
     ) -> Result<(), SimError> {
+        self.run_into_path(mem, config, handler, stats, ExecPath::Auto)
+    }
+
+    /// Like [`Cpu::run_into`], but lets the caller force one of the two
+    /// monomorphized loops. The differential conformance harness uses this
+    /// to test the counts-only and full-detail loops separately against
+    /// the reference interpreter; everything else should use
+    /// [`ExecPath::Auto`].
+    ///
+    /// With [`ExecPath::Counts`] forced, trace flags and uarch models in
+    /// `config` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpu::run_with`].
+    pub fn run_into_path(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+        path: ExecPath,
+    ) -> Result<(), SimError> {
         stats.reset_for(self.program.len());
-        let mut uarch = config.uarch.as_ref().map(Uarch::new);
-        // Two monomorphic loops: the lean one drops every per-instruction
-        // branch that only matters when traces or uarch models are on, which
-        // is what `Detail::counts()` runs all day.
-        if uarch.is_none() && !config.record_pc_trace && !config.record_mem_trace {
+        let counts_only = match path {
+            // Two monomorphic loops: the lean one drops every
+            // per-instruction branch that only matters when traces or
+            // uarch models are on, which is what `Detail::counts()` runs
+            // all day.
+            ExecPath::Auto => {
+                config.uarch.is_none() && !config.record_pc_trace && !config.record_mem_trace
+            }
+            ExecPath::Counts => true,
+            ExecPath::Full => false,
+        };
+        let mut uarch = if counts_only {
+            None
+        } else {
+            config.uarch.as_ref().map(Uarch::new)
+        };
+        if counts_only {
             self.exec::<false>(mem, config, handler, stats, &mut uarch)?;
         } else {
             self.exec::<true>(mem, config, handler, stats, &mut uarch)?;
@@ -671,6 +793,34 @@ impl<'p> Cpu<'p> {
                 region,
             });
         }
+    }
+}
+
+impl Interpreter for Cpu<'_> {
+    fn reset(&mut self) {
+        Cpu::reset(self);
+    }
+
+    fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    fn set_reg(&mut self, r: Reg, value: u32) {
+        Cpu::set_reg(self, r, value);
+    }
+
+    fn state(&self) -> CpuState {
+        Cpu::state(self)
+    }
+
+    fn run_into(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+    ) -> Result<(), SimError> {
+        Cpu::run_into(self, mem, config, handler, stats)
     }
 }
 

@@ -69,7 +69,10 @@ pub mod mem;
 pub mod uarch;
 pub mod util;
 
-pub use cpu::{Cpu, HaltReason, Program, RunConfig, RunStats, SysHandler, SysOutcome};
+pub use cpu::{
+    Cpu, CpuState, ExecPath, HaltReason, Interpreter, MemCounts, Program, RunConfig, RunStats,
+    SysHandler, SysOutcome,
+};
 pub use error::SimError;
 pub use isa::{reg, Inst, Op, Reg};
 pub use mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};

@@ -372,6 +372,40 @@ impl Memory {
         self.last.set((0, 0));
     }
 
+    /// A digest of memory *contents*, independent of allocation history.
+    ///
+    /// Pages are hashed in address order (FNV-1a over page base + bytes),
+    /// and all-zero pages are skipped — a page that was touched and holds
+    /// only zeros is indistinguishable from one never allocated, exactly
+    /// as it is to a running program. Two memories with equal digests are
+    /// therefore observationally equivalent, which is what the
+    /// conformance harness compares after differential runs.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut step = |byte: u8| {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        for (l1, leaf) in self.index.iter().enumerate() {
+            let Some(leaf) = leaf.as_ref() else { continue };
+            for (l2, &entry) in leaf.iter().enumerate() {
+                if entry == 0 {
+                    continue;
+                }
+                let frame = &self.frames[(entry - 1) as usize];
+                if frame.iter().all(|&b| b == 0) {
+                    continue;
+                }
+                let page_base = (((l1 << L2_BITS) | l2) as u32) << 12;
+                page_base.to_le_bytes().into_iter().for_each(&mut step);
+                frame.iter().copied().for_each(&mut step);
+            }
+        }
+        hash
+    }
+
     /// Zeroes `[addr, addr + len)` without deallocating pages; pages never
     /// touched stay unmapped (they already read as zero).
     pub fn zero_range(&mut self, addr: u32, len: u32) {
@@ -478,6 +512,27 @@ mod tests {
         b.write_u32(0x2000_0000, 6);
         assert_eq!(a.read_u32(0x2000_0000), 5);
         assert_eq!(b.read_u32(0x2000_0000), 6);
+    }
+
+    #[test]
+    fn digest_depends_on_contents_not_allocation() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.digest(), b.digest());
+        // Allocation history differs (b touches an extra page that stays
+        // zero), contents agree -> digests agree.
+        a.write_u32(0x2000_0000, 0xdead_beef);
+        b.write_u32(0x3000_0000, 1);
+        b.write_u32(0x3000_0000, 0);
+        b.write_u32(0x2000_0000, 0xdead_beef);
+        assert_eq!(a.digest(), b.digest());
+        // A one-byte difference is visible.
+        b.write_u8(0x2000_0001, 0xff);
+        assert_ne!(a.digest(), b.digest());
+        // Same bytes at a different address are visible.
+        let mut c = Memory::new();
+        c.write_u32(0x2000_1000, 0xdead_beef);
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

@@ -59,6 +59,55 @@ fn linear_apps_are_insensitive_to_table_seed() {
 }
 
 #[test]
+fn reference_interpreter_replays_are_bit_identical() {
+    // The conformance reference interpreter must itself be reproducible:
+    // two fresh replays of the same trace through `process_packet_via`
+    // yield the same per-packet instruction series and the same final
+    // memory digest, or differential runs against it would be noise.
+    use npconform::RefCpu;
+    use npsim::RunConfig;
+    use packetbench::framework::PacketRecord;
+
+    let run = || {
+        let config = WorkloadConfig::small();
+        let app = App::build(AppId::Ipv4Trie, &config).unwrap();
+        let program = app.image().program().clone();
+        let map = app.map();
+        let mut bench = PacketBench::with_config(app, &config).unwrap();
+        let mut interp = RefCpu::new(&program, map).unwrap();
+        let trace = SyntheticTrace::new(TraceProfile::mra(), 13).take_packets(30);
+        let mut record = PacketRecord::empty();
+        let mut series = Vec::new();
+        for p in &trace {
+            bench
+                .process_packet_via(&mut interp, p, &RunConfig::default(), &mut record)
+                .unwrap();
+            series.push(record.stats.instret);
+        }
+        (series, bench.mem().digest())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn conformance_corpus_is_reproducible_and_seed_sensitive() {
+    // CI replays the fuzz corpus at a fixed seed on every push, which only
+    // pins anything down if the same seed means the same programs — and a
+    // different seed genuinely different ones.
+    use npconform::gen_program;
+    use nprng::rngs::StdRng;
+    use nprng::SeedableRng;
+    use npsim::MemoryMap;
+
+    let map = MemoryMap::default();
+    let gen = |seed: u64| gen_program(&mut StdRng::seed_from_u64(seed), &map);
+    let a: Vec<_> = (0..10).map(|i| gen(100 + i)).collect();
+    let b: Vec<_> = (0..10).map(|i| gen(100 + i)).collect();
+    assert_eq!(a, b);
+    assert!(!a.contains(&gen(999)), "distinct seed reproduced a program");
+}
+
+#[test]
 fn aggregate_statistics_are_stable() {
     let config = WorkloadConfig::small();
     let mut fingerprints = Vec::new();

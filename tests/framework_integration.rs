@@ -177,6 +177,90 @@ fn block_probabilities_expose_rare_paths() {
 }
 
 #[test]
+fn process_packet_via_matches_the_builtin_path() {
+    // The conformance entry point must be a faithful restatement of the
+    // normal packet path: driving the optimized CPU or the reference
+    // interpreter through `process_packet_via` yields records
+    // bit-identical to `process_packet` over a whole stateful trace.
+    use npconform::RefCpu;
+    use npsim::{Cpu, RunConfig};
+    use packetbench::framework::PacketRecord;
+
+    let config = WorkloadConfig::small();
+    let trace = SyntheticTrace::new(TraceProfile::lan(), 14).take_packets(20);
+
+    let app = App::build(AppId::FlowClass, &config).unwrap();
+    let mut builtin = PacketBench::with_config(app, &config).unwrap();
+
+    let app = App::build(AppId::FlowClass, &config).unwrap();
+    let program = app.image().program().clone();
+    let map = app.map();
+    let mut via = PacketBench::with_config(app, &config).unwrap();
+    let mut cpu = Cpu::new(&program, map);
+
+    let app = App::build(AppId::FlowClass, &config).unwrap();
+    let ref_program = app.image().program().clone();
+    let ref_map = app.map();
+    let mut reference = PacketBench::with_config(app, &config).unwrap();
+    let mut ref_cpu = RefCpu::new(&ref_program, ref_map).unwrap();
+
+    let run_config = RunConfig::default();
+    let mut rec_via = PacketRecord::empty();
+    let mut rec_ref = PacketRecord::empty();
+    for p in &trace {
+        let direct = builtin.process_packet(p, Detail::counts()).unwrap();
+        via.process_packet_via(&mut cpu, p, &run_config, &mut rec_via)
+            .unwrap();
+        reference
+            .process_packet_via(&mut ref_cpu, p, &run_config, &mut rec_ref)
+            .unwrap();
+        for (name, rec) in [("optimized cpu", &rec_via), ("reference", &rec_ref)] {
+            assert_eq!(
+                format!("{:?}", direct.stats),
+                format!("{:?}", rec.stats),
+                "{name} stats"
+            );
+            assert_eq!(direct.verdict, rec.verdict, "{name} verdict");
+            assert_eq!(direct.return_value, rec.return_value, "{name} a0");
+        }
+    }
+    assert_eq!(builtin.output_packets(), via.output_packets());
+    assert_eq!(builtin.output_packets(), reference.output_packets());
+}
+
+#[test]
+fn selective_accounting_holds_on_the_reference_interpreter() {
+    // The paper's selective accounting (init() runs on the host, only
+    // application work is simulated) is a framework property, so it must
+    // hold regardless of which interpreter executes the application.
+    use npconform::RefCpu;
+    use npsim::RunConfig;
+    use packetbench::framework::PacketRecord;
+
+    let config = WorkloadConfig::small();
+    let app = App::build(AppId::Ipv4Trie, &config).unwrap();
+    let program = app.image().program().clone();
+    let map = app.map();
+    let mut b = PacketBench::with_config(app, &config).unwrap();
+    let mut interp = RefCpu::new(&program, map).unwrap();
+    let mut trace = SyntheticTrace::new(TraceProfile::mra(), 1);
+    let mut record = PacketRecord::empty();
+    b.process_packet_via(
+        &mut interp,
+        &trace.next_packet(),
+        &RunConfig::default(),
+        &mut record,
+    )
+    .unwrap();
+    assert!(
+        record.stats.instret < 1000,
+        "init leaked into reference-interpreter accounting: {}",
+        record.stats.instret
+    );
+    assert!(record.stats.mem.total() < 200);
+}
+
+#[test]
 fn runs_all_four_apps_back_to_back() {
     // A whole-suite smoke test: every app processes every profile.
     let config = WorkloadConfig::small();

@@ -1,0 +1,173 @@
+//! Golden snapshots of the paper-table aggregates.
+//!
+//! The conformance harness proves every execution path computes the same
+//! statistics; these fixtures pin down *which* statistics. Table II
+//! (instructions per packet), Table III (packet vs non-packet memory
+//! accesses), and Table V (per-packet instruction-count variation) are
+//! computed over fixed seeds and diffed cell-by-cell against checked-in
+//! JSON, so any change to an app, the simulator, the trace generator, or
+//! the analysis layer shows up as a named cell, not a silent drift.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_tables
+//! ```
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use packetbench::analysis::TraceAnalysis;
+use packetbench::apps::{App, AppId};
+use packetbench::framework::{Detail, PacketBench};
+use packetbench::report::table23_cells;
+use packetbench::WorkloadConfig;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/paper_tables.json"
+);
+const GOLDEN_SEED: u64 = 42;
+const PACKETS: usize = 40;
+
+/// Computes every golden cell: sorted `(key, formatted value)` pairs.
+///
+/// Keys name their table and cell (`table2/<app>/<trace>`), so a mismatch
+/// reads like a row/column coordinate in the paper. Values are formatted
+/// to fixed precision here, at the single point both the writer and the
+/// checker share.
+fn collect_cells() -> Vec<(String, String)> {
+    let config = WorkloadConfig::small();
+    let mut cells = Vec::new();
+    for id in AppId::ALL {
+        for profile in TraceProfile::all() {
+            let app = App::build(id, &config).unwrap();
+            let mut bench = PacketBench::with_config(app, &config).unwrap();
+            let block_map = bench.block_map().clone();
+            let mut analysis = TraceAnalysis::new(bench.app().image().program(), &block_map);
+            let trace = SyntheticTrace::new(profile, GOLDEN_SEED);
+            bench
+                .run_trace(trace.take(PACKETS), Detail::counts(), |_, r| {
+                    analysis.add(&block_map, &r)
+                })
+                .unwrap();
+
+            let slug = id.slug();
+            let tr = profile.name.to_ascii_lowercase();
+            let (instructions, mem) = table23_cells(&analysis);
+            cells.push((format!("table2/{slug}/{tr}"), format!("{instructions:.4}")));
+            cells.push((
+                format!("table3/{slug}/{tr}/packet"),
+                format!("{:.4}", mem.packet),
+            ));
+            cells.push((
+                format!("table3/{slug}/{tr}/non_packet"),
+                format!("{:.4}", mem.non_packet),
+            ));
+
+            // Table V reports the variation in per-packet instruction
+            // counts; the paper shows it for one trace, so pin MRA.
+            if profile.name == "MRA" {
+                let hist = analysis.instruction_histogram();
+                cells.push((
+                    format!("table5/{slug}/min"),
+                    hist.min().unwrap().0.to_string(),
+                ));
+                cells.push((
+                    format!("table5/{slug}/max"),
+                    hist.max().unwrap().0.to_string(),
+                ));
+                cells.push((format!("table5/{slug}/mean"), format!("{:.4}", hist.mean())));
+                let top: Vec<String> = hist
+                    .top_k(3)
+                    .iter()
+                    .map(|(value, _)| value.to_string())
+                    .collect();
+                cells.push((format!("table5/{slug}/top3"), top.join(",")));
+            }
+        }
+    }
+    cells.sort();
+    cells
+}
+
+/// Renders cells as flat one-key-per-line JSON (sorted, so diffs are
+/// stable and reviewable).
+fn render(cells: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": \"{value}\"{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat JSON back into pairs. Deliberately minimal: it accepts
+/// exactly what [`render`] emits, and anything else is a fixture error.
+fn parse(text: &str) -> Vec<(String, String)> {
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line == "{" || line == "}" || line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once("\": \"")
+            .unwrap_or_else(|| panic!("malformed golden line: {line:?}"));
+        cells.push((
+            key.trim_start_matches('"').to_string(),
+            value.trim_end_matches('"').to_string(),
+        ));
+    }
+    cells
+}
+
+#[test]
+fn paper_table_aggregates_match_golden_fixture() {
+    let current = collect_cells();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, render(&current)).unwrap();
+        return;
+    }
+    let golden = parse(
+        &std::fs::read_to_string(GOLDEN_PATH)
+            .expect("tests/golden/paper_tables.json missing; run with UPDATE_GOLDEN=1 to create"),
+    );
+
+    // Named-cell diff: report every divergence, not just the first.
+    let mut diffs = Vec::new();
+    let golden_map: std::collections::BTreeMap<_, _> = golden.iter().cloned().collect();
+    let current_map: std::collections::BTreeMap<_, _> = current.iter().cloned().collect();
+    for (key, value) in &golden_map {
+        match current_map.get(key) {
+            None => diffs.push(format!("{key}: in fixture but no longer computed")),
+            Some(now) if now != value => diffs.push(format!("{key}: golden {value}, got {now}")),
+            Some(_) => {}
+        }
+    }
+    for key in current_map.keys() {
+        if !golden_map.contains_key(key) {
+            diffs.push(format!("{key}: computed but missing from fixture"));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "paper-table aggregates drifted from the golden fixture \
+         (UPDATE_GOLDEN=1 to bless an intentional change):\n{}",
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn golden_cells_are_deterministic() {
+    // The fixture comparison is only meaningful if recomputation is exact.
+    assert_eq!(collect_cells(), collect_cells());
+}
+
+#[test]
+fn golden_render_parse_round_trips() {
+    let cells = vec![
+        ("table2/trie/mra".to_string(), "123.4567".to_string()),
+        ("table5/tsa/top3".to_string(), "1,2,3".to_string()),
+    ];
+    assert_eq!(parse(&render(&cells)), cells);
+}

@@ -132,6 +132,59 @@ fn tsh_forwarding_results_match_full_capture_results() {
 }
 
 #[test]
+fn conformance_holds_on_packets_reread_from_pcap() {
+    // Differential conformance over trace-file packets, not just
+    // freshly synthesized ones: after a pcap round trip, the reference
+    // interpreter, both forced simulator loops, and the multi-threaded
+    // engine must still agree bit-for-bit on every packet.
+    let mut trace = SyntheticTrace::new(TraceProfile::odu(), 25);
+    let packets = trace.take_packets(30);
+    let mut file = Vec::new();
+    let mut writer = PcapWriter::new(&mut file, LinkType::Raw, 65535).unwrap();
+    for p in &packets {
+        writer.write_packet(p).unwrap();
+    }
+    writer.into_inner().unwrap();
+    let reread: Vec<Packet> = PcapReader::new(&file[..])
+        .unwrap()
+        .map(|r| r.unwrap())
+        .collect();
+
+    let report = packetbench::conform::check_app(AppId::Ipv4Trie, &reread, 2).unwrap();
+    assert!(
+        report.passed(),
+        "paths diverged on pcap-reread packets: {:#?}",
+        report.divergences
+    );
+}
+
+#[test]
+fn generated_programs_round_trip_through_repro_assembly() {
+    // Conformance failures ship as .s repro files, so the
+    // disassemble -> assemble loop must be lossless for any program the
+    // corpus generator can produce — the generator keeps every control
+    // target in-program precisely so each one renders as a label.
+    use npasm::{assemble, emit_repro};
+    use npconform::gen_program;
+    use nprng::rngs::StdRng;
+    use nprng::SeedableRng;
+    use npsim::{MemoryMap, Program};
+
+    let map = MemoryMap::default();
+    for seed in 0..25 {
+        let insts = gen_program(&mut StdRng::seed_from_u64(seed), &map);
+        let program = Program::new(insts.clone(), map.text_base);
+        let source = emit_repro(&program, &[format!("generated, seed {seed}")]);
+        let image = assemble(&source, map).expect("generated program reassembles");
+        assert_eq!(
+            image.program().insts(),
+            &insts[..],
+            "assembly round trip changed the program (seed {seed})"
+        );
+    }
+}
+
+#[test]
 fn framework_write_packet_to_file_emits_capturable_output() {
     // Drive the sys WRITE path directly with a tiny assembly program that
     // echoes its packet to the output trace.

@@ -42,8 +42,10 @@ fn main() {
     let pps = best_pps(&config);
     println!("conform corpus: {corpus} programs, best {pps:.0} programs/sec");
 
+    let stamp = npobs::Stamp::new(npobs::stamp::BENCH_SCHEMA_VERSION);
     let json = format!(
-        "{{\n  \"corpus\": {corpus},\n  \"seed\": 42,\n  \"programs_per_sec\": {pps:.0}\n}}\n"
+        "{{\n  {},\n  \"corpus\": {corpus},\n  \"seed\": 42,\n  \"programs_per_sec\": {pps:.0}\n}}\n",
+        stamp.json_fields()
     );
     // Land the file at the workspace root regardless of cargo's bench CWD.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

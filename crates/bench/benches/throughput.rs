@@ -59,8 +59,10 @@ fn main() {
         ));
     }
 
+    let stamp = npobs::Stamp::new(npobs::stamp::BENCH_SCHEMA_VERSION);
     let json = format!(
-        "{{\n  \"trace\": \"MRA\",\n  \"packets\": {n},\n  \"host_threads\": {host_threads},\n  \"apps\": {{\n{}\n  }}\n}}\n",
+        "{{\n  {},\n  \"trace\": \"MRA\",\n  \"packets\": {n},\n  \"host_threads\": {host_threads},\n  \"apps\": {{\n{}\n  }}\n}}\n",
+        stamp.json_fields(),
         entries.join(",\n")
     );
     // Land the file at the workspace root regardless of cargo's bench CWD.

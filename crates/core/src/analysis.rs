@@ -162,6 +162,13 @@ impl TraceAnalysis {
         &self.block_packets
     }
 
+    /// Distinct basic blocks executed by each packet, in trace order —
+    /// the exact-value series behind the profiler's streaming
+    /// blocks-per-packet histogram.
+    pub fn blocks_per_packet(&self) -> impl Iterator<Item = u64> + '_ {
+        self.block_sets.iter().map(|s| s.count() as u64)
+    }
+
     /// The union of executed instructions across the run.
     pub fn executed_union(&self) -> &BitSet {
         &self.executed_union

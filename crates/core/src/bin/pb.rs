@@ -6,9 +6,15 @@
 //! pb disasm --app <app>            disassemble an application
 //! pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
 //!        [--verify] [--uarch] [--seed <n>]
+//! pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
+//! pb report --app <app> --metrics json|prom [--trace <profile>]
+//!           [-n <packets>] [--out <file>] [--deterministic]
 //! pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
 //! pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (simulation fault, I/O,
+//! conformance divergence), 2 usage error (usage goes to stderr).
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -22,12 +28,36 @@ use packetbench::analysis::TraceAnalysis;
 use packetbench::apps::{App, AppId};
 use packetbench::engine::Engine;
 use packetbench::framework::Detail;
-use packetbench::WorkloadConfig;
+use packetbench::profile::{run_profile, ProfileSpec};
+use packetbench::{report, WorkloadConfig};
+
+/// CLI failures, split by exit code: usage errors print the usage text to
+/// stderr and exit 2; runtime errors print one line and exit 1.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Run(message)
+    }
+}
+
+fn usage_err<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(message.into()))
+}
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
+            eprintln!("pb: {message}");
+            eprintln!();
+            eprintln!("{}", usage_text());
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(message)) => {
             eprintln!("pb: {message}");
             ExitCode::FAILURE
         }
@@ -40,7 +70,25 @@ struct Args {
     flags: Vec<String>,
 }
 
-fn parse_args(raw: &[String]) -> Result<Args, String> {
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses `--name value` (or `-name value`), or returns `default`
+    /// when the option is absent. Unparsable values are usage errors.
+    fn parse_opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => match v.parse() {
+                Ok(parsed) => Ok(parsed),
+                Err(_) => usage_err(format!("bad --{name} value `{v}`")),
+            },
+        }
+    }
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, CliError> {
     let mut args = Args {
         positional: Vec::new(),
         options: HashMap::new(),
@@ -51,19 +99,22 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         let a = &raw[i];
         if let Some(name) = a.strip_prefix("--") {
             // Flags that take no value.
-            if matches!(name, "verify" | "uarch" | "help") {
+            if matches!(
+                name,
+                "verify" | "uarch" | "help" | "deterministic" | "progress"
+            ) {
                 args.flags.push(name.to_string());
             } else {
-                let value = raw
-                    .get(i + 1)
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                let Some(value) = raw.get(i + 1) else {
+                    return usage_err(format!("--{name} needs a value"));
+                };
                 args.options.insert(name.to_string(), value.clone());
                 i += 1;
             }
         } else if let Some(name) = a.strip_prefix('-') {
-            let value = raw
-                .get(i + 1)
-                .ok_or_else(|| format!("-{name} needs a value"))?;
+            let Some(value) = raw.get(i + 1) else {
+                return usage_err(format!("-{name} needs a value"));
+            };
             args.options.insert(name.to_string(), value.clone());
             i += 1;
         } else {
@@ -74,15 +125,18 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
-        print_usage();
-        return Ok(());
+        return usage_err("missing command");
     };
+    if command == "--help" || command == "help" {
+        println!("{}", usage_text());
+        return Ok(());
+    }
     let args = parse_args(&raw[1..])?;
-    if args.flags.iter().any(|f| f == "help") {
-        print_usage();
+    if args.flag("help") {
+        println!("{}", usage_text());
         return Ok(());
     }
     match command.as_str() {
@@ -90,37 +144,55 @@ fn run() -> Result<(), String> {
         "traces" => cmd_traces(),
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
+        "profile" => cmd_profile(&args),
+        "report" => cmd_report(&args),
         "conform" => cmd_conform(&args),
         "anonymize" => cmd_anonymize(&args),
-        other => Err(format!("unknown command `{other}` (try `pb` for usage)")),
+        other => usage_err(format!("unknown command `{other}`")),
     }
 }
 
-fn print_usage() {
-    println!(
-        "pb — PacketBench workload characterization
+fn usage_text() -> &'static str {
+    "pb — PacketBench workload characterization
 
 USAGE:
   pb apps                          list applications
   pb traces                        list trace profiles
   pb disasm --app <app>            disassemble an application
   pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
-         [--verify] [--uarch] [--seed <n>] [--threads <n>]
+         [--verify] [--uarch] [--seed <n>] [--threads <n>] [--progress]
+  pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
+             [--progress]
+  pb report --app <app> --metrics json|prom [--trace <profile>]
+            [-n <packets>] [--seed <n>] [--threads <n>] [--out <file>]
+            [--deterministic]
   pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
   pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 
 `pb run --threads 0` (the default) uses all available cores; statistics
 are bit-identical at every thread count.
 
+`pb profile` runs the zero-cost instrumentation layer: per-packet log2
+histograms (instructions, packet vs. non-packet memory, basic blocks)
+plus a basic-block heat map rendered as a table and as
+flamegraph-collapsed lines. Output is byte-identical at every thread
+count for a fixed app/trace/seed.
+
+`pb report --metrics` exports the same profile as a stamped JSON or
+Prometheus text-format document (schema version, git commit, ISO-8601
+timestamp); --deterministic pins the stamp and zeroes timing fields so
+the output can be diffed against fixtures.
+
 `pb conform` differentially tests the optimized simulator against a
 reference interpreter: a seeded corpus of random programs plus all five
 applications, across the full-detail, counts-only, and multi-threaded
 paths. On divergence it exits nonzero and writes a minimized repro to
-the --repro path (default conform_repro.s)."
-    );
+the --repro path (default conform_repro.s).
+
+Exit codes: 0 success, 1 runtime failure, 2 usage error."
 }
 
-fn cmd_apps() -> Result<(), String> {
+fn cmd_apps() -> Result<(), CliError> {
     println!("{:<10} {:<22} description", "slug", "name");
     for id in AppId::WITH_EXTENSIONS {
         let what = match id {
@@ -135,7 +207,7 @@ fn cmd_apps() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_traces() -> Result<(), String> {
+fn cmd_traces() -> Result<(), CliError> {
     println!(
         "{:<6} {:<20} {:>12} {:>10} {:>10}",
         "name", "type", "packets", "flows", "new-flow%"
@@ -153,15 +225,24 @@ fn cmd_traces() -> Result<(), String> {
     Ok(())
 }
 
-fn app_from(args: &Args) -> Result<AppId, String> {
-    let name = args
-        .options
-        .get("app")
-        .ok_or("missing --app (see `pb apps`)")?;
-    AppId::by_name(name).ok_or_else(|| format!("unknown application `{name}`"))
+fn app_from(args: &Args) -> Result<AppId, CliError> {
+    let Some(name) = args.options.get("app") else {
+        return usage_err("missing --app (see `pb apps`)");
+    };
+    match AppId::by_name(name) {
+        Some(id) => Ok(id),
+        None => usage_err(format!("unknown application `{name}`")),
+    }
 }
 
-fn cmd_disasm(args: &Args) -> Result<(), String> {
+fn trace_profile(name: &str) -> Result<TraceProfile, CliError> {
+    match TraceProfile::by_name(name) {
+        Some(p) => Ok(p),
+        None => usage_err(format!("unknown trace profile `{name}`")),
+    }
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), CliError> {
     let id = app_from(args)?;
     let app = App::build(id, &WorkloadConfig::default()).map_err(|e| e.to_string())?;
     println!(
@@ -173,28 +254,13 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<(), CliError> {
     let id = app_from(args)?;
-    let n: usize = args
-        .options
-        .get("n")
-        .map(|v| v.parse().map_err(|_| format!("bad -n value `{v}`")))
-        .transpose()?
-        .unwrap_or(1000);
-    let seed: u64 = args
-        .options
-        .get("seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
-        .transpose()?
-        .unwrap_or(42);
-    let verify = args.flags.iter().any(|f| f == "verify");
-    let uarch = args.flags.iter().any(|f| f == "uarch");
-    let threads: usize = args
-        .options
-        .get("threads")
-        .map(|v| v.parse().map_err(|_| format!("bad --threads value `{v}`")))
-        .transpose()?
-        .unwrap_or(0);
+    let n: usize = args.parse_opt("n", 1000)?;
+    let seed: u64 = args.parse_opt("seed", 42)?;
+    let verify = args.flag("verify");
+    let uarch = args.flag("uarch");
+    let threads: usize = args.parse_opt("threads", 0)?;
 
     // Packet source: pcap file or synthetic profile.
     let packets: Vec<Packet> = if let Some(path) = args.options.get("pcap") {
@@ -210,8 +276,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .get("trace")
             .map(String::as_str)
             .unwrap_or("MRA");
-        let profile = TraceProfile::by_name(profile_name)
-            .ok_or_else(|| format!("unknown trace profile `{profile_name}`"))?;
+        let profile = trace_profile(profile_name)?;
         SyntheticTrace::new(profile, seed).take_packets(n)
     };
 
@@ -220,7 +285,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         uarch,
         ..Detail::counts()
     };
-    let engine = Engine::with_config(id, config).verify(verify);
+    let engine = Engine::with_config(id, config)
+        .verify(verify)
+        .progress(args.flag("progress"));
     let run = engine
         .run(&packets, detail, threads)
         .map_err(|e| e.to_string())?;
@@ -263,31 +330,72 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             cycles as f64 / (analysis.avg_instructions() * analysis.packets() as f64)
         );
     }
+    if run.threads > 1 {
+        print!("{}", report::render_worker_table(&run.workers));
+    }
     if verify {
         println!("golden-model check:     all packets verified");
     }
     Ok(())
 }
 
-fn cmd_conform(args: &Args) -> Result<(), String> {
-    let corpus: usize = args
+/// Builds a [`ProfileSpec`] from the shared profile/report options.
+fn profile_spec(args: &Args, app: AppId, trace_name: &str) -> Result<ProfileSpec, CliError> {
+    let mut spec = ProfileSpec::new(app, trace_profile(trace_name)?);
+    spec.packets = args.parse_opt("n", 1000)?;
+    spec.seed = args.parse_opt("seed", 42)?;
+    spec.threads = args.parse_opt("threads", 1)?;
+    spec.progress = args.flag("progress");
+    Ok(spec)
+}
+
+fn cmd_profile(args: &Args) -> Result<(), CliError> {
+    let [app_name, trace_name] = args.positional.as_slice() else {
+        return usage_err("usage: pb profile <app> <trace>");
+    };
+    let Some(id) = AppId::by_name(app_name) else {
+        return usage_err(format!("unknown application `{app_name}`"));
+    };
+    let spec = profile_spec(args, id, trace_name)?;
+    let result = run_profile(&spec).map_err(|e| e.to_string())?;
+    print!("{}", result.render());
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), CliError> {
+    let id = app_from(args)?;
+    let format = match args.options.get("metrics").map(String::as_str) {
+        Some("json") => "json",
+        Some("prom") => "prom",
+        Some(other) => return usage_err(format!("bad --metrics value `{other}` (json|prom)")),
+        None => return usage_err("missing --metrics json|prom"),
+    };
+    let trace_name = args
         .options
-        .get("corpus")
-        .map(|v| v.parse().map_err(|_| format!("bad --corpus value `{v}`")))
-        .transpose()?
-        .unwrap_or(500);
-    let seed: u64 = args
-        .options
-        .get("seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
-        .transpose()?
-        .unwrap_or(42);
-    let threads: usize = args
-        .options
-        .get("threads")
-        .map(|v| v.parse().map_err(|_| format!("bad --threads value `{v}`")))
-        .transpose()?
-        .unwrap_or(4);
+        .get("trace")
+        .map(String::as_str)
+        .unwrap_or("MRA");
+    let spec = profile_spec(args, id, trace_name)?;
+    let result = run_profile(&spec).map_err(|e| e.to_string())?;
+    let doc = result.metrics_doc(args.flag("deterministic"));
+    let body = match format {
+        "json" => doc.to_json(),
+        _ => doc.to_prometheus(),
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("pb: wrote {format} metrics to {path}");
+        }
+        None => print!("{body}"),
+    }
+    Ok(())
+}
+
+fn cmd_conform(args: &Args) -> Result<(), CliError> {
+    let corpus: usize = args.parse_opt("corpus", 500)?;
+    let seed: u64 = args.parse_opt("seed", 42)?;
+    let threads: usize = args.parse_opt("threads", 4)?;
     let repro_path = args
         .options
         .get("repro")
@@ -320,11 +428,11 @@ fn cmd_conform(args: &Args) -> Result<(), String> {
             "minimized repro ({} instructions) written to {repro_path}",
             failure.minimized.len()
         );
-        return Err(format!(
+        return Err(CliError::Run(format!(
             "{} of {} corpus programs diverged",
             report.failures.len(),
             report.programs
-        ));
+        )));
     }
 
     // Leg 2: every application over a synthetic trace, adding the
@@ -351,21 +459,16 @@ fn cmd_conform(args: &Args) -> Result<(), String> {
         failed |= !report.passed();
     }
     if failed {
-        return Err("application conformance failed".into());
+        return Err(CliError::Run("application conformance failed".into()));
     }
     Ok(())
 }
 
-fn cmd_anonymize(args: &Args) -> Result<(), String> {
+fn cmd_anonymize(args: &Args) -> Result<(), CliError> {
     let [input, output] = args.positional.as_slice() else {
-        return Err("usage: pb anonymize <in.pcap> <out.pcap>".into());
+        return usage_err("usage: pb anonymize <in.pcap> <out.pcap>");
     };
-    let seed: u64 = args
-        .options
-        .get("seed")
-        .map(|v| v.parse().map_err(|_| format!("bad --seed value `{v}`")))
-        .transpose()?
-        .unwrap_or(0xfeed);
+    let seed: u64 = args.parse_opt("seed", 0xfeed)?;
 
     let file = File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let reader = PcapReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;

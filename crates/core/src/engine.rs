@@ -29,15 +29,20 @@
 //! table into its own memory; and if the flow table overflows capacity,
 //! overflow ordering is per-worker. The default workloads do neither.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use nettrace::Packet;
+use npsim::{NullObserver, Observer};
 
 use crate::apps::{App, AppId};
 use crate::config::WorkloadConfig;
 use crate::error::BenchError;
 use crate::framework::{Detail, PacketBench, PacketRecord};
+
+/// How often the in-run progress line is refreshed.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(1000);
 
 /// A parallel (or serial) runner for one application over a packet trace.
 #[derive(Debug, Clone)]
@@ -45,6 +50,7 @@ pub struct Engine {
     id: AppId,
     config: WorkloadConfig,
     verify: bool,
+    progress: bool,
 }
 
 impl Engine {
@@ -59,12 +65,21 @@ impl Engine {
             id,
             config,
             verify: false,
+            progress: false,
         }
     }
 
     /// Enables or disables golden-model verification of every packet.
     pub fn verify(mut self, verify: bool) -> Engine {
         self.verify = verify;
+        self
+    }
+
+    /// Enables a periodic `processed/total` progress line on stderr
+    /// during parallel runs. Off by default; when off, no progress
+    /// counter is touched on the packet path.
+    pub fn progress(mut self, progress: bool) -> Engine {
+        self.progress = progress;
         self
     }
 
@@ -105,6 +120,32 @@ impl Engine {
         detail: Detail,
         threads: usize,
     ) -> Result<EngineRun, BenchError> {
+        // The unobserved run *is* the observed run with the no-op
+        // observer: monomorphization folds every hook away (DESIGN.md).
+        self.run_observed(packets, detail, threads, || NullObserver)
+            .map(|(run, _)| run)
+    }
+
+    /// Runs `packets` like [`Engine::run`], attaching a worker-private
+    /// observer (built by `make_obs`) to every packet execution. Returns
+    /// the merged run plus each worker's observer, ordered by worker
+    /// index, so additively-mergeable observers (heat maps, histograms)
+    /// produce thread-count-independent profiles.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_observed<O, F>(
+        &self,
+        packets: &[Packet],
+        detail: Detail,
+        threads: usize,
+        make_obs: F,
+    ) -> Result<(EngineRun, Vec<O>), BenchError>
+    where
+        O: Observer + Send,
+        F: Fn() -> O + Sync,
+    {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -113,7 +154,7 @@ impl Engine {
         let threads = threads.clamp(1, packets.len().max(1));
         let start = Instant::now();
         if threads == 1 {
-            return self.run_serial(packets, detail, start);
+            return self.run_serial(packets, detail, start, make_obs());
         }
 
         let assignments: Vec<usize> = packets
@@ -123,13 +164,42 @@ impl Engine {
             .collect();
 
         type Batch = Vec<(usize, PacketRecord, Vec<Packet>)>;
-        let (tx, rx) = mpsc::channel::<Result<Batch, (usize, BenchError)>>();
+        type WorkerResult<O> = Result<(Batch, O, WorkerMetrics), (usize, BenchError)>;
+        let (tx, rx) = mpsc::channel::<WorkerResult<O>>();
         let mut slots: Vec<Option<(PacketRecord, Vec<Packet>)>> = Vec::new();
         slots.resize_with(packets.len(), || None);
         let mut first_error: Option<(usize, BenchError)> = None;
+        let mut observers: Vec<Option<O>> = Vec::new();
+        observers.resize_with(threads, || None);
+        let mut workers: Vec<WorkerMetrics> = (0..threads)
+            .map(|w| WorkerMetrics {
+                worker: w,
+                ..WorkerMetrics::default()
+            })
+            .collect();
+        let processed = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
-            for worker in 0..threads {
+            let monitor = self.progress.then(|| {
+                let processed = &processed;
+                let done = &done;
+                let total = packets.len();
+                scope.spawn(move || {
+                    while !done.load(Ordering::Acquire) {
+                        std::thread::park_timeout(PROGRESS_INTERVAL);
+                        let n = processed.load(Ordering::Relaxed);
+                        if !done.load(Ordering::Acquire) && n > 0 {
+                            eprintln!(
+                                "pb: {n}/{total} packets ({:.1}%)",
+                                n as f64 / total.max(1) as f64 * 100.0
+                            );
+                        }
+                    }
+                })
+            });
+            let counter = self.progress.then_some(&processed);
+            for (worker, stat) in workers.iter_mut().enumerate() {
                 let tx = tx.clone();
                 let indices: Vec<usize> = assignments
                     .iter()
@@ -137,20 +207,29 @@ impl Engine {
                     .filter(|&(_, &shard)| shard == worker)
                     .map(|(i, _)| i)
                     .collect();
+                stat.queue_depth = indices.len() as u64;
                 if indices.is_empty() {
                     continue;
                 }
+                let obs = make_obs();
                 scope.spawn(move || {
-                    let _ = tx.send(self.worker_run(&indices, packets, detail));
+                    let _ =
+                        tx.send(self.worker_run(worker, &indices, packets, detail, obs, counter));
                 });
             }
             drop(tx);
             for result in rx {
                 match result {
-                    Ok(batch) => {
+                    Ok((batch, obs, metrics)) => {
                         for (i, record, outs) in batch {
                             slots[i] = Some((record, outs));
                         }
+                        let queue_depth = workers[metrics.worker].queue_depth;
+                        workers[metrics.worker] = WorkerMetrics {
+                            queue_depth,
+                            ..metrics
+                        };
+                        observers[metrics.worker] = Some(obs);
                     }
                     Err((i, e)) => {
                         if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
@@ -159,11 +238,16 @@ impl Engine {
                     }
                 }
             }
+            done.store(true, Ordering::Release);
+            if let Some(monitor) = monitor {
+                monitor.thread().unpark();
+            }
         });
 
         if let Some((_, e)) = first_error {
             return Err(e);
         }
+        let merge_start = Instant::now();
         let mut records = Vec::with_capacity(packets.len());
         let mut output_packets = Vec::new();
         for slot in slots {
@@ -171,66 +255,126 @@ impl Engine {
             records.push(record);
             output_packets.extend(outs);
         }
-        Ok(EngineRun {
-            records,
-            output_packets,
-            threads,
-            elapsed: start.elapsed(),
-        })
+        let merge = merge_start.elapsed();
+        let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        for w in &mut workers {
+            w.idle_ns = wall_ns.saturating_sub(w.busy_ns);
+        }
+        Ok((
+            EngineRun {
+                records,
+                output_packets,
+                threads,
+                elapsed: start.elapsed(),
+                merge,
+                workers,
+            },
+            observers.into_iter().flatten().collect(),
+        ))
     }
 
-    fn run_serial(
+    fn run_serial<O: Observer>(
         &self,
         packets: &[Packet],
         detail: Detail,
         start: Instant,
-    ) -> Result<EngineRun, BenchError> {
+        mut obs: O,
+    ) -> Result<(EngineRun, Vec<O>), BenchError> {
         let app = App::build(self.id, &self.config)?;
         let mut bench = PacketBench::with_config(app, &self.config)?;
         let mut records = Vec::with_capacity(packets.len());
-        for packet in packets {
+        let busy_start = Instant::now();
+        for (i, packet) in packets.iter().enumerate() {
             let mut record = PacketRecord::empty();
-            bench.process_packet_into(packet, detail, &mut record)?;
+            bench.process_packet_observed_at(i as u64, packet, detail, &mut record, &mut obs)?;
             if self.verify {
                 bench.verify_record(packet, &record)?;
             }
             records.push(record);
         }
-        Ok(EngineRun {
-            records,
-            output_packets: bench.take_output_packets(),
-            threads: 1,
-            elapsed: start.elapsed(),
-        })
+        let busy_ns = busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let workers = vec![WorkerMetrics {
+            worker: 0,
+            packets: packets.len() as u64,
+            busy_ns,
+            idle_ns: wall_ns.saturating_sub(busy_ns),
+            queue_depth: packets.len() as u64,
+        }];
+        Ok((
+            EngineRun {
+                records,
+                output_packets: bench.take_output_packets(),
+                threads: 1,
+                elapsed: start.elapsed(),
+                merge: Duration::ZERO,
+                workers,
+            },
+            vec![obs],
+        ))
     }
 
     /// One worker: a private `PacketBench`, its assigned packets in trace
-    /// order, results tagged with their trace index.
+    /// order, results tagged with their trace index. Busy time is one
+    /// clock pair around the whole loop — never per packet, so telemetry
+    /// stays off the per-packet critical path.
     #[allow(clippy::type_complexity)]
-    fn worker_run(
+    fn worker_run<O: Observer>(
         &self,
+        worker: usize,
         indices: &[usize],
         packets: &[Packet],
         detail: Detail,
-    ) -> Result<Vec<(usize, PacketRecord, Vec<Packet>)>, (usize, BenchError)> {
+        mut obs: O,
+        progress: Option<&AtomicU64>,
+    ) -> Result<(Vec<(usize, PacketRecord, Vec<Packet>)>, O, WorkerMetrics), (usize, BenchError)>
+    {
         let first = indices.first().copied().unwrap_or(0);
         let app = App::build(self.id, &self.config).map_err(|e| (first, e))?;
         let mut bench = PacketBench::with_config(app, &self.config).map_err(|e| (first, e))?;
         let mut batch = Vec::with_capacity(indices.len());
+        let busy_start = Instant::now();
         for &i in indices {
             let packet = &packets[i];
             let mut record = PacketRecord::empty();
             bench
-                .process_packet_at(i as u64, packet, detail, &mut record)
+                .process_packet_observed_at(i as u64, packet, detail, &mut record, &mut obs)
                 .map_err(|e| (i, e))?;
             if self.verify {
                 bench.verify_record(packet, &record).map_err(|e| (i, e))?;
             }
             let outs = bench.take_output_packets();
             batch.push((i, record, outs));
+            if let Some(counter) = progress {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        Ok(batch)
+        let metrics = WorkerMetrics {
+            worker,
+            packets: indices.len() as u64,
+            busy_ns: busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            idle_ns: 0,
+            queue_depth: indices.len() as u64,
+        };
+        Ok((batch, obs, metrics))
     }
+}
+
+/// One engine worker's telemetry for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Packets this worker processed.
+    pub packets: u64,
+    /// Nanoseconds the worker spent in its packet loop (one clock pair
+    /// per run, not per packet).
+    pub busy_ns: u64,
+    /// Run wall-clock nanoseconds the worker was not in its packet loop
+    /// (waiting to start, finished early, or starved).
+    pub idle_ns: u64,
+    /// Packets assigned to this worker's shard.
+    pub queue_depth: u64,
 }
 
 /// The merged, trace-ordered result of an [`Engine::run`].
@@ -245,6 +389,10 @@ pub struct EngineRun {
     pub threads: usize,
     /// Wall-clock time of the run, including per-worker app builds.
     pub elapsed: Duration,
+    /// Time spent reassembling worker results into trace order.
+    pub merge: Duration,
+    /// Per-worker telemetry, ordered by worker index.
+    pub workers: Vec<WorkerMetrics>,
 }
 
 impl EngineRun {

@@ -311,6 +311,48 @@ impl PacketBench {
         )
     }
 
+    /// Runs one packet like [`PacketBench::process_packet_at`], streaming
+    /// execution through an [`npsim::Observer`].
+    ///
+    /// The observer is a *type parameter*, not a trait object: this method
+    /// monomorphizes down to the exact uninstrumented interpreter loops
+    /// when `O` is [`npsim::NullObserver`], so observability never taxes
+    /// unobserved runs (see `DESIGN.md`). The engine's profiled mode runs
+    /// every packet through here with a worker-private observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`PacketBench::process_packet`].
+    pub fn process_packet_observed_at<O: npsim::Observer>(
+        &mut self,
+        index: u64,
+        packet: &Packet,
+        detail: Detail,
+        record: &mut PacketRecord,
+        obs: &mut O,
+    ) -> Result<(), BenchError> {
+        let l3 = l3_checked(packet)?;
+        let program = self.app.image().program();
+        let mut cpu = Cpu::new(program, self.map);
+        self.packets_processed += 1;
+        stage_and_boot(&mut cpu, &mut self.mem, self.map, self.entry, l3);
+        let mut handler = FrameworkSys {
+            verdict: Verdict::Returned,
+            out: &mut self.out_packets,
+            clock: (index + 1) as u32,
+        };
+        cpu.run_observed(
+            &mut self.mem,
+            &detail.run_config(),
+            &mut handler,
+            &mut record.stats,
+            obs,
+        )?;
+        record.verdict = handler.verdict;
+        record.return_value = cpu.state().regs[reg::A0.index()];
+        Ok(())
+    }
+
     /// Runs one packet through a caller-supplied [`Interpreter`] instead
     /// of the built-in optimized CPU, with full control over the
     /// [`RunConfig`].
@@ -464,16 +506,7 @@ fn run_packet_on(
     record: &mut PacketRecord,
 ) -> Result<(), BenchError> {
     let l3 = l3_checked(packet)?;
-    // Stage the packet; clear a pad region beyond it so a shorter
-    // packet never sees the previous packet's bytes.
-    mem.write_bytes(map.packet_base, l3);
-    mem.zero_range(map.packet_base + l3.len() as u32, 64);
-
-    interp.reset();
-    interp.set_pc(entry);
-    interp.set_reg(reg::A0, map.packet_base);
-    interp.set_reg(reg::A1, l3.len() as u32);
-
+    stage_and_boot(interp, mem, map, entry, l3);
     let mut handler = FrameworkSys {
         verdict: Verdict::Returned,
         out,
@@ -483,6 +516,25 @@ fn run_packet_on(
     record.verdict = handler.verdict;
     record.return_value = interp.state().regs[reg::A0.index()];
     Ok(())
+}
+
+/// Stages a packet into simulated memory and boots an interpreter at the
+/// application entry with `a0` = packet pointer, `a1` = captured length.
+/// The pad region past the packet is cleared so a shorter packet never
+/// sees the previous packet's bytes.
+fn stage_and_boot(
+    interp: &mut dyn Interpreter,
+    mem: &mut Memory,
+    map: MemoryMap,
+    entry: u32,
+    l3: &[u8],
+) {
+    mem.write_bytes(map.packet_base, l3);
+    mem.zero_range(map.packet_base + l3.len() as u32, 64);
+    interp.reset();
+    interp.set_pc(entry);
+    interp.set_reg(reg::A0, map.packet_base);
+    interp.set_reg(reg::A1, l3.len() as u32);
 }
 
 #[cfg(test)]

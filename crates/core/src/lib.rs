@@ -50,10 +50,12 @@ pub mod conform;
 pub mod engine;
 pub mod error;
 pub mod framework;
+pub mod profile;
 pub mod report;
 
 pub use apps::{App, AppId};
 pub use config::WorkloadConfig;
-pub use engine::{Engine, EngineRun};
+pub use engine::{Engine, EngineRun, WorkerMetrics};
 pub use error::BenchError;
 pub use framework::{Detail, PacketBench, PacketRecord, Verdict};
+pub use profile::{run_profile, ProfileResult, ProfileSpec};

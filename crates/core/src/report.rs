@@ -225,6 +225,55 @@ pub fn render_memory_sequence(title: &str, seq: &[MemSeqPoint]) -> String {
     out
 }
 
+/// Renders a streaming log2 histogram as a fixed-width table: one row
+/// per non-empty bucket with an integer-scaled bar (deterministic — no
+/// floating-point in the bar width).
+pub fn render_log2_histogram(name: &str, h: &npobs::Log2Histogram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}  count={} min={} max={} mean={:.1}",
+        h.count(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        h.mean()
+    );
+    let peak = h.iter_nonzero().map(|(_, _, _, c)| c).max().unwrap_or(1);
+    for (_, lo, hi, count) in h.iter_nonzero() {
+        let bar = (count * 40 / peak) as usize;
+        let _ = writeln!(
+            out,
+            "  [{lo:>12}, {hi:>12}] {count:>10} {}",
+            "#".repeat(bar.max(1))
+        );
+    }
+    out
+}
+
+/// Renders per-worker engine telemetry as a fixed-width table.
+pub fn render_worker_table(workers: &[crate::engine::WorkerMetrics]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:>10} {:>12} {:>14} {:>14} {:>6}",
+        "worker", "packets", "queued", "busy(ms)", "idle(ms)", "util"
+    );
+    for w in workers {
+        let wall = (w.busy_ns + w.idle_ns).max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<7} {:>10} {:>12} {:>14.2} {:>14.2} {:>5.0}%",
+            w.worker,
+            w.packets,
+            w.queue_depth,
+            w.busy_ns as f64 / 1e6,
+            w.idle_ns as f64 / 1e6,
+            w.busy_ns as f64 / wall * 100.0
+        );
+    }
+    out
+}
+
 /// Convenience: Table II/III cell values from an analysis.
 pub fn table23_cells(analysis: &TraceAnalysis) -> (f64, MemCell) {
     (
@@ -337,6 +386,36 @@ mod tests {
         assert!(text.contains("Packet"));
         assert!(text.contains("Non-packet"));
         assert!(text.contains("836"));
+    }
+
+    #[test]
+    fn log2_histogram_renders_buckets_and_bars() {
+        let mut h = npobs::Log2Histogram::new();
+        for v in [5u64, 5, 5, 5, 100] {
+            h.record(v);
+        }
+        let text = render_log2_histogram("instructions_per_packet", &h);
+        assert!(text.contains("count=5 min=5 max=100 mean=24.0"));
+        assert!(text.contains("[           4,            7]          4"));
+        // The peak bucket gets the full 40-char bar, the single-sample
+        // bucket its proportional (minimum 1) slice.
+        assert!(text.contains(&"#".repeat(40)));
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn worker_table_shows_utilization() {
+        let workers = vec![crate::engine::WorkerMetrics {
+            worker: 0,
+            packets: 10,
+            busy_ns: 3_000_000,
+            idle_ns: 1_000_000,
+            queue_depth: 10,
+        }];
+        let text = render_worker_table(&workers);
+        assert!(text.contains("worker"));
+        assert!(text.contains("75%"));
+        assert!(text.contains("3.00"));
     }
 
     #[test]

@@ -16,24 +16,7 @@ use npsim::Program;
 /// The output is accepted by [`crate::assemble`] (labels replace numeric
 /// offsets), which the tests rely on for round-tripping.
 pub fn disassemble(program: &Program) -> String {
-    // Collect branch targets.
-    let mut targets: BTreeMap<u32, String> = BTreeMap::new();
-    for (i, inst) in program.insts().iter().enumerate() {
-        if matches!(
-            inst.op,
-            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu | Op::J | Op::Jal
-        ) {
-            let target = program
-                .pc_of(i)
-                .wrapping_add(4)
-                .wrapping_add(inst.imm as u32);
-            if program.index_of(target).is_some() {
-                let next = targets.len();
-                targets.entry(target).or_insert_with(|| format!("L{next}"));
-            }
-        }
-    }
-
+    let targets = target_labels(program);
     let mut out = String::new();
     for (i, inst) in program.insts().iter().enumerate() {
         let pc = program.pc_of(i);
@@ -62,6 +45,33 @@ pub fn disassemble(program: &Program) -> String {
         let _ = writeln!(out, "        {rendered}");
     }
     out
+}
+
+/// The synthetic `L<n>:` labels [`disassemble`] places at every static
+/// branch/jump target, keyed by target PC.
+///
+/// Labels are numbered in first-encounter order over the instruction
+/// stream, so they are stable for a given program. The `npobs` basic-block
+/// heat profiler uses them to key heat-map rows and flamegraph frames to
+/// the same names a `pb disasm` listing shows.
+pub fn target_labels(program: &Program) -> BTreeMap<u32, String> {
+    let mut targets: BTreeMap<u32, String> = BTreeMap::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        if matches!(
+            inst.op,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu | Op::J | Op::Jal
+        ) {
+            let target = program
+                .pc_of(i)
+                .wrapping_add(4)
+                .wrapping_add(inst.imm as u32);
+            if program.index_of(target).is_some() {
+                let next = targets.len();
+                targets.entry(target).or_insert_with(|| format!("L{next}"));
+            }
+        }
+    }
+    targets
 }
 
 /// Renders a program as a standalone `.s` repro file.

@@ -75,5 +75,5 @@ mod error;
 mod parser;
 
 pub use asm::{assemble, Image};
-pub use disasm::{disassemble, emit_repro};
+pub use disasm::{disassemble, emit_repro, target_labels};
 pub use error::AsmError;

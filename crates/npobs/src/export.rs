@@ -1,0 +1,302 @@
+//! Metrics exporters: hand-rolled JSON and Prometheus text format.
+//!
+//! A [`MetricsDoc`] bundles one profiling run — per-packet histograms,
+//! per-worker engine telemetry, run timing — behind a [`Stamp`]. The
+//! serializers are deliberately dependency-free (the workspace carries no
+//! external crates): field order is fixed, maps are emitted in stable
+//! order, and floats are printed through one helper, so two documents
+//! with equal contents serialize to identical bytes. That byte-stability
+//! is what lets CI diff exports against golden fixtures.
+
+use crate::hist::{Log2Histogram, PacketHists};
+use crate::stamp::Stamp;
+use std::fmt::Write as _;
+
+/// One engine worker's telemetry for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Packets this worker processed.
+    pub packets: u64,
+    /// Nanoseconds spent executing packets.
+    pub busy_ns: u64,
+    /// Nanoseconds of the run wall-clock this worker was not executing.
+    pub idle_ns: u64,
+    /// Packets that were queued to this worker's shard.
+    pub queue_depth: u64,
+}
+
+/// A complete, exportable metrics document for one profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDoc {
+    /// Provenance (schema version, commit, timestamp).
+    pub stamp: Stamp,
+    /// Application slug (`radix`, `trie`, ...).
+    pub app: String,
+    /// Trace profile slug (`mra`, ...).
+    pub trace: String,
+    /// Packets profiled.
+    pub packets: u64,
+    /// Engine worker threads used.
+    pub threads: usize,
+    /// Total wall-clock nanoseconds for the run (0 in deterministic mode).
+    pub elapsed_ns: u64,
+    /// Nanoseconds spent merging worker results (0 in deterministic mode).
+    pub merge_ns: u64,
+    /// Per-packet distributions.
+    pub hists: PacketHists,
+    /// Per-worker telemetry, ordered by worker index.
+    pub workers: Vec<WorkerStat>,
+}
+
+/// Prints an `f64` the same way on every platform (shortest roundtrip
+/// via `{:?}`, which Rust guarantees re-parses exactly).
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn json_hist(out: &mut String, indent: &str, name: &str, h: &Log2Histogram, last: bool) {
+    let _ = write!(out, "{indent}\"{name}\": {{");
+    let _ = write!(
+        out,
+        "\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [",
+        h.count(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        fmt_f64(h.mean())
+    );
+    let mut first = true;
+    for (_, lo, hi, count) in h.iter_nonzero() {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{{\"lo\": {lo}, \"hi\": {hi}, \"count\": {count}}}");
+    }
+    out.push_str("]}");
+    if !last {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+impl MetricsDoc {
+    /// Serializes the document as JSON. Stable field order, no external
+    /// dependencies; equal documents produce identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  {},", self.stamp.json_fields());
+        let _ = writeln!(out, "  \"app\": \"{}\",", self.app);
+        let _ = writeln!(out, "  \"trace\": \"{}\",", self.trace);
+        let _ = writeln!(out, "  \"packets\": {},", self.packets);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"elapsed_ns\": {},", self.elapsed_ns);
+        let _ = writeln!(out, "  \"merge_ns\": {},", self.merge_ns);
+        out.push_str("  \"histograms\": {\n");
+        let hists: Vec<_> = self.hists.iter().collect();
+        for (i, (name, h)) in hists.iter().enumerate() {
+            json_hist(&mut out, "    ", name, h, i + 1 == hists.len());
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"worker\": {}, \"packets\": {}, \"busy_ns\": {}, \
+                 \"idle_ns\": {}, \"queue_depth\": {}}}",
+                w.worker, w.packets, w.busy_ns, w.idle_ns, w.queue_depth
+            );
+            out.push_str(if i + 1 == self.workers.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the document in Prometheus text exposition format.
+    /// Histograms follow the Prometheus convention: cumulative `_bucket`
+    /// series with an `le` upper bound, plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let labels = format!("app=\"{}\",trace=\"{}\"", self.app, self.trace);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP pb_build_info Build and schema provenance of this export."
+        );
+        let _ = writeln!(out, "# TYPE pb_build_info gauge");
+        let _ = writeln!(
+            out,
+            "pb_build_info{{schema_version=\"{}\",git_commit=\"{}\"}} 1",
+            self.stamp.schema_version, self.stamp.git_commit
+        );
+        let _ = writeln!(out, "# HELP pb_packets_total Packets profiled.");
+        let _ = writeln!(out, "# TYPE pb_packets_total counter");
+        let _ = writeln!(out, "pb_packets_total{{{labels}}} {}", self.packets);
+        let _ = writeln!(out, "# HELP pb_run_elapsed_ns Run wall-clock time.");
+        let _ = writeln!(out, "# TYPE pb_run_elapsed_ns gauge");
+        let _ = writeln!(out, "pb_run_elapsed_ns{{{labels}}} {}", self.elapsed_ns);
+        let _ = writeln!(out, "# HELP pb_merge_ns Worker result merge time.");
+        let _ = writeln!(out, "# TYPE pb_merge_ns gauge");
+        let _ = writeln!(out, "pb_merge_ns{{{labels}}} {}", self.merge_ns);
+        for (name, h) in self.hists.iter() {
+            let metric = format!("pb_{name}");
+            let _ = writeln!(out, "# HELP {metric} Per-packet distribution.");
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let mut cum = 0u64;
+            for (_, _, hi, count) in h.iter_nonzero() {
+                cum += count;
+                let _ = writeln!(out, "{metric}_bucket{{{labels},le=\"{hi}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{metric}_bucket{{{labels},le=\"+Inf\"}} {cum}");
+            let _ = writeln!(
+                out,
+                "{metric}_sum{{{labels}}} {}",
+                fmt_f64(h.mean() * h.count() as f64)
+            );
+            let _ = writeln!(out, "{metric}_count{{{labels}}} {}", h.count());
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_worker_packets_total Packets per engine worker."
+        );
+        let _ = writeln!(out, "# TYPE pb_worker_packets_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_packets_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.packets
+            );
+        }
+        let _ = writeln!(out, "# HELP pb_worker_busy_ns Busy time per engine worker.");
+        let _ = writeln!(out, "# TYPE pb_worker_busy_ns gauge");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_busy_ns{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.busy_ns
+            );
+        }
+        let _ = writeln!(out, "# HELP pb_worker_idle_ns Idle time per engine worker.");
+        let _ = writeln!(out, "# TYPE pb_worker_idle_ns gauge");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_idle_ns{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.idle_ns
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_worker_queue_depth Packets queued to each worker's shard."
+        );
+        let _ = writeln!(out, "# TYPE pb_worker_queue_depth gauge");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_queue_depth{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.queue_depth
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stamp::{Stamp, METRICS_SCHEMA_VERSION};
+
+    fn sample_doc() -> MetricsDoc {
+        let mut hists = PacketHists::new();
+        hists.record(100, 10, 20, 5);
+        hists.record(200, 12, 24, 6);
+        hists.record(150, 11, 22, 5);
+        MetricsDoc {
+            stamp: Stamp::deterministic(METRICS_SCHEMA_VERSION),
+            app: "radix".to_string(),
+            trace: "mra".to_string(),
+            packets: 3,
+            threads: 2,
+            elapsed_ns: 0,
+            merge_ns: 0,
+            hists,
+            workers: vec![
+                WorkerStat {
+                    worker: 0,
+                    packets: 2,
+                    busy_ns: 0,
+                    idle_ns: 0,
+                    queue_depth: 2,
+                },
+                WorkerStat {
+                    worker: 1,
+                    packets: 1,
+                    busy_ns: 0,
+                    idle_ns: 0,
+                    queue_depth: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_structured() {
+        let doc = sample_doc();
+        let a = doc.to_json();
+        let b = doc.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"app\": \"radix\""));
+        assert!(a.contains("\"instructions_per_packet\""));
+        assert!(a.contains("{\"lo\": 128, \"hi\": 255, \"count\": 2}"));
+        assert!(a.contains("\"worker\": 1, \"packets\": 1"));
+        // Crude balance check on the hand-rolled writer.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let doc = sample_doc();
+        let prom = doc.to_prometheus();
+        // 100 falls in [64,127], 150 and 200 in [128,255].
+        assert!(prom.contains(
+            "pb_instructions_per_packet_bucket{app=\"radix\",trace=\"mra\",le=\"127\"} 1"
+        ));
+        assert!(prom.contains(
+            "pb_instructions_per_packet_bucket{app=\"radix\",trace=\"mra\",le=\"255\"} 3"
+        ));
+        assert!(prom.contains(
+            "pb_instructions_per_packet_bucket{app=\"radix\",trace=\"mra\",le=\"+Inf\"} 3"
+        ));
+        assert!(prom.contains("pb_instructions_per_packet_sum{app=\"radix\",trace=\"mra\"} 450.0"));
+        assert!(prom.contains("pb_instructions_per_packet_count{app=\"radix\",trace=\"mra\"} 3"));
+        assert!(
+            prom.contains("pb_worker_packets_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 2")
+        );
+        assert!(prom.contains("pb_build_info{schema_version=\"1\",git_commit=\"deterministic\"} 1"));
+    }
+
+    #[test]
+    fn empty_histograms_export_cleanly() {
+        let mut doc = sample_doc();
+        doc.hists = PacketHists::new();
+        doc.workers.clear();
+        doc.packets = 0;
+        let json = doc.to_json();
+        assert!(json.contains("\"buckets\": []"));
+        let prom = doc.to_prometheus();
+        assert!(prom.contains(
+            "pb_instructions_per_packet_bucket{app=\"radix\",trace=\"mra\",le=\"+Inf\"} 0"
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! Basic-block heat profiling.
+//!
+//! A [`HeatObserver`] rides the `npsim` interpreter loops through the
+//! monomorphized [`Observer`] hooks and accumulates, per static basic
+//! block, how many times the block was entered and how many instructions
+//! retired inside it — the dynamic counterpart of the analysis layer's
+//! per-packet block *sets*. Loop-heavy blocks (the data the paper's block
+//! methodology and Shaccour & Mansour's loop-redundancy analysis need)
+//! show up as instruction counts far above `entries x block length`.
+//!
+//! Worker-private observers merge additively, so profiles are
+//! bit-identical at every engine thread count. [`BlockHeat`] renders the
+//! result as a fixed-width table or as flamegraph-collapsed text
+//! (`app;label count` lines, one frame per block) keyed by the same
+//! `L<n>` labels `pb disasm` prints.
+
+use npsim::bblock::BlockMap;
+use npsim::isa::Inst;
+use npsim::obs::Observer;
+use npsim::Program;
+use std::fmt::Write as _;
+
+/// Streams block entries and per-block instruction counts off the
+/// interpreter loops.
+#[derive(Debug, Clone)]
+pub struct HeatObserver {
+    /// Per-instruction block id (from [`BlockMap::block_ids`]).
+    block_of: Vec<u32>,
+    /// Per-instruction "is a block leader" flag.
+    is_leader: Vec<bool>,
+    /// Per-block entry counts.
+    entries: Vec<u64>,
+    /// Per-block retired-instruction counts.
+    instructions: Vec<u64>,
+    /// Block executing at the previous retired instruction
+    /// (`u32::MAX` = none, reset at every run start).
+    prev: u32,
+}
+
+impl HeatObserver {
+    /// An observer for one application's block partition.
+    pub fn new(block_map: &BlockMap) -> HeatObserver {
+        let block_of = block_map.block_ids().to_vec();
+        let mut is_leader = vec![false; block_of.len()];
+        for &leader in block_map.leaders() {
+            is_leader[leader] = true;
+        }
+        HeatObserver {
+            block_of,
+            is_leader,
+            entries: vec![0; block_map.num_blocks()],
+            instructions: vec![0; block_map.num_blocks()],
+            prev: u32::MAX,
+        }
+    }
+
+    /// Per-block entry counts.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Per-block retired-instruction counts.
+    pub fn instructions(&self) -> &[u64] {
+        &self.instructions
+    }
+
+    /// Total instructions observed.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.iter().sum()
+    }
+
+    /// Adds another observer's counts into this one. Merging is additive
+    /// and commutative, which is what makes engine profiles independent
+    /// of worker count and scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observers were built for different programs.
+    pub fn merge(&mut self, other: &HeatObserver) {
+        assert_eq!(
+            self.block_of.len(),
+            other.block_of.len(),
+            "merging heat observers from different programs"
+        );
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a += b;
+        }
+        for (a, b) in self.instructions.iter_mut().zip(&other.instructions) {
+            *a += b;
+        }
+    }
+
+    /// Freezes the counts into a labelled, renderable [`BlockHeat`].
+    pub fn into_heat(self, program: &Program, block_map: &BlockMap) -> BlockHeat {
+        BlockHeat {
+            labels: block_labels(program, block_map),
+            lengths: (0..block_map.num_blocks())
+                .map(|b| block_map.block_range(b).len() as u64)
+                .collect(),
+            entries: self.entries,
+            instructions: self.instructions,
+        }
+    }
+}
+
+impl Observer for HeatObserver {
+    #[inline(always)]
+    fn on_run_start(&mut self) {
+        self.prev = u32::MAX;
+    }
+
+    #[inline(always)]
+    fn on_inst(&mut self, _pc: u32, index: usize, _inst: &Inst) {
+        let block = self.block_of[index];
+        // A block is entered at its leader, or whenever control appears
+        // in a different block than the previous instruction's (entry
+        // points that are not static leaders).
+        if self.is_leader[index] || block != self.prev {
+            self.entries[block as usize] += 1;
+            self.prev = block;
+        }
+        self.instructions[block as usize] += 1;
+    }
+}
+
+/// Stable display labels for each basic block: the disassembler's `L<n>`
+/// label when the block's leader is a static branch/jump target, the
+/// entry label `b<i>` otherwise.
+pub fn block_labels(program: &Program, block_map: &BlockMap) -> Vec<String> {
+    let targets = npasm::target_labels(program);
+    (0..block_map.num_blocks())
+        .map(|b| {
+            let pc = program.pc_of(block_map.leader(b));
+            targets.get(&pc).cloned().unwrap_or_else(|| format!("b{b}"))
+        })
+        .collect()
+}
+
+/// A labelled basic-block heat map, ready to render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeat {
+    labels: Vec<String>,
+    lengths: Vec<u64>,
+    entries: Vec<u64>,
+    instructions: Vec<u64>,
+}
+
+impl BlockHeat {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Per-block entry counts.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Per-block retired-instruction counts.
+    pub fn instructions(&self) -> &[u64] {
+        &self.instructions
+    }
+
+    /// The display label of block `b`.
+    pub fn label(&self, b: usize) -> &str {
+        &self.labels[b]
+    }
+
+    /// Total instructions across all blocks.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.iter().sum()
+    }
+
+    /// Renders the heat map as a fixed-width table, hottest block first
+    /// (ties broken by block index so output is fully deterministic).
+    /// `static_len` columns expose loop redundancy: instructions far above
+    /// `entries x length` mean the block re-executes inside one packet.
+    pub fn render_table(&self) -> String {
+        let total = self.total_instructions().max(1) as f64;
+        let mut order: Vec<usize> = (0..self.num_blocks()).collect();
+        order.sort_by_key(|&b| (std::cmp::Reverse(self.instructions[b]), b));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<8} {:>8} {:>12} {:>14} {:>7}",
+            "block", "label", "length", "entries", "instructions", "share"
+        );
+        for b in order {
+            if self.instructions[b] == 0 && self.entries[b] == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<6} {:<8} {:>8} {:>12} {:>14} {:>6.2}%",
+                b,
+                self.labels[b],
+                self.lengths[b],
+                self.entries[b],
+                self.instructions[b],
+                self.instructions[b] as f64 / total * 100.0
+            );
+        }
+        out
+    }
+
+    /// Renders the heat map as flamegraph-collapsed text: one
+    /// `app;label count` line per executed block, weight = instructions
+    /// retired in the block. Feed to any flamegraph renderer.
+    pub fn render_collapsed(&self, app: &str) -> String {
+        let mut out = String::new();
+        for b in 0..self.num_blocks() {
+            if self.instructions[b] > 0 {
+                let _ = writeln!(out, "{app};{} {}", self.labels[b], self.instructions[b]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npsim::isa::{reg, Inst, Op};
+    use npsim::{Cpu, Memory, MemoryMap, RunConfig, RunStats};
+
+    fn looped_program(map: MemoryMap) -> Program {
+        // b0: init | b1 (L*): loop body of 2 insts x5 | b2: ret
+        Program::new(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
+                Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 5),
+                Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1), // loop leader
+                Inst::branch(Op::Blt, reg::T0, reg::T1, -8),
+                Inst::jr(reg::RA),
+            ],
+            map.text_base,
+        )
+    }
+
+    fn run_heat(runs: usize) -> (HeatObserver, Program, BlockMap) {
+        let map = MemoryMap::default();
+        let program = looped_program(map);
+        let blocks = BlockMap::build(&program);
+        let mut obs = HeatObserver::new(&blocks);
+        for _ in 0..runs {
+            let mut mem = Memory::new();
+            let mut cpu = Cpu::new(&program, map);
+            let mut stats = RunStats::for_program(program.len());
+            cpu.run_observed(
+                &mut mem,
+                &RunConfig::default(),
+                &mut npsim::cpu::NoSys,
+                &mut stats,
+                &mut obs,
+            )
+            .unwrap();
+        }
+        (obs, program, blocks)
+    }
+
+    #[test]
+    fn loop_block_heat_counts_every_iteration() {
+        let (obs, _, blocks) = run_heat(1);
+        assert_eq!(blocks.num_blocks(), 3);
+        // Entry block once, loop block 5 times, return once.
+        assert_eq!(obs.entries(), &[1, 5, 1]);
+        // 2 init + 5 x (addi + blt) + 1 ret.
+        assert_eq!(obs.instructions(), &[2, 10, 1]);
+        assert_eq!(obs.total_instructions(), 13);
+    }
+
+    #[test]
+    fn runs_reset_block_tracking() {
+        let (obs, _, _) = run_heat(3);
+        // Without the on_run_start reset the second run's entry block
+        // would not count as an entry (prev would still point at it).
+        assert_eq!(obs.entries(), &[3, 15, 3]);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let (mut a, program, blocks) = run_heat(2);
+        let (b, _, _) = run_heat(3);
+        a.merge(&b);
+        let (whole, _, _) = run_heat(5);
+        assert_eq!(a.entries(), whole.entries());
+        assert_eq!(a.instructions(), whole.instructions());
+        let heat = a.into_heat(&program, &blocks);
+        assert_eq!(heat.total_instructions(), whole.total_instructions());
+    }
+
+    #[test]
+    fn labels_use_disassembler_targets() {
+        let (obs, program, blocks) = run_heat(1);
+        let heat = obs.into_heat(&program, &blocks);
+        // The loop head is a branch target: it gets an L-label; entry and
+        // return blocks are not targets and fall back to b<i>.
+        assert_eq!(heat.label(0), "b0");
+        assert_eq!(heat.label(1), "L0");
+        assert_eq!(heat.label(2), "b2");
+    }
+
+    #[test]
+    fn table_ranks_hottest_first_and_collapsed_lines_weigh_instructions() {
+        let (obs, program, blocks) = run_heat(1);
+        let heat = obs.into_heat(&program, &blocks);
+        let table = heat.render_table();
+        let first_data_line = table.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with('1'), "{table}");
+        assert!(table.contains("L0"));
+        let collapsed = heat.render_collapsed("demo");
+        assert_eq!(collapsed, "demo;b0 2\ndemo;L0 10\ndemo;b2 1\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! # npobs — zero-cost instrumentation for PacketBench
+//!
+//! The paper's contribution is *observability of packet processing*:
+//! per-packet instruction counts, packet vs. non-packet memory accesses,
+//! and basic-block behaviour. `npobs` makes that visible at runtime
+//! instead of only in end-of-run aggregate tables:
+//!
+//! * [`Log2Histogram`] / [`PacketHists`] — streaming log2-bucketed
+//!   distributions of per-packet instructions, region-split memory
+//!   accesses, and basic blocks, O(1) per packet and O(65 buckets) of
+//!   state no matter how long the trace runs;
+//! * [`HeatObserver`] — an [`npsim::Observer`] that rides the interpreter
+//!   loops and counts, per static basic block, how often the block is
+//!   entered and how many instructions retire inside it. [`BlockHeat`]
+//!   renders the result as a table or flamegraph-collapsed text keyed by
+//!   the same `L<n>` labels `pb disasm` shows;
+//! * [`export`] — a metrics document with JSON and Prometheus
+//!   text-format serializers;
+//! * [`stamp`] — schema version, git commit, and ISO-8601 timestamps so
+//!   metrics and benchmark artifacts are traceable across PRs.
+//!
+//! The instrumentation is *zero-cost when off*: every hook is
+//! monomorphized through the `Observer` type parameter of the `npsim`
+//! interpreter loops, so the no-op observer compiles to exactly the
+//! uninstrumented loops (guarded by the throughput benchmark).
+
+pub mod export;
+pub mod heat;
+pub mod hist;
+pub mod stamp;
+
+pub use export::MetricsDoc;
+pub use heat::{BlockHeat, HeatObserver};
+pub use hist::{Log2Histogram, PacketHists};
+pub use stamp::Stamp;

@@ -106,6 +106,19 @@ impl BlockMap {
         self.leaders[b]
     }
 
+    /// All leader instruction indices, sorted ascending.
+    pub fn leaders(&self) -> &[usize] {
+        &self.leaders
+    }
+
+    /// The per-instruction block-id table (`block_ids()[index]` is the
+    /// block containing instruction `index`). Exposed so per-instruction
+    /// observers (the `npobs` heat profiler) can do O(1) lookups without
+    /// rebuilding the partition.
+    pub fn block_ids(&self) -> &[u32] {
+        &self.block_of
+    }
+
     /// Maps a per-instruction executed set to a per-block executed set.
     ///
     /// Because control can only enter a block at its leader, a block is

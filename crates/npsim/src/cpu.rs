@@ -11,6 +11,7 @@
 use crate::error::SimError;
 use crate::isa::{Inst, Op, Reg};
 use crate::mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};
+use crate::obs::{NullObserver, Observer};
 use crate::uarch::{OpMix, Uarch, UarchConfig};
 use crate::util::BitSet;
 use crate::RETURN_SENTINEL;
@@ -512,7 +513,48 @@ impl<'p> Cpu<'p> {
         stats: &mut RunStats,
         path: ExecPath,
     ) -> Result<(), SimError> {
+        self.run_into_path_observed(mem, config, handler, stats, path, &mut NullObserver)
+    }
+
+    /// Like [`Cpu::run_into`], but streams every retired instruction and
+    /// classified memory access into an [`Observer`].
+    ///
+    /// The observer is a monomorphized type parameter, never a trait
+    /// object: instantiated with [`NullObserver`] this is exactly
+    /// [`Cpu::run_into`], at zero cost. The `npobs` crate's basic-block
+    /// heat profiler attaches here.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpu::run_with`].
+    pub fn run_observed<O: Observer>(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+        obs: &mut O,
+    ) -> Result<(), SimError> {
+        self.run_into_path_observed(mem, config, handler, stats, ExecPath::Auto, obs)
+    }
+
+    /// The fully-general entry point: forced execution path plus observer.
+    /// Everything else is sugar over this.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cpu::run_with`].
+    pub fn run_into_path_observed<O: Observer>(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+        path: ExecPath,
+        obs: &mut O,
+    ) -> Result<(), SimError> {
         stats.reset_for(self.program.len());
+        obs.on_run_start();
         let counts_only = match path {
             // Two monomorphic loops: the lean one drops every
             // per-instruction branch that only matters when traces or
@@ -530,9 +572,9 @@ impl<'p> Cpu<'p> {
             config.uarch.as_ref().map(Uarch::new)
         };
         if counts_only {
-            self.exec::<false>(mem, config, handler, stats, &mut uarch)?;
+            self.exec::<false, O>(mem, config, handler, stats, &mut uarch, obs)?;
         } else {
-            self.exec::<true>(mem, config, handler, stats, &mut uarch)?;
+            self.exec::<true, O>(mem, config, handler, stats, &mut uarch, obs)?;
         }
 
         if let Some(u) = uarch {
@@ -553,13 +595,16 @@ impl<'p> Cpu<'p> {
     /// The interpreter loop. `FULL` compiles in PC/memory tracing and the
     /// uarch hooks; `FULL = false` requires `uarch` to be `None` and both
     /// trace flags off, and records only what `Detail::counts()` needs.
-    fn exec<const FULL: bool>(
+    /// `O` is the monomorphized observer; with [`NullObserver`] every hook
+    /// folds away and both loops are byte-for-byte the unobserved loops.
+    fn exec<const FULL: bool, O: Observer>(
         &mut self,
         mem: &mut Memory,
         config: &RunConfig,
         handler: &mut dyn SysHandler,
         stats: &mut RunStats,
         uarch: &mut Option<Uarch>,
+        obs: &mut O,
     ) -> Result<(), SimError> {
         // Hoist the dispatch state: the program reference outlives `self`'s
         // borrow, so the fetch below is one fused compare and an index.
@@ -600,6 +645,7 @@ impl<'p> Cpu<'p> {
             stats.instret += 1;
             stats.executed.insert(index);
             stats.op_mix.record(inst.op);
+            obs.on_inst(self.pc, index, &inst);
             if FULL {
                 if config.record_pc_trace {
                     stats.pc_trace.push(self.pc);
@@ -623,9 +669,12 @@ impl<'p> Cpu<'p> {
                             addr,
                             $size,
                             AccessKind::Read,
+                            &mut *obs,
                         );
                     } else {
-                        stats.mem.record(self.map.region(addr), AccessKind::Read);
+                        let region = self.map.region(addr);
+                        stats.mem.record(region, AccessKind::Read);
+                        obs.on_mem(addr, $size, AccessKind::Read, region);
                     }
                     addr
                 }};
@@ -641,9 +690,12 @@ impl<'p> Cpu<'p> {
                             addr,
                             $size,
                             AccessKind::Write,
+                            &mut *obs,
                         );
                     } else {
-                        stats.mem.record(self.map.region(addr), AccessKind::Write);
+                        let region = self.map.region(addr);
+                        stats.mem.record(region, AccessKind::Write);
+                        obs.on_mem(addr, $size, AccessKind::Write, region);
                     }
                     addr
                 }};
@@ -770,7 +822,8 @@ impl<'p> Cpu<'p> {
         Ok(())
     }
 
-    fn note_access(
+    #[allow(clippy::too_many_arguments)]
+    fn note_access<O: Observer>(
         &self,
         stats: &mut RunStats,
         uarch: Option<&mut Uarch>,
@@ -778,9 +831,11 @@ impl<'p> Cpu<'p> {
         addr: u32,
         size: u8,
         kind: AccessKind,
+        obs: &mut O,
     ) {
         let region = self.map.region(addr);
         stats.mem.record(region, kind);
+        obs.on_mem(addr, size, kind, region);
         if let Some(u) = uarch {
             u.data_access(addr);
         }

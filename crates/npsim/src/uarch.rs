@@ -291,6 +291,15 @@ impl OpMix {
             *a += b;
         }
     }
+
+    /// Iterates `(class, executed count)` over every opcode class in
+    /// [`OpClass::ALL`] order — the stable ordering the metrics exporters
+    /// rely on.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, u64)> + '_ {
+        OpClass::ALL
+            .iter()
+            .map(move |&class| (class, self.count(class)))
+    }
 }
 
 /// The live micro-architectural models attached to a run.

@@ -1,0 +1,91 @@
+//! Streaming-pipeline benchmark: packets per second and peak RSS for
+//! `Engine::run_streaming`, written to `BENCH_stream.json`.
+//!
+//! Two trace sizes are streamed back to back specifically so the JSON
+//! exposes the memory bound: peak RSS is sampled after each size, and
+//! because the pipeline buffers at most
+//! `(threads + max_inflight) * chunk_size` packets, the second (5x
+//! larger) stream must not move the high-water mark appreciably.
+//!
+//! Not a Criterion bench: the pipeline is timed end to end, which is
+//! what `pb stream` reports. Run with
+//! `cargo bench --bench stream [-- <packets>]`.
+
+use std::io::Write;
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Limited;
+use packetbench::apps::AppId;
+use packetbench::engine::Engine;
+use packetbench::framework::Detail;
+use packetbench::stream::StreamConfig;
+use packetbench_bench::TRACE_SEED;
+
+const DEFAULT_PACKETS: u64 = 1_000_000;
+
+fn stream_once(engine: &Engine, n: u64, threads: usize) -> (f64, usize) {
+    let source = Limited::new(SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED), n);
+    let run = engine
+        .run_streaming(
+            source,
+            Detail::counts(),
+            StreamConfig {
+                threads,
+                chunk_size: 0,
+                max_inflight: 0,
+            },
+        )
+        .expect("stream runs");
+    assert_eq!(run.packets(), n, "stream must drain the source");
+    (run.packets_per_sec(), run.threads)
+}
+
+fn main() {
+    let large: u64 = std::env::args()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_PACKETS);
+    let small = (large / 5).max(1);
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let engine = Engine::new(AppId::Ipv4Trie);
+
+    let mut entries = Vec::new();
+    let mut peaks = Vec::new();
+    for n in [small, large] {
+        let (serial_pps, _) = stream_once(&engine, n, 1);
+        let (parallel_pps, used) = stream_once(&engine, n, 0);
+        let peak_kb = npstream::peak_rss_kb().unwrap_or(0);
+        peaks.push(peak_kb);
+        println!(
+            "{n:>9} packets   serial {serial_pps:>9.0} pps   parallel({used}) \
+             {parallel_pps:>9.0} pps   peak RSS {peak_kb} kB"
+        );
+        entries.push(format!(
+            "    {{\"packets\": {n}, \"serial_pps\": {serial_pps:.0}, \
+             \"parallel_pps\": {parallel_pps:.0}, \"parallel_threads\": {used}, \
+             \"peak_rss_kb\": {peak_kb}}}"
+        ));
+    }
+    let rss_growth = if peaks[0] > 0 {
+        peaks[1] as f64 / peaks[0] as f64
+    } else {
+        0.0
+    };
+    println!("peak RSS growth across a 5x larger trace: x{rss_growth:.2}");
+
+    let stamp = npobs::Stamp::new(npobs::stamp::BENCH_SCHEMA_VERSION);
+    let json = format!(
+        "{{\n  {},\n  \"app\": \"trie\",\n  \"trace\": \"MRA\",\n  \
+         \"host_threads\": {host_threads},\n  \"rss_growth\": {rss_growth:.3},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        stamp.json_fields(),
+        entries.join(",\n")
+    );
+    // Land the file at the workspace root regardless of cargo's bench CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_stream.json");
+    let mut file = std::fs::File::create(&path).expect("create BENCH_stream.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {} ({host_threads} host threads)", path.display());
+}

@@ -253,6 +253,115 @@ impl Histogram {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&v, &c)| (v, c))
     }
+
+    /// Adds another histogram's samples into this one. The merge is
+    /// exact, associative, and commutative — `collect(a ++ b)` equals
+    /// `collect(a).merge(collect(b))` in any grouping — which is what
+    /// lets the streaming engine build reports from per-chunk partials.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &c) in &other.counts {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+/// A bounded-size, mergeable aggregate of per-packet statistics — the
+/// streaming counterpart of [`TraceAnalysis`].
+///
+/// Where `TraceAnalysis` keeps a point per packet (and so grows with the
+/// trace), `StreamAggregate` keeps only sums and an exact value-frequency
+/// histogram, whose size is bounded by the number of *distinct*
+/// per-packet instruction counts (a property of the application, not the
+/// trace length). Every field merges exactly and order-invariantly, so
+/// partial aggregates computed per chunk on different workers fold into
+/// the same result as a serial trace-order pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamAggregate {
+    packets: u64,
+    instructions: u64,
+    packet_mem: u64,
+    non_packet_mem: u64,
+    cycles: u64,
+    instruction_hist: Histogram,
+}
+
+impl StreamAggregate {
+    /// An empty aggregate.
+    pub fn new() -> StreamAggregate {
+        StreamAggregate::default()
+    }
+
+    /// Folds one packet's record in.
+    pub fn add_record(&mut self, record: &PacketRecord) {
+        self.packets += 1;
+        self.instructions += record.stats.instret;
+        self.packet_mem += record.stats.mem.packet_total();
+        self.non_packet_mem += record.stats.mem.non_packet_total();
+        if let Some(u) = record.stats.uarch {
+            self.cycles += u.cycles;
+        }
+        *self
+            .instruction_hist
+            .counts
+            .entry(record.stats.instret)
+            .or_insert(0) += 1;
+        self.instruction_hist.total += 1;
+    }
+
+    /// Adds another aggregate's counts into this one (exact, associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &StreamAggregate) {
+        self.packets += other.packets;
+        self.instructions += other.instructions;
+        self.packet_mem += other.packet_mem;
+        self.non_packet_mem += other.non_packet_mem;
+        self.cycles += other.cycles;
+        self.instruction_hist.merge(&other.instruction_hist);
+    }
+
+    /// Packets accumulated.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Total instructions executed.
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Total modelled cycles (zero unless records carried uarch stats).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Average instructions per packet (Table II).
+    pub fn avg_instructions(&self) -> f64 {
+        ratio(self.instructions, self.packets)
+    }
+
+    /// Average packet-memory accesses per packet (Table III).
+    pub fn avg_packet_mem(&self) -> f64 {
+        ratio(self.packet_mem, self.packets)
+    }
+
+    /// Average non-packet-memory accesses per packet (Table III).
+    pub fn avg_non_packet_mem(&self) -> f64 {
+        ratio(self.non_packet_mem, self.packets)
+    }
+
+    /// The exact per-packet instruction-count histogram (Table V).
+    pub fn instruction_histogram(&self) -> &Histogram {
+        &self.instruction_hist
+    }
+}
+
+fn ratio(sum: u64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
 }
 
 /// The instruction pattern of a single packet (Fig. 6): each executed
@@ -450,6 +559,80 @@ mod tests {
         assert!(h.top_k(3).is_empty());
         assert!(h.min().is_none());
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_joint_collection() {
+        let a_vals = [5u64, 5, 7, 12];
+        let b_vals = [5u64, 9, 12, 12];
+        let mut merged = Histogram::collect(a_vals.into_iter());
+        merged.merge(&Histogram::collect(b_vals.into_iter()));
+        let joint = Histogram::collect(a_vals.into_iter().chain(b_vals));
+        assert_eq!(merged, joint);
+        assert_eq!(merged.total(), 8);
+    }
+
+    #[test]
+    fn stream_aggregate_merge_equals_serial_fold() {
+        let config = WorkloadConfig::small();
+        let app = App::build(AppId::FlowClass, &config).unwrap();
+        let mut bench = PacketBench::with_config(app, &config).unwrap();
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 99);
+        let records: Vec<_> = (0..60)
+            .map(|_| {
+                bench
+                    .process_packet(&trace.next_packet(), Detail::counts())
+                    .unwrap()
+            })
+            .collect();
+
+        let mut whole = StreamAggregate::new();
+        for r in &records {
+            whole.add_record(r);
+        }
+        // Split into uneven partials merged out of order: same aggregate.
+        let mut parts: Vec<StreamAggregate> = Vec::new();
+        for slice in [&records[40..], &records[..7], &records[7..40]] {
+            let mut part = StreamAggregate::new();
+            for r in slice {
+                part.add_record(r);
+            }
+            parts.push(part);
+        }
+        let mut merged = StreamAggregate::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.packets(), 60);
+        assert!(merged.avg_instructions() > 0.0);
+        assert_eq!(
+            merged.instruction_histogram().total(),
+            whole.instruction_histogram().total()
+        );
+    }
+
+    #[test]
+    fn stream_aggregate_matches_trace_analysis_averages() {
+        let (_, analysis) = analyzed(AppId::Ipv4Trie, 50, Detail::counts());
+        let config = WorkloadConfig::small();
+        let app = App::build(AppId::Ipv4Trie, &config).unwrap();
+        let mut bench = PacketBench::with_config(app, &config).unwrap();
+        let mut trace = SyntheticTrace::new(TraceProfile::mra(), 21);
+        let mut agg = StreamAggregate::new();
+        for _ in 0..50 {
+            let r = bench
+                .process_packet(&trace.next_packet(), Detail::counts())
+                .unwrap();
+            agg.add_record(&r);
+        }
+        assert_eq!(agg.avg_instructions(), analysis.avg_instructions());
+        assert_eq!(agg.avg_packet_mem(), analysis.avg_packet_mem());
+        assert_eq!(agg.avg_non_packet_mem(), analysis.avg_non_packet_mem());
+        assert_eq!(
+            *agg.instruction_histogram(),
+            analysis.instruction_histogram()
+        );
     }
 }
 

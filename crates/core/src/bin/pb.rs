@@ -6,6 +6,9 @@
 //! pb disasm --app <app>            disassemble an application
 //! pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
 //!        [--verify] [--uarch] [--seed <n>]
+//! pb stream <app> <source> [--threads <n>] [--chunk-size <n>]
+//!           [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
+//!           [--progress]
 //! pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
 //! pb report --app <app> --metrics json|prom [--trace <profile>]
 //!           [-n <packets>] [--out <file>] [--deterministic]
@@ -23,12 +26,14 @@ use std::process::ExitCode;
 
 use nettrace::pcap::{PcapReader, PcapWriter};
 use nettrace::synth::{SyntheticTrace, TraceProfile};
-use nettrace::Packet;
-use packetbench::analysis::TraceAnalysis;
+use nettrace::{Limited, Packet, PacketSource};
+use npstream::SourceSpec;
+use packetbench::analysis::StreamAggregate;
 use packetbench::apps::{App, AppId};
 use packetbench::engine::Engine;
 use packetbench::framework::Detail;
 use packetbench::profile::{run_profile, ProfileSpec};
+use packetbench::stream::StreamConfig;
 use packetbench::{report, WorkloadConfig};
 
 /// CLI failures, split by exit code: usage errors print the usage text to
@@ -144,6 +149,7 @@ fn run() -> Result<(), CliError> {
         "traces" => cmd_traces(),
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
+        "stream" => cmd_stream(&args),
         "profile" => cmd_profile(&args),
         "report" => cmd_report(&args),
         "conform" => cmd_conform(&args),
@@ -161,6 +167,9 @@ USAGE:
   pb disasm --app <app>            disassemble an application
   pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
          [--verify] [--uarch] [--seed <n>] [--threads <n>] [--progress]
+  pb stream <app> <source> [--threads <n>] [--chunk-size <n>]
+            [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
+            [--progress]
   pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
              [--progress]
   pb report --app <app> --metrics json|prom [--trace <profile>]
@@ -171,6 +180,14 @@ USAGE:
 
 `pb run --threads 0` (the default) uses all available cores; statistics
 are bit-identical at every thread count.
+
+`pb stream` processes a source in bounded memory: packets flow through
+fixed-capacity chunk queues (reader -> shard workers -> merger) and are
+folded into an online aggregate, so a multi-gigabyte trace streams in a
+few megabytes of RAM. The source is a pcap/tsh path or a synthetic spec
+like `synth:mra:seed=42:packets=10000000`. The report on stdout is
+byte-identical to `pb run` over the same packets at any --threads and
+--chunk-size; timing goes to stderr.
 
 `pb profile` runs the zero-cost instrumentation layer: per-packet log2
 histograms (instructions, packet vs. non-packet memory, basic blocks)
@@ -292,49 +309,105 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         .run(&packets, detail, threads)
         .map_err(|e| e.to_string())?;
 
-    // Analysis metadata (program + basic blocks) from a host-side build.
-    let app = App::build(id, &config).map_err(|e| e.to_string())?;
-    let block_map = npsim::bblock::BlockMap::build(app.image().program());
-    let mut analysis = TraceAnalysis::new(app.image().program(), &block_map);
-    let mut cycles = 0u64;
+    // The deterministic aggregate report goes to stdout (shared with
+    // `pb stream` so the two are byte-comparable); timing and worker
+    // telemetry go to stderr.
+    let mut aggregate = StreamAggregate::new();
     for record in &run.records {
-        if let Some(u) = record.stats.uarch {
-            cycles += u.cycles;
-        }
-        analysis.add(&block_map, record);
+        aggregate.add_record(record);
     }
-
-    println!("application:            {}", id.name());
-    println!("packets:                {}", analysis.packets());
-    println!(
+    print!(
+        "{}",
+        report::render_aggregate_report(id, &aggregate, uarch, verify)
+    );
+    eprintln!(
         "threads:                {} ({:.1} ms wall, {:.0} packets/sec)",
         run.threads,
         run.elapsed.as_secs_f64() * 1e3,
         run.packets_per_sec()
     );
-    println!("avg instructions:       {:.1}", analysis.avg_instructions());
-    println!(
-        "avg memory accesses:    {:.1} packet + {:.1} non-packet",
-        analysis.avg_packet_mem(),
-        analysis.avg_non_packet_mem()
-    );
-    let hist = analysis.instruction_histogram();
-    print!("modes:                  ");
-    for (v, share) in hist.top_k(3) {
-        print!("{v} ({:.1}%)  ", share * 100.0);
-    }
-    println!();
-    if uarch && analysis.packets() > 0 {
-        println!(
-            "modelled CPI:           {:.2}",
-            cycles as f64 / (analysis.avg_instructions() * analysis.packets() as f64)
-        );
-    }
     if run.threads > 1 {
-        print!("{}", report::render_worker_table(&run.workers));
+        eprint!("{}", report::render_worker_table(&run.workers));
     }
-    if verify {
-        println!("golden-model check:     all packets verified");
+    Ok(())
+}
+
+fn cmd_stream(args: &Args) -> Result<(), CliError> {
+    let [app_name, source_arg] = args.positional.as_slice() else {
+        return usage_err("usage: pb stream <app> <source>");
+    };
+    let Some(id) = AppId::by_name(app_name) else {
+        return usage_err(format!("unknown application `{app_name}`"));
+    };
+    let verify = args.flag("verify");
+    let uarch = args.flag("uarch");
+
+    // For streaming, 0 is never a meaningful value the user can ask for:
+    // absent options mean "auto", explicit zeros are mistakes.
+    let threads: usize = args.parse_opt("threads", 0)?;
+    if threads == 0 && args.options.contains_key("threads") {
+        return usage_err("--threads must be at least 1");
+    }
+    let chunk_size: usize = args.parse_opt("chunk-size", 0)?;
+    if chunk_size == 0 && args.options.contains_key("chunk-size") {
+        return usage_err("--chunk-size must be at least 1");
+    }
+    let max_inflight: usize = args.parse_opt("max-inflight", 0)?;
+    if max_inflight == 0 && args.options.contains_key("max-inflight") {
+        return usage_err("--max-inflight must be at least 1");
+    }
+
+    let spec = SourceSpec::parse(source_arg).map_err(|e| CliError::Usage(e.to_string()))?;
+    let limit: Option<u64> = match args.options.get("n") {
+        None => None,
+        Some(_) => Some(args.parse_opt("n", 0u64)?),
+    };
+    if spec.is_unbounded() && limit.is_none() {
+        return usage_err(format!(
+            "source `{source_arg}` is unbounded: add `:packets=<n>` or `-n <packets>`"
+        ));
+    }
+    let source = spec.open().map_err(|e| e.to_string())?;
+    let source: Box<dyn PacketSource + Send> = match limit {
+        Some(n) => Box::new(Limited::new(source, n)),
+        None => source,
+    };
+
+    let detail = Detail {
+        uarch,
+        ..Detail::counts()
+    };
+    let engine = Engine::with_config(id, WorkloadConfig::default())
+        .verify(verify)
+        .progress(args.flag("progress"));
+    let run = engine
+        .run_streaming(
+            source,
+            detail,
+            StreamConfig {
+                threads,
+                chunk_size,
+                max_inflight,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+
+    print!(
+        "{}",
+        report::render_aggregate_report(id, &run.aggregate, uarch, verify)
+    );
+    eprintln!(
+        "threads:                {} ({:.1} ms wall, {:.0} packets/sec, \
+         chunk size {}, {} chunks, window {})",
+        run.threads,
+        run.elapsed.as_secs_f64() * 1e3,
+        run.packets_per_sec(),
+        run.chunk_size,
+        run.chunks,
+        run.max_inflight
+    );
+    if run.threads > 1 {
+        eprint!("{}", report::render_worker_table(&run.workers));
     }
     Ok(())
 }

@@ -49,8 +49,8 @@ const PROGRESS_INTERVAL: Duration = Duration::from_millis(1000);
 pub struct Engine {
     id: AppId,
     config: WorkloadConfig,
-    verify: bool,
-    progress: bool,
+    pub(crate) verify: bool,
+    pub(crate) progress: bool,
 }
 
 impl Engine {
@@ -96,7 +96,7 @@ impl Engine {
     /// Which worker a packet belongs to. Flow Classification shards by
     /// hash bucket so chained flows stay together; everything else
     /// round-robins by position.
-    fn shard_of(&self, position: usize, packet: &Packet, threads: usize) -> usize {
+    pub(crate) fn shard_of(&self, position: usize, packet: &Packet, threads: usize) -> usize {
         if self.id == AppId::FlowClass {
             if let Ok(key) = flowclass::FlowKey::from_l3(packet.l3()) {
                 return key.bucket(self.config.flow_buckets) as usize % threads;

@@ -52,6 +52,7 @@ pub mod error;
 pub mod framework;
 pub mod profile;
 pub mod report;
+pub mod stream;
 
 pub use apps::{App, AppId};
 pub use config::WorkloadConfig;
@@ -59,3 +60,4 @@ pub use engine::{Engine, EngineRun, WorkerMetrics};
 pub use error::BenchError;
 pub use framework::{Detail, PacketBench, PacketRecord, Verdict};
 pub use profile::{run_profile, ProfileResult, ProfileSpec};
+pub use stream::{StreamConfig, StreamRun};

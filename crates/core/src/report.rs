@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 
 use nettrace::synth::TraceProfile;
 
-use crate::analysis::{Histogram, InstructionPattern, MemSeqPoint, TraceAnalysis};
+use crate::analysis::{Histogram, InstructionPattern, MemSeqPoint, StreamAggregate, TraceAnalysis};
 use crate::apps::AppId;
 
 /// Renders Table I: the trace inventory.
@@ -246,6 +246,45 @@ pub fn render_log2_histogram(name: &str, h: &npobs::Log2Histogram) -> String {
             "  [{lo:>12}, {hi:>12}] {count:>10} {}",
             "#".repeat(bar.max(1))
         );
+    }
+    out
+}
+
+/// Renders the deterministic aggregate report `pb run` and `pb stream`
+/// print to stdout. Every line is a pure function of the per-packet
+/// statistics — no timing, no thread counts — so the batch and streaming
+/// paths over the same trace produce byte-identical output at any thread
+/// count and chunk size.
+pub fn render_aggregate_report(
+    app: AppId,
+    agg: &StreamAggregate,
+    uarch: bool,
+    verified: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "application:            {}", app.name());
+    let _ = writeln!(out, "packets:                {}", agg.packets());
+    let _ = writeln!(out, "avg instructions:       {:.1}", agg.avg_instructions());
+    let _ = writeln!(
+        out,
+        "avg memory accesses:    {:.1} packet + {:.1} non-packet",
+        agg.avg_packet_mem(),
+        agg.avg_non_packet_mem()
+    );
+    let _ = write!(out, "modes:                  ");
+    for (v, share) in agg.instruction_histogram().top_k(3) {
+        let _ = write!(out, "{v} ({:.1}%)  ", share * 100.0);
+    }
+    let _ = writeln!(out);
+    if uarch && agg.packets() > 0 {
+        let _ = writeln!(
+            out,
+            "modelled CPI:           {:.2}",
+            agg.cycles() as f64 / (agg.avg_instructions() * agg.packets() as f64)
+        );
+    }
+    if verified {
+        let _ = writeln!(out, "golden-model check:     all packets verified");
     }
     out
 }

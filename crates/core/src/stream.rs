@@ -1,0 +1,624 @@
+//! Bounded-memory streaming execution: [`Engine::run_streaming`].
+//!
+//! `Engine::run` materializes the whole trace before any packet executes,
+//! so peak memory grows linearly with trace length. This module feeds the
+//! same sharded workers from a pull-based [`PacketSource`] through a
+//! fixed-capacity pipeline, so memory use is a function of the
+//! configuration alone:
+//!
+//! ```text
+//! peak buffered packets <= (threads + max_inflight) * chunk_size
+//! ```
+//!
+//! (each worker buffers at most one chunk of partially-filled shard
+//! buffer on the reader side, plus at most `max_inflight` dispatched
+//! chunks anywhere between reader flush and merger fold).
+//!
+//! ## Pipeline
+//!
+//! * A **reader** thread pulls packets from the source, assigns each its
+//!   global trace index, and shards it with the exact rule batch runs use
+//!   ([`Engine::shard_of`]). Per-shard buffers flush as fixed-size
+//!   [`Chunk`]s; before dispatching a chunk the reader acquires one
+//!   permit from a [`Semaphore`] sized `max_inflight`, then pushes the
+//!   chunk to the owning worker's input queue and the worker's id to a
+//!   shared `order` queue. Flush order is a pure function of the trace,
+//!   the sharding rule, and `chunk_size` — never of thread timing.
+//! * **Workers** (one per shard, each owning a private `PacketBench`)
+//!   pop chunks FIFO, process every packet with the batch clock
+//!   (`process_packet_at(index, ..)`), fold the records into a per-chunk
+//!   [`StreamAggregate`], discard emitted output packets, and push one
+//!   outcome per chunk to their result queue.
+//! * The **merger** (the calling thread) pops worker ids from `order` and
+//!   the matching outcome from that worker's result queue, releases the
+//!   chunk's permit, and merges aggregates *in flush order*.
+//!
+//! ## Determinism
+//!
+//! Per-packet results are bit-identical to the batch engine's: the shard
+//! rule, each worker's FIFO processing order, and the global-index clock
+//! are all the same, so every `PacketRecord` matches the batch run's
+//! record for that index. The merge order (flush order) is deterministic,
+//! and [`StreamAggregate`] folds are exact integer sums plus an exact
+//! histogram — associative and commutative — so the merged aggregate
+//! equals the serial trace-order fold at **any** thread count and chunk
+//! size. `pb stream` therefore prints byte-identical reports to `pb run`.
+//!
+//! ## Why it cannot deadlock
+//!
+//! Every queue's capacity equals the permit count, and a permit is held
+//! for a chunk's whole life (reader flush → merger fold): workers and the
+//! reader can never block on a full queue, only the semaphore blocks the
+//! reader, and the merger only waits on outcomes of chunks already inside
+//! the pipeline. The wait graph is acyclic for any `max_inflight >= 1`;
+//! see DESIGN.md for the full argument.
+//!
+//! On error the pipeline cancels: the failing worker reports one
+//! `Failed` outcome and skips its later chunks; the merger — which sees
+//! outcomes in flush order — records the first failure, raises a
+//! cancellation flag for the reader, and keeps draining (releasing
+//! permits) so every thread unblocks. Because outcomes merge in flush
+//! order and each worker fails at its earliest failing chunk, the
+//! reported error is deterministic.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use nettrace::{Packet, PacketSource};
+use npstream::{BoundedQueue, Chunk, Semaphore, ShardBuffers};
+
+use crate::analysis::StreamAggregate;
+use crate::apps::App;
+use crate::engine::{Engine, WorkerMetrics};
+use crate::error::BenchError;
+use crate::framework::{Detail, PacketBench, PacketRecord};
+
+/// How often the in-run progress line is refreshed.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(1000);
+
+/// Sizing of the streaming pipeline. Zeros mean "pick a default":
+/// `threads = 0` uses available parallelism, `chunk_size = 0` uses
+/// [`StreamConfig::DEFAULT_CHUNK_SIZE`], and `max_inflight = 0` uses
+/// four chunks per worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Packets per dispatched chunk (0 = default).
+    pub chunk_size: usize,
+    /// Chunks allowed in flight between reader and merger (0 = default).
+    /// This is the backpressure window: the reader stalls once
+    /// `max_inflight` chunks are dispatched but not yet folded.
+    pub max_inflight: usize,
+}
+
+impl StreamConfig {
+    /// Default packets per chunk when `chunk_size` is 0.
+    pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+    /// Resolves the zero placeholders against `threads` workers.
+    fn resolve(self) -> (usize, usize, usize) {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        let chunk_size = if self.chunk_size == 0 {
+            StreamConfig::DEFAULT_CHUNK_SIZE
+        } else {
+            self.chunk_size
+        };
+        let max_inflight = if self.max_inflight == 0 {
+            threads * 4
+        } else {
+            self.max_inflight
+        };
+        (threads, chunk_size, max_inflight)
+    }
+}
+
+/// The result of an [`Engine::run_streaming`]: the online aggregate plus
+/// run telemetry. Unlike [`crate::engine::EngineRun`] there is no
+/// per-packet record vector — that is the point.
+#[derive(Debug, Clone)]
+pub struct StreamRun {
+    /// The merged online aggregate over every packet streamed.
+    pub aggregate: StreamAggregate,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Packets per chunk actually used.
+    pub chunk_size: usize,
+    /// In-flight chunk window actually used.
+    pub max_inflight: usize,
+    /// Chunks dispatched through the pipeline.
+    pub chunks: u64,
+    /// Wall-clock time of the run, including per-worker app builds.
+    pub elapsed: Duration,
+    /// Per-worker telemetry, ordered by worker index. `queue_depth` is
+    /// the number of packets enqueued to the worker.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl StreamRun {
+    /// Packets streamed through the pipeline.
+    pub fn packets(&self) -> u64 {
+        self.aggregate.packets()
+    }
+
+    /// Simulated packets per wall-clock second.
+    pub fn packets_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.packets() as f64 / secs
+        }
+    }
+}
+
+/// One worker's verdict on one chunk. Exactly one outcome is pushed per
+/// dispatched chunk, so the merger's drain always terminates.
+enum ChunkOutcome {
+    /// Every packet in the chunk processed; here is the chunk's fold.
+    Stats(StreamAggregate),
+    /// A packet failed; the chunk's fold is abandoned. The failing
+    /// packet's trace index is deterministic (first failure in chunk
+    /// flush order) even though only the error is carried.
+    Failed(BenchError),
+    /// Skipped without processing (an earlier chunk on this worker
+    /// failed, or the run was cancelled).
+    Skipped,
+}
+
+impl Engine {
+    /// Streams `source` through the sharded workers with bounded memory
+    /// and returns the online aggregate. The aggregate is bit-identical
+    /// to what a batch [`Engine::run`] over the same packets produces, at
+    /// any thread count and chunk size.
+    ///
+    /// # Errors
+    ///
+    /// The first failing packet in chunk flush order (deterministic for a
+    /// given configuration), or the source's read error.
+    pub fn run_streaming<S>(
+        &self,
+        source: S,
+        detail: Detail,
+        config: StreamConfig,
+    ) -> Result<StreamRun, BenchError>
+    where
+        S: PacketSource + Send,
+    {
+        let (threads, chunk_size, max_inflight) = config.resolve();
+        let start = Instant::now();
+
+        // One permit per in-flight chunk; every queue's capacity matches
+        // the permit count so only the semaphore can block the reader and
+        // nothing can block a worker's push (see module docs).
+        let permits = Semaphore::new(max_inflight);
+        let order: BoundedQueue<usize> = BoundedQueue::new(max_inflight);
+        let inputs: Vec<BoundedQueue<Chunk<Packet>>> = (0..threads)
+            .map(|_| BoundedQueue::new(max_inflight))
+            .collect();
+        let results: Vec<BoundedQueue<ChunkOutcome>> = (0..threads)
+            .map(|_| BoundedQueue::new(max_inflight))
+            .collect();
+        let cancelled = AtomicBool::new(false);
+        let source_error: Mutex<Option<BenchError>> = Mutex::new(None);
+        let processed = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+
+        let mut workers: Vec<WorkerMetrics> = Vec::with_capacity(threads);
+        let mut aggregate = StreamAggregate::new();
+        let mut chunks = 0u64;
+        let mut first_error: Option<BenchError> = None;
+
+        std::thread::scope(|scope| {
+            let monitor = self.progress.then(|| {
+                let processed = &processed;
+                let done = &done;
+                scope.spawn(move || {
+                    while !done.load(Ordering::Acquire) {
+                        std::thread::park_timeout(PROGRESS_INTERVAL);
+                        let n = processed.load(Ordering::Relaxed);
+                        if !done.load(Ordering::Acquire) && n > 0 {
+                            eprintln!("pb: {n} packets streamed");
+                        }
+                    }
+                })
+            });
+            let counter = self.progress.then_some(&processed);
+
+            let reader = {
+                let permits = &permits;
+                let order = &order;
+                let inputs = &inputs;
+                let cancelled = &cancelled;
+                let source_error = &source_error;
+                let mut source = source;
+                scope.spawn(move || {
+                    let mut buffers: ShardBuffers<Packet> = ShardBuffers::new(threads, chunk_size);
+                    let dispatch = |shard: usize, chunk: Chunk<Packet>| -> bool {
+                        permits.acquire();
+                        // Input before order: once the merger learns of a
+                        // chunk, the chunk is already poppable by its
+                        // worker.
+                        inputs[shard].push(chunk).is_ok() && order.push(shard).is_ok()
+                    };
+                    'read: while !cancelled.load(Ordering::Acquire) {
+                        match source.next_packet() {
+                            Ok(Some(packet)) => {
+                                let shard =
+                                    self.shard_of(buffers.next_index() as usize, &packet, threads);
+                                if let Some((shard, chunk)) = buffers.push(shard, packet) {
+                                    if !dispatch(shard, chunk) {
+                                        break 'read;
+                                    }
+                                }
+                            }
+                            Ok(None) => {
+                                for (shard, chunk) in buffers.finish() {
+                                    if !dispatch(shard, chunk) {
+                                        break;
+                                    }
+                                }
+                                break 'read;
+                            }
+                            Err(e) => {
+                                *source_error.lock().unwrap() = Some(BenchError::from(e));
+                                break 'read;
+                            }
+                        }
+                    }
+                    // No more chunks will be dispatched: the merger's
+                    // drain ends once in-flight outcomes are folded, and
+                    // idle workers wake up and exit.
+                    order.close();
+                    for input in inputs {
+                        input.close();
+                    }
+                })
+            };
+
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let input = &inputs[w];
+                    let result = &results[w];
+                    let cancelled = &cancelled;
+                    scope.spawn(move || {
+                        self.stream_worker(w, input, result, detail, cancelled, counter)
+                    })
+                })
+                .collect();
+
+            // The merger runs here, on the caller's thread: fold
+            // outcomes in flush order, releasing each chunk's permit.
+            while let Some(w) = order.pop() {
+                let outcome = results[w]
+                    .pop()
+                    .expect("workers push exactly one outcome per chunk");
+                permits.release();
+                chunks += 1;
+                match outcome {
+                    ChunkOutcome::Stats(agg) => {
+                        if first_error.is_none() {
+                            aggregate.merge(&agg);
+                        }
+                    }
+                    ChunkOutcome::Failed(error) => {
+                        if first_error.is_none() {
+                            first_error = Some(error);
+                            cancelled.store(true, Ordering::Release);
+                        }
+                    }
+                    ChunkOutcome::Skipped => {}
+                }
+            }
+
+            reader.join().expect("reader thread never panics");
+            for handle in handles {
+                workers.push(handle.join().expect("worker threads never panic"));
+            }
+            done.store(true, Ordering::Release);
+            if let Some(monitor) = monitor {
+                monitor.thread().unpark();
+            }
+        });
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        if let Some(e) = source_error.into_inner().unwrap() {
+            return Err(e);
+        }
+        let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        for w in &mut workers {
+            w.idle_ns = wall_ns.saturating_sub(w.busy_ns);
+        }
+        Ok(StreamRun {
+            aggregate,
+            threads,
+            chunk_size,
+            max_inflight,
+            chunks,
+            elapsed: start.elapsed(),
+            workers,
+        })
+    }
+
+    /// One streaming worker: pop chunks FIFO, process each packet with
+    /// the batch clock, fold per-chunk aggregates, push one outcome per
+    /// chunk. The `PacketBench` is built on the first chunk so idle
+    /// workers cost nothing; emitted output packets are dropped per chunk
+    /// to keep memory bounded.
+    fn stream_worker(
+        &self,
+        worker: usize,
+        input: &BoundedQueue<Chunk<Packet>>,
+        result: &BoundedQueue<ChunkOutcome>,
+        detail: Detail,
+        cancelled: &AtomicBool,
+        progress: Option<&AtomicU64>,
+    ) -> WorkerMetrics {
+        let mut bench: Option<PacketBench> = None;
+        let mut failed = false;
+        let mut enqueued = 0u64;
+        let mut packets = 0u64;
+        let mut busy_ns = 0u64;
+        while let Some(chunk) = input.pop() {
+            enqueued += chunk.len() as u64;
+            if failed || cancelled.load(Ordering::Acquire) {
+                let _ = result.push(ChunkOutcome::Skipped);
+                continue;
+            }
+            let busy_start = Instant::now();
+            let outcome = self.stream_chunk(&mut bench, &chunk, detail, progress, &mut packets);
+            busy_ns += busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            failed = !matches!(outcome, ChunkOutcome::Stats(_));
+            let _ = result.push(outcome);
+        }
+        WorkerMetrics {
+            worker,
+            packets,
+            busy_ns,
+            idle_ns: 0,
+            queue_depth: enqueued,
+        }
+    }
+
+    /// Processes one chunk, building the worker's `PacketBench` first if
+    /// this is its first chunk.
+    fn stream_chunk(
+        &self,
+        bench: &mut Option<PacketBench>,
+        chunk: &Chunk<Packet>,
+        detail: Detail,
+        progress: Option<&AtomicU64>,
+        packets: &mut u64,
+    ) -> ChunkOutcome {
+        let bench = match bench {
+            Some(b) => b,
+            None => {
+                let built = App::build(self.id(), self.config())
+                    .and_then(|app| PacketBench::with_config(app, self.config()));
+                match built {
+                    Ok(b) => bench.insert(b),
+                    Err(error) => return ChunkOutcome::Failed(error),
+                }
+            }
+        };
+        let mut agg = StreamAggregate::new();
+        for &(index, ref packet) in &chunk.items {
+            let mut record = PacketRecord::empty();
+            let run = bench
+                .process_packet_at(index, packet, detail, &mut record)
+                .and_then(|()| {
+                    if self.verify {
+                        bench.verify_record(packet, &record)
+                    } else {
+                        Ok(())
+                    }
+                });
+            if let Err(error) = run {
+                bench.take_output_packets();
+                return ChunkOutcome::Failed(error);
+            }
+            agg.add_record(&record);
+            *packets += 1;
+            if let Some(counter) = progress {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Emitted packets are not part of the aggregate; drop them per
+        // chunk so they cannot accumulate.
+        bench.take_output_packets();
+        ChunkOutcome::Stats(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppId;
+    use crate::config::WorkloadConfig;
+    use nettrace::synth::{SyntheticTrace, TraceProfile};
+    use nettrace::{Limited, Timestamp, TraceError};
+
+    fn batch_aggregate(engine: &Engine, packets: &[Packet]) -> StreamAggregate {
+        let run = engine.run(packets, Detail::counts(), 1).unwrap();
+        let mut agg = StreamAggregate::new();
+        for record in &run.records {
+            agg.add_record(record);
+        }
+        agg
+    }
+
+    fn synth(n: u64, seed: u64) -> Limited<SyntheticTrace> {
+        Limited::new(SyntheticTrace::new(TraceProfile::mra(), seed), n)
+    }
+
+    #[test]
+    fn streaming_matches_batch_across_shapes() {
+        let engine = Engine::new(AppId::Ipv4Trie);
+        let packets = SyntheticTrace::new(TraceProfile::mra(), 7).take_packets(200);
+        let want = batch_aggregate(&engine, &packets);
+        for threads in [1, 3] {
+            for chunk_size in [1, 16, 1024] {
+                let run = engine
+                    .run_streaming(
+                        synth(200, 7),
+                        Detail::counts(),
+                        StreamConfig {
+                            threads,
+                            chunk_size,
+                            max_inflight: 2,
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(
+                    run.aggregate, want,
+                    "threads={threads} chunk_size={chunk_size}"
+                );
+                assert_eq!(run.packets(), 200);
+                assert_eq!(run.threads, threads);
+                assert_eq!(
+                    run.workers.iter().map(|w| w.packets).sum::<u64>(),
+                    200,
+                    "threads={threads} chunk_size={chunk_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_flow_app_streams_exactly() {
+        let engine = Engine::new(AppId::FlowClass);
+        let packets = SyntheticTrace::new(TraceProfile::mra(), 31).take_packets(300);
+        let want = batch_aggregate(&engine, &packets);
+        for threads in [1, 4] {
+            let run = engine
+                .run_streaming(
+                    synth(300, 31),
+                    Detail::counts(),
+                    StreamConfig {
+                        threads,
+                        chunk_size: 32,
+                        max_inflight: 3,
+                    },
+                )
+                .unwrap();
+            assert_eq!(run.aggregate, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_source_yields_empty_run() {
+        let run = Engine::new(AppId::Ipv4Trie)
+            .run_streaming(synth(0, 1), Detail::counts(), StreamConfig::default())
+            .unwrap();
+        assert_eq!(run.packets(), 0);
+        assert_eq!(run.chunks, 0);
+    }
+
+    #[test]
+    fn minimal_window_still_completes() {
+        // max_inflight = 1 fully serializes the pipeline; it must still
+        // finish and still match.
+        let engine = Engine::new(AppId::Ipv4Radix);
+        let packets = SyntheticTrace::new(TraceProfile::mra(), 3).take_packets(90);
+        let want = batch_aggregate(&engine, &packets);
+        let run = engine
+            .run_streaming(
+                synth(90, 3),
+                Detail::counts(),
+                StreamConfig {
+                    threads: 4,
+                    chunk_size: 8,
+                    max_inflight: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(run.aggregate, want);
+    }
+
+    #[test]
+    fn bad_packet_fails_the_stream() {
+        struct BadAfter {
+            inner: Limited<SyntheticTrace>,
+            left: u64,
+        }
+        impl PacketSource for BadAfter {
+            fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+                if self.left == 0 {
+                    return Ok(Some(Packet::from_l3(Timestamp::default(), vec![0x45; 8])));
+                }
+                self.left -= 1;
+                self.inner.next_packet()
+            }
+        }
+        let source = BadAfter {
+            inner: synth(u64::MAX, 5),
+            left: 40,
+        };
+        let err = Engine::new(AppId::Ipv4Radix)
+            .run_streaming(
+                source,
+                Detail::counts(),
+                StreamConfig {
+                    threads: 3,
+                    chunk_size: 4,
+                    max_inflight: 2,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, BenchError::BadPacket(_)), "{err:?}");
+    }
+
+    #[test]
+    fn source_error_surfaces() {
+        struct Failing(u64);
+        impl PacketSource for Failing {
+            fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+                if self.0 == 0 {
+                    return Err(TraceError::Truncated {
+                        what: "test record",
+                    });
+                }
+                self.0 -= 1;
+                Ok(Some(
+                    SyntheticTrace::new(TraceProfile::mra(), self.0).next_packet(),
+                ))
+            }
+        }
+        let err = Engine::new(AppId::Ipv4Trie)
+            .run_streaming(
+                Failing(10),
+                Detail::counts(),
+                StreamConfig {
+                    threads: 2,
+                    chunk_size: 4,
+                    max_inflight: 2,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, BenchError::BadPacket(_)), "{err:?}");
+    }
+
+    #[test]
+    fn verify_mode_streams() {
+        let run = Engine::with_config(AppId::Ipv4Trie, WorkloadConfig::default())
+            .verify(true)
+            .run_streaming(
+                synth(60, 11),
+                Detail::counts(),
+                StreamConfig {
+                    threads: 2,
+                    chunk_size: 16,
+                    max_inflight: 2,
+                },
+            )
+            .unwrap();
+        assert_eq!(run.packets(), 60);
+    }
+}

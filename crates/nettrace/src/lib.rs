@@ -14,7 +14,10 @@
 //! * seeded synthetic generators ([`synth`]) with one profile per paper
 //!   trace, matching each trace's published character (link type, flow
 //!   structure, packet mix) and reproducing the paper's address-scrambling
-//!   preprocessing step (§IV-B).
+//!   preprocessing step (§IV-B),
+//! * a pull-based [`PacketSource`] abstraction ([`source`]) unifying the
+//!   file readers and the synthetic generators, so streaming consumers
+//!   can process arbitrarily long traces without materializing them.
 //!
 //! ## Example
 //!
@@ -35,8 +38,10 @@ pub mod error;
 pub mod ip;
 pub mod packet;
 pub mod pcap;
+pub mod source;
 pub mod synth;
 pub mod tsh;
 
 pub use error::TraceError;
 pub use packet::{LinkType, Packet, Timestamp};
+pub use source::{Limited, PacketSource};

@@ -148,10 +148,10 @@ impl<R: Read> PcapReader<R> {
     /// Fails on I/O errors, truncated records, or insane record lengths.
     pub fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
         let mut header = [0u8; 16];
-        match self.inner.read(&mut header[..1])? {
-            0 => return Ok(None),
-            _ => read_exact(&mut self.inner, &mut header[1..], "pcap record header")?,
+        if !read_first_byte(&mut self.inner, &mut header)? {
+            return Ok(None);
         }
+        read_exact(&mut self.inner, &mut header[1..], "pcap record header")?;
         let u32_at = |bytes: &[u8; 16], at: usize| -> u32 {
             let raw = [bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]];
             if self.swapped {
@@ -185,7 +185,11 @@ impl<R: Read> Iterator for PcapReader<R> {
     }
 }
 
-fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &'static str) -> Result<(), TraceError> {
+pub(crate) fn read_exact<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), TraceError> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             TraceError::Truncated { what }
@@ -193,6 +197,21 @@ fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &'static str) -> Result<
             TraceError::Io(e)
         }
     })
+}
+
+/// Reads one byte into `buf[0]` to distinguish a clean end of stream
+/// (`Ok(false)`) from the start of another record (`Ok(true)`), retrying
+/// transparently on `ErrorKind::Interrupted` so a signal landing between
+/// records is not mistaken for an I/O failure.
+pub(crate) fn read_first_byte<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, TraceError> {
+    loop {
+        match r.read(&mut buf[..1]) {
+            Ok(0) => return Ok(false),
+            Ok(_) => return Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+    }
 }
 
 #[cfg(test)]

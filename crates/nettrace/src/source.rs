@@ -1,0 +1,184 @@
+//! Incremental packet sources for streaming consumers.
+//!
+//! [`PacketSource`] abstracts "the next packet, please" over every trace
+//! kind this crate knows: pcap and TSH files read record by record, and
+//! the seeded synthetic generators as infinite lazy sources. A consumer
+//! that pulls from a `PacketSource` never forces the whole trace into
+//! memory — the readers hold one record at a time and the generators hold
+//! only their flow state.
+//!
+//! [`Limited`] caps any source at a packet count, which is how an
+//! infinite synthetic source becomes a finite trace
+//! (`synth:mra:seed=42:packets=10000000` in the CLI).
+
+use crate::error::TraceError;
+use crate::packet::Packet;
+use crate::pcap::PcapReader;
+use crate::synth::SyntheticTrace;
+use crate::tsh::TshReader;
+
+/// A pull-based, possibly infinite stream of packets.
+pub trait PacketSource {
+    /// Produces the next packet; `Ok(None)` at a clean end of trace.
+    /// Infinite sources never return `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or malformed trace records; a failed source
+    /// should not be pulled again.
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError>;
+
+    /// How many packets remain, when the source knows (finite generators);
+    /// `None` for files and infinite sources.
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<R: std::io::Read> PacketSource for PcapReader<R> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        PcapReader::next_packet(self)
+    }
+}
+
+impl<R: std::io::Read> PacketSource for TshReader<R> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        TshReader::next_packet(self)
+    }
+}
+
+impl PacketSource for SyntheticTrace {
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        Ok(Some(SyntheticTrace::next_packet(self)))
+    }
+}
+
+impl<S: PacketSource + ?Sized> PacketSource for Box<S> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        (**self).next_packet()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+impl<S: PacketSource + ?Sized> PacketSource for &mut S {
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        (**self).next_packet()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        (**self).remaining_hint()
+    }
+}
+
+/// A source truncated to at most `limit` packets.
+#[derive(Debug)]
+pub struct Limited<S> {
+    inner: S,
+    remaining: u64,
+}
+
+impl<S: PacketSource> Limited<S> {
+    /// Caps `inner` at `limit` packets.
+    pub fn new(inner: S, limit: u64) -> Limited<S> {
+        Limited {
+            inner,
+            remaining: limit,
+        }
+    }
+
+    /// Returns the wrapped source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PacketSource> PacketSource for Limited<S> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let packet = self.inner.next_packet()?;
+        if packet.is_some() {
+            self.remaining -= 1;
+        }
+        Ok(packet)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        match self.inner.remaining_hint() {
+            Some(inner) => Some(inner.min(self.remaining)),
+            None => Some(self.remaining),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{LinkType, Timestamp};
+    use crate::pcap::PcapWriter;
+    use crate::synth::TraceProfile;
+
+    fn drain(source: &mut impl PacketSource) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Some(p) = source.next_packet().unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn pcap_reader_is_a_source() {
+        let mut file = Vec::new();
+        let mut writer = PcapWriter::new(&mut file, LinkType::Raw, 65535).unwrap();
+        for i in 0..4u32 {
+            writer
+                .write_packet(&Packet::from_l3(
+                    Timestamp::new(i, 0),
+                    vec![0x45; 20 + i as usize],
+                ))
+                .unwrap();
+        }
+        writer.into_inner().unwrap();
+        let mut reader = PcapReader::new(&file[..]).unwrap();
+        assert_eq!(reader.remaining_hint(), None);
+        assert_eq!(drain(&mut reader).len(), 4);
+    }
+
+    #[test]
+    fn limited_synth_matches_take_packets() {
+        let mut limited = Limited::new(SyntheticTrace::new(TraceProfile::mra(), 7), 25);
+        assert_eq!(limited.remaining_hint(), Some(25));
+        let streamed = drain(&mut limited);
+        assert_eq!(limited.remaining_hint(), Some(0));
+        let batch = SyntheticTrace::new(TraceProfile::mra(), 7).take_packets(25);
+        assert_eq!(streamed, batch);
+        // Exhausted stays exhausted.
+        assert!(limited.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn boxed_and_borrowed_sources_delegate() {
+        let mut boxed: Box<dyn PacketSource + Send> =
+            Box::new(Limited::new(SyntheticTrace::new(TraceProfile::lan(), 1), 3));
+        assert_eq!(boxed.remaining_hint(), Some(3));
+        let mut by_ref: &mut dyn PacketSource = &mut boxed;
+        assert_eq!(drain(&mut by_ref).len(), 3);
+    }
+
+    #[test]
+    fn limited_does_not_overcount_short_sources() {
+        let mut file = Vec::new();
+        let mut writer = PcapWriter::new(&mut file, LinkType::Raw, 65535).unwrap();
+        writer
+            .write_packet(&Packet::from_l3(Timestamp::new(1, 1), vec![0x45; 20]))
+            .unwrap();
+        writer.into_inner().unwrap();
+        let mut limited = Limited::new(PcapReader::new(&file[..]).unwrap(), 10);
+        assert_eq!(drain(&mut limited).len(), 1);
+        assert_eq!(limited.remaining_hint(), Some(9));
+    }
+}

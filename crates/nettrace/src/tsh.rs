@@ -92,18 +92,10 @@ impl<R: Read> TshReader<R> {
     /// Fails on I/O errors or a trailing partial record.
     pub fn next_packet(&mut self) -> Result<Option<Packet>, TraceError> {
         let mut record = [0u8; RECORD_LEN];
-        match self.inner.read(&mut record[..1])? {
-            0 => return Ok(None),
-            _ => {
-                self.inner.read_exact(&mut record[1..]).map_err(|e| {
-                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                        TraceError::Truncated { what: "TSH record" }
-                    } else {
-                        TraceError::Io(e)
-                    }
-                })?;
-            }
+        if !crate::pcap::read_first_byte(&mut self.inner, &mut record)? {
+            return Ok(None);
         }
+        crate::pcap::read_exact(&mut self.inner, &mut record[1..], "TSH record")?;
         let sec = u32::from_be_bytes([record[0], record[1], record[2], record[3]]);
         let usec = u32::from_be_bytes([0, record[5], record[6], record[7]]);
         let data = record[8..8 + SNAP_LEN].to_vec();

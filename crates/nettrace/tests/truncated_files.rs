@@ -1,0 +1,200 @@
+//! On-disk truncation behaviour of the trace readers.
+//!
+//! Captures copied off a busy system are routinely cut mid-record (disk
+//! full, interrupted transfer). The readers must surface that as a typed
+//! [`TraceError::Truncated`] — never a panic, never a silently short
+//! trace — and a signal interrupting a `read` between records must not be
+//! mistaken for the end of the file.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
+use std::path::PathBuf;
+
+use nettrace::pcap::{PcapReader, PcapWriter};
+use nettrace::tsh::{TshReader, TshWriter, RECORD_LEN};
+use nettrace::{LinkType, Packet, Timestamp, TraceError};
+
+/// Writes `bytes` to a unique temp file and returns its path.
+fn temp_file(tag: &str, bytes: &[u8]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "nettrace_trunc_{}_{}_{tag}",
+        std::process::id(),
+        bytes.len()
+    ));
+    File::create(&path).unwrap().write_all(bytes).unwrap();
+    path
+}
+
+fn pcap_bytes(packets: usize) -> Vec<u8> {
+    let mut file = Vec::new();
+    let mut writer = PcapWriter::new(&mut file, LinkType::Raw, 65535).unwrap();
+    for i in 0..packets {
+        writer
+            .write_packet(&Packet::from_l3(
+                Timestamp::new(i as u32, 0),
+                vec![0x45; 40 + i],
+            ))
+            .unwrap();
+    }
+    writer.into_inner().unwrap();
+    file
+}
+
+fn tsh_bytes(packets: usize) -> Vec<u8> {
+    let mut file = Vec::new();
+    let mut writer = TshWriter::new(&mut file, 1);
+    for i in 0..packets {
+        let mut data = vec![0u8; 40];
+        data[0] = 0x45;
+        data[2..4].copy_from_slice(&40u16.to_be_bytes());
+        writer
+            .write_packet(&Packet::from_l3(Timestamp::new(i as u32, 0), data))
+            .unwrap();
+    }
+    writer.into_inner().unwrap();
+    file
+}
+
+#[test]
+fn pcap_file_cut_mid_record_body_is_typed_truncation() {
+    let full = pcap_bytes(3);
+    let path = temp_file("pcap_body", &full[..full.len() - 7]);
+    let mut reader = PcapReader::new(BufReader::new(File::open(&path).unwrap())).unwrap();
+    assert!(reader.next_packet().unwrap().is_some());
+    assert!(reader.next_packet().unwrap().is_some());
+    let err = reader.next_packet().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TraceError::Truncated {
+                what: "pcap record body"
+            }
+        ),
+        "{err:?}"
+    );
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn pcap_file_cut_mid_record_header_is_typed_truncation() {
+    let full = pcap_bytes(1);
+    // Global header (24) + 5 bytes: inside the first record header.
+    let path = temp_file("pcap_header", &full[..29]);
+    let mut reader = PcapReader::new(BufReader::new(File::open(&path).unwrap())).unwrap();
+    let err = reader.next_packet().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TraceError::Truncated {
+                what: "pcap record header"
+            }
+        ),
+        "{err:?}"
+    );
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn pcap_file_cut_mid_global_header_is_typed_truncation() {
+    let full = pcap_bytes(1);
+    let path = temp_file("pcap_global", &full[..10]);
+    let err = PcapReader::new(BufReader::new(File::open(&path).unwrap())).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TraceError::Truncated {
+                what: "pcap file header"
+            }
+        ),
+        "{err:?}"
+    );
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn pcap_file_ending_on_a_record_boundary_is_clean_eof() {
+    let full = pcap_bytes(2);
+    let path = temp_file("pcap_clean", &full);
+    let mut reader = PcapReader::new(BufReader::new(File::open(&path).unwrap())).unwrap();
+    let mut n = 0;
+    while reader.next_packet().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 2);
+    // A drained reader keeps reporting a clean end, not an error.
+    assert!(reader.next_packet().unwrap().is_none());
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn tsh_file_cut_mid_record_is_typed_truncation() {
+    let full = tsh_bytes(3);
+    for cut in [1, RECORD_LEN / 2, RECORD_LEN - 1] {
+        let path = temp_file("tsh", &full[..2 * RECORD_LEN + cut]);
+        let mut reader = TshReader::new(BufReader::new(File::open(&path).unwrap()));
+        assert!(reader.next_packet().unwrap().is_some());
+        assert!(reader.next_packet().unwrap().is_some());
+        let err = reader.next_packet().unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated { what: "TSH record" }),
+            "cut {cut}: {err:?}"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+}
+
+#[test]
+fn tsh_file_ending_on_a_record_boundary_is_clean_eof() {
+    let full = tsh_bytes(2);
+    let path = temp_file("tsh_clean", &full);
+    let mut reader = TshReader::new(BufReader::new(File::open(&path).unwrap()));
+    assert!(reader.next_packet().unwrap().is_some());
+    assert!(reader.next_packet().unwrap().is_some());
+    assert!(reader.next_packet().unwrap().is_none());
+    std::fs::remove_file(path).unwrap();
+}
+
+/// A reader that fails with `ErrorKind::Interrupted` before every real
+/// read — the signal-delivery pattern `read(2)` callers must retry.
+struct Interrupting<R> {
+    inner: R,
+    interrupt_next: bool,
+}
+
+impl<R: Read> Read for Interrupting<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.interrupt_next {
+            self.interrupt_next = false;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "signal",
+            ));
+        }
+        self.interrupt_next = true;
+        self.inner.read(buf)
+    }
+}
+
+#[test]
+fn interrupted_reads_between_records_are_retried_not_errors() {
+    let full = pcap_bytes(3);
+    let mut reader = PcapReader::new(Interrupting {
+        inner: &full[..],
+        interrupt_next: true,
+    })
+    .unwrap();
+    let mut n = 0;
+    while reader.next_packet().unwrap().is_some() {
+        n += 1;
+    }
+    assert_eq!(n, 3);
+
+    let full = tsh_bytes(2);
+    let mut reader = TshReader::new(Interrupting {
+        inner: &full[..],
+        interrupt_next: true,
+    });
+    assert!(reader.next_packet().unwrap().is_some());
+    assert!(reader.next_packet().unwrap().is_some());
+    assert!(reader.next_packet().unwrap().is_none());
+}

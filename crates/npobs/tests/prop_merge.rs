@@ -1,0 +1,230 @@
+//! Seeded property tests: every observability merge is associative and
+//! order-invariant.
+//!
+//! The engine merges worker-private observers in worker-index order; the
+//! streaming pipeline merges per-chunk aggregates in chunk flush order.
+//! Both depend on merges being exact folds where grouping and order
+//! cannot matter — these tests drive that with randomized partitions and
+//! permutations instead of hand-picked examples.
+
+use nprng::rngs::StdRng;
+use nprng::{Rng, SeedableRng};
+
+use npobs::heat::HeatObserver;
+use npobs::hist::{Log2Histogram, PacketHists};
+use npsim::bblock::BlockMap;
+use npsim::isa::{reg, Inst, Op};
+use npsim::obs::Observer;
+use npsim::{MemoryMap, Program};
+
+/// Samples spread across the full bucket range (top bits vary, then a
+/// random right shift mixes magnitudes).
+fn arb_samples(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let shift = rng.gen_range(0u32..64);
+            rng.gen::<u64>() >> shift
+        })
+        .collect()
+}
+
+/// Splits `samples` into 2..=5 contiguous (possibly empty) parts.
+fn arb_partition(rng: &mut StdRng, samples: &[u64]) -> Vec<Vec<u64>> {
+    let parts = rng.gen_range(2usize..6);
+    let mut cuts: Vec<usize> = (0..parts - 1)
+        .map(|_| rng.gen_range(0..samples.len() + 1))
+        .collect();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(parts);
+    let mut prev = 0;
+    for cut in cuts {
+        out.push(samples[prev..cut].to_vec());
+        prev = cut;
+    }
+    out.push(samples[prev..].to_vec());
+    out
+}
+
+fn arb_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+fn hist_of(samples: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn log2_histogram_merge_is_associative_and_order_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0001);
+    for round in 0..200 {
+        let n = rng.gen_range(0usize..120);
+        let samples = arb_samples(&mut rng, n);
+        let parts = arb_partition(&mut rng, &samples);
+        let hists: Vec<Log2Histogram> = parts.iter().map(|p| hist_of(p)).collect();
+        let whole = hist_of(&samples);
+
+        // Left fold: ((a + b) + c) + ...
+        let mut left = Log2Histogram::new();
+        for h in &hists {
+            left.merge(h);
+        }
+        assert_eq!(left, whole, "round {round}: left fold");
+
+        // Right fold: a + (b + (c + ...)).
+        let mut right = Log2Histogram::new();
+        for h in hists.iter().rev() {
+            let mut acc = h.clone();
+            acc.merge(&right);
+            right = acc;
+        }
+        assert_eq!(right, whole, "round {round}: right fold");
+
+        // Any merge order.
+        let perm = arb_permutation(&mut rng, hists.len());
+        let mut shuffled = Log2Histogram::new();
+        for &i in &perm {
+            shuffled.merge(&hists[i]);
+        }
+        assert_eq!(shuffled, whole, "round {round}: order {perm:?}");
+    }
+}
+
+#[test]
+fn packet_hists_merge_is_associative_and_order_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0002);
+    for round in 0..100 {
+        let n = rng.gen_range(0..80);
+        let rows: Vec<[u64; 4]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen::<u64>() >> rng.gen_range(0u32..64),
+                    rng.gen_range(0u64..1 << 20),
+                    rng.gen_range(0u64..1 << 20),
+                    rng.gen_range(0u64..256),
+                ]
+            })
+            .collect();
+        let mut whole = PacketHists::new();
+        for r in &rows {
+            whole.record(r[0], r[1], r[2], r[3]);
+        }
+
+        // Round-robin split into 3 parts, merged in a random order: the
+        // streaming merger's situation (parts interleave the trace).
+        let mut parts = vec![PacketHists::new(); 3];
+        for (i, r) in rows.iter().enumerate() {
+            parts[i % 3].record(r[0], r[1], r[2], r[3]);
+        }
+        let perm = arb_permutation(&mut rng, parts.len());
+        let mut merged = PacketHists::new();
+        for &i in &perm {
+            merged.merge(&parts[i]);
+        }
+        assert_eq!(merged, whole, "round {round}: order {perm:?}");
+
+        // Associativity: (p0 + p1) + p2 == p0 + (p1 + p2).
+        let mut ab_c = parts[0].clone();
+        ab_c.merge(&parts[1]);
+        ab_c.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut a_bc = parts[0].clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "round {round}: associativity");
+    }
+}
+
+/// A small multi-block program: init, a backward-branch loop body, ret.
+fn blocked_program() -> Program {
+    let map = MemoryMap::default();
+    Program::new(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0),
+            Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 5),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1),
+            Inst::branch(Op::Blt, reg::T0, reg::T1, -8),
+            Inst::jr(reg::RA),
+        ],
+        map.text_base,
+    )
+}
+
+/// Feeds one simulated "worker shard" into a heat observer: a random
+/// number of runs, each a random walk over the program's instructions.
+fn feed(obs: &mut HeatObserver, rng: &mut StdRng, len: usize, inst: &Inst) {
+    for _ in 0..rng.gen_range(1usize..4) {
+        obs.on_run_start();
+        for _ in 0..rng.gen_range(0usize..60) {
+            obs.on_inst(0, rng.gen_range(0..len), inst);
+        }
+    }
+}
+
+#[test]
+fn heat_observer_merge_is_associative_and_order_invariant() {
+    let program = blocked_program();
+    let blocks = BlockMap::build(&program);
+    let inst = Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0);
+    let mut rng = StdRng::seed_from_u64(0x0b5e_0003);
+    for round in 0..60 {
+        // The same instruction stream observed as one whole and as
+        // independent per-worker parts (each run resets block tracking,
+        // so part boundaries are exactly run boundaries — as in the
+        // engine, where every packet run starts with on_run_start).
+        let seeds: Vec<u64> = (0..rng.gen_range(2usize..5)).map(|_| rng.gen()).collect();
+        let mut whole = HeatObserver::new(&blocks);
+        let mut parts = Vec::new();
+        for &seed in &seeds {
+            let mut part_rng = StdRng::seed_from_u64(seed);
+            feed(&mut whole, &mut part_rng, program.len(), &inst);
+            let mut part = HeatObserver::new(&blocks);
+            let mut part_rng = StdRng::seed_from_u64(seed);
+            feed(&mut part, &mut part_rng, program.len(), &inst);
+            parts.push(part);
+        }
+
+        let perm = arb_permutation(&mut rng, parts.len());
+        let mut merged = HeatObserver::new(&blocks);
+        for &i in &perm {
+            merged.merge(&parts[i]);
+        }
+        assert_eq!(merged.entries(), whole.entries(), "round {round}");
+        assert_eq!(merged.instructions(), whole.instructions(), "round {round}");
+
+        // Associativity with explicit groupings over the first three
+        // parts (pad by reusing part 0 when only two were drawn).
+        let p2 = parts.get(2).unwrap_or(&parts[0]);
+        let mut ab_c = parts[0].clone();
+        ab_c.merge(&parts[1]);
+        ab_c.merge(p2);
+        let mut bc = parts[1].clone();
+        bc.merge(p2);
+        let mut a_bc = parts[0].clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.entries(), a_bc.entries(), "round {round}");
+        assert_eq!(ab_c.instructions(), a_bc.instructions(), "round {round}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "different programs")]
+fn heat_merge_rejects_mismatched_programs() {
+    let a_prog = blocked_program();
+    let map = MemoryMap::default();
+    let b_prog = Program::new(
+        vec![Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0)],
+        map.text_base,
+    );
+    let mut a = HeatObserver::new(&BlockMap::build(&a_prog));
+    let b = HeatObserver::new(&BlockMap::build(&b_prog));
+    a.merge(&b);
+}

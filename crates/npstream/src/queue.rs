@@ -1,0 +1,225 @@
+//! A fixed-capacity MPSC/SPSC queue with blocking backpressure.
+//!
+//! This is the coupling element of the streaming pipeline: the reader
+//! blocks in [`BoundedQueue::push`] when a worker falls behind, and a
+//! worker blocks in [`BoundedQueue::pop`] when the reader (or the stage
+//! upstream of it) is the bottleneck. Capacity is fixed at construction,
+//! so the number of in-flight items between any two pipeline stages — and
+//! with it the pipeline's memory footprint — is bounded no matter how
+//! long the trace is.
+//!
+//! The queue is deliberately minimal: `std::sync::{Mutex, Condvar}` only,
+//! FIFO order, and an explicit [`BoundedQueue::close`] that wakes every
+//! waiter so end-of-stream propagates without sentinel items.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`BoundedQueue::push`] did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking bounded FIFO queue. Shared by reference across scoped
+/// threads (`&BoundedQueue<T>` is `Sync` when `T: Send`).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] (with the item dropped) if the queue was closed
+    /// before the item could be enqueued — the consumer has gone away and
+    /// the producer should stop.
+    pub fn push(&self, item: T) -> Result<(), Closed> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(Closed);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Items currently enqueued (racy — monitoring only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy — monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending items remain poppable, further pushes
+    /// fail, and every blocked waiter wakes. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        drop(state);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        assert_eq!(
+            std::iter::from_fn(|| q.pop()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_pop() {
+        let q = BoundedQueue::new(2);
+        let produced = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    q.push(i).unwrap();
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+                q.close();
+            });
+            // The producer can never get more than capacity ahead of us.
+            let mut popped = 0usize;
+            while let Some(v) = q.pop() {
+                assert_eq!(v, popped);
+                assert!(produced.load(Ordering::SeqCst) <= popped + 2 + 1);
+                popped += 1;
+            }
+            assert_eq!(popped, 100);
+        });
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                q.close();
+            });
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn close_fails_blocked_producer() {
+        let q = BoundedQueue::new(1);
+        q.push(1u32).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                q.close();
+            });
+            // Queue is full: this push blocks until close, then errors.
+            assert_eq!(q.push(2), Err(Closed));
+        });
+        // Items enqueued before the close still drain.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7u8).unwrap();
+        assert_eq!(q.pop(), Some(7));
+    }
+
+    #[test]
+    fn many_producers_one_consumer_delivers_everything() {
+        let q = BoundedQueue::new(3);
+        let total = 4 * 50;
+        std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            let mut seen = Vec::new();
+            while seen.len() < total {
+                seen.push(q.pop().unwrap());
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), total);
+        });
+    }
+}

@@ -1,0 +1,268 @@
+//! Parsing of packet-source specifications.
+//!
+//! The `pb stream` command addresses its input with a single string:
+//!
+//! ```text
+//! capture.pcap                       a libpcap file
+//! capture.tsh                        an NLANR TSH file
+//! synth:mra                          infinite synthetic MRA trace
+//! synth:mra:seed=42:packets=10000000 seeded, 10M packets
+//! ```
+//!
+//! [`SourceSpec::parse`] classifies the string without touching the
+//! filesystem; [`SourceSpec::open`] produces the boxed [`PacketSource`].
+//! Parse failures are typed so the CLI can map them to usage errors
+//! (exit code 2) rather than runtime failures.
+
+use std::fmt;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+use nettrace::pcap::PcapReader;
+use nettrace::source::{Limited, PacketSource};
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::tsh::TshReader;
+use nettrace::TraceError;
+
+/// Why a source specification string did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// `synth:<profile>` named a profile that does not exist.
+    UnknownProfile(String),
+    /// A `synth:` option was not `seed=<n>` or `packets=<n>`.
+    BadSynthOption(String),
+    /// The string is neither a `synth:` spec nor a recognized trace file
+    /// extension (`.pcap`, `.tsh`).
+    UnknownFormat(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownProfile(name) => {
+                write!(f, "unknown synth profile `{name}` (see `pb traces`)")
+            }
+            SpecError::BadSynthOption(opt) => {
+                write!(
+                    f,
+                    "bad synth option `{opt}` (expected seed=<n> or packets=<n>)"
+                )
+            }
+            SpecError::UnknownFormat(spec) => {
+                write!(
+                    f,
+                    "unrecognized source `{spec}` (expected .pcap, .tsh, or synth:<profile>)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed packet-source specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSpec {
+    /// A libpcap capture file.
+    Pcap(PathBuf),
+    /// An NLANR TSH trace file.
+    Tsh(PathBuf),
+    /// A seeded synthetic generator, optionally capped at a packet count
+    /// (uncapped means infinite — the consumer must impose its own limit).
+    Synth {
+        /// The trace profile to generate.
+        profile: TraceProfile,
+        /// Generator seed (`seed=<n>`, default 42).
+        seed: u64,
+        /// Packet cap (`packets=<n>`), `None` for an unbounded stream.
+        packets: Option<u64>,
+    },
+}
+
+impl SourceSpec {
+    /// Parses a specification string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing why the string is not a valid
+    /// source; the filesystem is not consulted.
+    pub fn parse(spec: &str) -> Result<SourceSpec, SpecError> {
+        if let Some(rest) = spec.strip_prefix("synth:") {
+            let mut parts = rest.split(':');
+            let name = parts.next().unwrap_or("");
+            let profile = TraceProfile::by_name(name)
+                .ok_or_else(|| SpecError::UnknownProfile(name.to_string()))?;
+            let mut seed = 42u64;
+            let mut packets = None;
+            for part in parts {
+                if let Some(value) = part.strip_prefix("seed=") {
+                    seed = value
+                        .parse()
+                        .map_err(|_| SpecError::BadSynthOption(part.to_string()))?;
+                } else if let Some(value) = part.strip_prefix("packets=") {
+                    packets = Some(
+                        value
+                            .parse()
+                            .map_err(|_| SpecError::BadSynthOption(part.to_string()))?,
+                    );
+                } else {
+                    return Err(SpecError::BadSynthOption(part.to_string()));
+                }
+            }
+            return Ok(SourceSpec::Synth {
+                profile,
+                seed,
+                packets,
+            });
+        }
+        let lower = spec.to_ascii_lowercase();
+        if lower.ends_with(".pcap") || lower.ends_with(".cap") {
+            Ok(SourceSpec::Pcap(PathBuf::from(spec)))
+        } else if lower.ends_with(".tsh") {
+            Ok(SourceSpec::Tsh(PathBuf::from(spec)))
+        } else {
+            Err(SpecError::UnknownFormat(spec.to_string()))
+        }
+    }
+
+    /// The packet count this source will produce, when known up front.
+    pub fn packet_count(&self) -> Option<u64> {
+        match self {
+            SourceSpec::Synth { packets, .. } => *packets,
+            _ => None,
+        }
+    }
+
+    /// Whether the source generates forever: a `synth:` spec without a
+    /// `packets=` cap. File sources are always bounded (by the file).
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, SourceSpec::Synth { packets: None, .. })
+    }
+
+    /// Opens the source for streaming. File-backed sources are buffered;
+    /// nothing beyond one record is ever resident.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a file cannot be opened or its header is invalid.
+    pub fn open(&self) -> Result<Box<dyn PacketSource + Send>, TraceError> {
+        match self {
+            SourceSpec::Pcap(path) => {
+                let file = File::open(path)?;
+                Ok(Box::new(PcapReader::new(BufReader::new(file))?))
+            }
+            SourceSpec::Tsh(path) => {
+                let file = File::open(path)?;
+                Ok(Box::new(TshReader::new(BufReader::new(file))))
+            }
+            SourceSpec::Synth {
+                profile,
+                seed,
+                packets,
+            } => {
+                let trace = SyntheticTrace::new(*profile, *seed);
+                Ok(match packets {
+                    Some(n) => Box::new(Limited::new(trace, *n)),
+                    None => Box::new(trace),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_specs_parse_with_defaults_and_options() {
+        let spec = SourceSpec::parse("synth:mra").unwrap();
+        assert!(matches!(
+            spec,
+            SourceSpec::Synth {
+                seed: 42,
+                packets: None,
+                ..
+            }
+        ));
+        let spec = SourceSpec::parse("synth:LAN:seed=7:packets=1000").unwrap();
+        match spec {
+            SourceSpec::Synth {
+                profile,
+                seed,
+                packets,
+            } => {
+                assert_eq!(profile.name, "LAN");
+                assert_eq!(seed, 7);
+                assert_eq!(packets, Some(1000));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(spec_count("synth:cos:packets=5"), Some(5));
+        assert_eq!(spec_count("synth:cos"), None);
+    }
+
+    fn spec_count(s: &str) -> Option<u64> {
+        SourceSpec::parse(s).unwrap().packet_count()
+    }
+
+    #[test]
+    fn unknown_profile_is_a_typed_error() {
+        assert_eq!(
+            SourceSpec::parse("synth:wan"),
+            Err(SpecError::UnknownProfile("wan".to_string()))
+        );
+        assert_eq!(
+            SourceSpec::parse("synth:"),
+            Err(SpecError::UnknownProfile(String::new()))
+        );
+    }
+
+    #[test]
+    fn bad_synth_options_are_typed_errors() {
+        assert!(matches!(
+            SourceSpec::parse("synth:mra:sed=1"),
+            Err(SpecError::BadSynthOption(_))
+        ));
+        assert!(matches!(
+            SourceSpec::parse("synth:mra:packets=lots"),
+            Err(SpecError::BadSynthOption(_))
+        ));
+    }
+
+    #[test]
+    fn file_specs_classify_by_extension() {
+        assert!(matches!(
+            SourceSpec::parse("traces/day1.pcap"),
+            Ok(SourceSpec::Pcap(_))
+        ));
+        assert!(matches!(
+            SourceSpec::parse("MRA.TSH"),
+            Ok(SourceSpec::Tsh(_))
+        ));
+        assert!(matches!(
+            SourceSpec::parse("notes.txt"),
+            Err(SpecError::UnknownFormat(_))
+        ));
+    }
+
+    #[test]
+    fn synth_source_opens_and_respects_cap() {
+        let spec = SourceSpec::parse("synth:odu:seed=3:packets=4").unwrap();
+        let mut source = spec.open().unwrap();
+        let mut n = 0;
+        while source.next_packet().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let message = SpecError::UnknownProfile("wan".into()).to_string();
+        assert!(message.contains("wan") && message.contains("pb traces"));
+        let message = SpecError::UnknownFormat("x.bin".into()).to_string();
+        assert!(message.contains("synth:<profile>"));
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end tests of `pb stream`: stdout byte-identity with `pb run`
+//! across thread counts and chunk sizes, and usage-error handling
+//! (exit code 2, message on stderr, nothing on stdout).
+
+use std::process::{Command, Output};
+
+fn pb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pb"))
+        .args(args)
+        .output()
+        .expect("pb runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is utf-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is utf-8")
+}
+
+#[test]
+fn stream_report_is_byte_identical_to_run() {
+    let run = pb(&[
+        "run",
+        "--app",
+        "trie",
+        "--trace",
+        "MRA",
+        "-n",
+        "400",
+        "--seed",
+        "9",
+        "--threads",
+        "1",
+    ]);
+    assert!(run.status.success(), "pb run failed: {}", stderr(&run));
+    let want = stdout(&run);
+    assert!(want.contains("application:"), "unexpected report: {want}");
+
+    for threads in ["1", "4", "7"] {
+        for chunk_size in ["1", "64", "4096"] {
+            let stream = pb(&[
+                "stream",
+                "trie",
+                "synth:mra:seed=9:packets=400",
+                "--threads",
+                threads,
+                "--chunk-size",
+                chunk_size,
+            ]);
+            assert!(
+                stream.status.success(),
+                "pb stream failed at {threads}/{chunk_size}: {}",
+                stderr(&stream)
+            );
+            assert_eq!(
+                stdout(&stream),
+                want,
+                "threads {threads}, chunk size {chunk_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_verify_and_uarch_match_run() {
+    let run = pb(&[
+        "run",
+        "--app",
+        "flow",
+        "--trace",
+        "COS",
+        "-n",
+        "200",
+        "--seed",
+        "3",
+        "--threads",
+        "1",
+        "--verify",
+        "--uarch",
+    ]);
+    assert!(run.status.success(), "pb run failed: {}", stderr(&run));
+    let want = stdout(&run);
+    assert!(want.contains("modelled CPI:"), "{want}");
+    assert!(want.contains("golden-model check:"), "{want}");
+
+    let stream = pb(&[
+        "stream",
+        "flow",
+        "synth:cos:seed=3:packets=200",
+        "--threads",
+        "4",
+        "--chunk-size",
+        "17",
+        "--verify",
+        "--uarch",
+    ]);
+    assert!(stream.status.success(), "{}", stderr(&stream));
+    assert_eq!(stdout(&stream), want);
+}
+
+#[test]
+fn explicit_n_caps_the_source() {
+    let run = pb(&[
+        "run",
+        "--app",
+        "radix",
+        "--trace",
+        "MRA",
+        "-n",
+        "120",
+        "--seed",
+        "5",
+        "--threads",
+        "1",
+    ]);
+    let stream = pb(&[
+        "stream",
+        "radix",
+        "synth:mra:seed=5",
+        "-n",
+        "120",
+        "--threads",
+        "2",
+    ]);
+    assert!(stream.status.success(), "{}", stderr(&stream));
+    assert_eq!(stdout(&stream), stdout(&run));
+}
+
+/// Asserts a usage failure: exit 2, empty stdout, the offending message
+/// plus the usage text on stderr.
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = pb(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "args {args:?}: expected exit 2, got {:?} (stderr: {})",
+        out.status.code(),
+        stderr(&out)
+    );
+    assert!(stdout(&out).is_empty(), "args {args:?}: stdout not empty");
+    let err = stderr(&out);
+    assert!(err.contains(needle), "args {args:?}: stderr was: {err}");
+    assert!(err.contains("USAGE:"), "args {args:?}: no usage text");
+}
+
+#[test]
+fn zero_threads_is_a_usage_error() {
+    assert_usage_error(
+        &["stream", "trie", "synth:mra:packets=10", "--threads", "0"],
+        "--threads must be at least 1",
+    );
+}
+
+#[test]
+fn zero_chunk_size_is_a_usage_error() {
+    assert_usage_error(
+        &[
+            "stream",
+            "trie",
+            "synth:mra:packets=10",
+            "--chunk-size",
+            "0",
+        ],
+        "--chunk-size must be at least 1",
+    );
+}
+
+#[test]
+fn zero_max_inflight_is_a_usage_error() {
+    assert_usage_error(
+        &[
+            "stream",
+            "trie",
+            "synth:mra:packets=10",
+            "--max-inflight",
+            "0",
+        ],
+        "--max-inflight must be at least 1",
+    );
+}
+
+#[test]
+fn unknown_synth_profile_is_a_usage_error() {
+    assert_usage_error(
+        &["stream", "trie", "synth:bogus:packets=10"],
+        "unknown synth profile `bogus`",
+    );
+}
+
+#[test]
+fn unbounded_synth_source_is_a_usage_error() {
+    assert_usage_error(&["stream", "trie", "synth:mra"], "unbounded");
+}
+
+#[test]
+fn unknown_app_and_missing_source_are_usage_errors() {
+    assert_usage_error(
+        &["stream", "nosuch", "synth:mra:packets=10"],
+        "unknown application",
+    );
+    assert_usage_error(&["stream", "trie"], "usage: pb stream");
+}
+
+#[test]
+fn missing_pcap_file_is_a_runtime_error() {
+    let out = pb(&["stream", "trie", "/nonexistent/trace.pcap"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).is_empty());
+}

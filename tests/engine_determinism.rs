@@ -4,11 +4,13 @@
 //! output packets to the serial run.
 
 use nettrace::synth::{SyntheticTrace, TraceProfile};
-use nettrace::Packet;
+use nettrace::{Limited, Packet};
+use packetbench::analysis::StreamAggregate;
 use packetbench::apps::{App, AppId};
 use packetbench::engine::{Engine, EngineRun};
 use packetbench::framework::{Detail, PacketBench};
-use packetbench::WorkloadConfig;
+use packetbench::stream::StreamConfig;
+use packetbench::{report, WorkloadConfig};
 
 const TRACE_SEED: u64 = 2005_0320;
 const PACKETS: usize = 400;
@@ -119,6 +121,87 @@ fn aggregate_tables_are_thread_count_invariant() {
                 id.name()
             );
         }
+    }
+}
+
+#[test]
+fn streaming_equals_batch_at_every_thread_count_and_chunk_size() {
+    // The crux of the streaming pipeline: the online aggregate — and the
+    // rendered report bytes — must be identical to the batch run's, for
+    // every app, at 1/4/7 threads x chunk sizes 1/64/4096 (chunk 4096 >
+    // trace length exercises the end-of-trace tail flush alone).
+    let packets = mra_trace(PACKETS);
+    for id in AppId::WITH_EXTENSIONS {
+        let engine = Engine::new(id);
+        let batch = engine.run(&packets, Detail::counts(), 1).unwrap();
+        let mut want = StreamAggregate::new();
+        for record in &batch.records {
+            want.add_record(record);
+        }
+        let want_report = report::render_aggregate_report(id, &want, false, false);
+        for threads in [1, 4, 7] {
+            for chunk_size in [1, 64, 4096] {
+                let source = Limited::new(
+                    SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED),
+                    PACKETS as u64,
+                );
+                let run = engine
+                    .run_streaming(
+                        source,
+                        Detail::counts(),
+                        StreamConfig {
+                            threads,
+                            chunk_size,
+                            max_inflight: 0,
+                        },
+                    )
+                    .unwrap();
+                let context = format!("{}: {threads} threads, chunk {chunk_size}", id.name());
+                assert_eq!(run.aggregate, want, "aggregate, {context}");
+                assert_eq!(
+                    report::render_aggregate_report(id, &run.aggregate, false, false),
+                    want_report,
+                    "report bytes, {context}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_uarch_cpi_line_is_chunking_invariant() {
+    // With uarch detail the report grows the modelled-CPI line; cycle
+    // totals must also fold exactly.
+    let id = AppId::Ipv4Trie;
+    let engine = Engine::new(id);
+    let detail = Detail {
+        uarch: true,
+        ..Detail::counts()
+    };
+    let packets = mra_trace(150);
+    let batch = engine.run(&packets, detail, 1).unwrap();
+    let mut want = StreamAggregate::new();
+    for record in &batch.records {
+        want.add_record(record);
+    }
+    for chunk_size in [7, 150] {
+        let source = Limited::new(SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED), 150);
+        let run = engine
+            .run_streaming(
+                source,
+                detail,
+                StreamConfig {
+                    threads: 4,
+                    chunk_size,
+                    max_inflight: 2,
+                },
+            )
+            .unwrap();
+        assert_eq!(run.aggregate.cycles(), want.cycles(), "chunk {chunk_size}");
+        assert_eq!(
+            report::render_aggregate_report(id, &run.aggregate, true, false),
+            report::render_aggregate_report(id, &want, true, false)
+        );
     }
 }
 

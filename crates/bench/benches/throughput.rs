@@ -5,6 +5,13 @@
 //! Not a Criterion bench: the engine is timed end to end (including
 //! per-worker application builds), which is what `pb run --threads`
 //! reports. Run with `cargo bench --bench throughput [-- <packets>]`.
+//!
+//! With `-- --check` the bench becomes a regression guard: instead of
+//! rewriting `BENCH_throughput.json` it compares fresh counts-only serial
+//! throughput against the committed numbers and exits nonzero if any
+//! application dropped more than [`CHECK_TOLERANCE`]. Intentional
+//! rebaselines set `PB_BENCH_REBASE=1`, which rewrites the file instead
+//! of failing.
 
 use std::io::Write;
 
@@ -16,13 +23,23 @@ use packetbench::framework::Detail;
 use packetbench_bench::TRACE_SEED;
 
 const DEFAULT_PACKETS: usize = 3000;
-const RUNS: usize = 3;
+const RUNS: usize = 5;
 
-/// Best (highest) packets/sec over `RUNS` runs — the minimum-noise
-/// estimate on a shared host.
+/// Maximum tolerated fractional drop below the committed serial pps
+/// before `--check` fails (0.15 = 15%, generous enough for shared-host
+/// noise on top of best-of-[`RUNS`] sampling).
+const CHECK_TOLERANCE: f64 = 0.15;
+
+/// Best (highest) packets/sec over [`RUNS`] runs — the minimum-noise
+/// estimate on a shared host. One untimed warmup run precedes the timed
+/// ones so the first timed leg doesn't absorb cold caches and frequency
+/// ramp-up (the serial leg runs first and was measurably penalized).
 fn best_pps(engine: &Engine, packets: &[Packet], threads: usize) -> (f64, usize) {
     let mut best = 0.0f64;
     let mut used = 1;
+    engine
+        .run(packets, Detail::counts(), threads)
+        .expect("warmup run");
     for _ in 0..RUNS {
         let run = engine
             .run(packets, Detail::counts(), threads)
@@ -35,15 +52,38 @@ fn best_pps(engine: &Engine, packets: &[Packet], threads: usize) -> (f64, usize)
     (best, used)
 }
 
+/// The committed serial pps for `slug`, hand-parsed out of the bench
+/// JSON (the bench emits the file by hand too; no JSON dependency).
+fn committed_serial_pps(json: &str, slug: &str) -> Option<f64> {
+    let key = format!("\"{slug}\": {{\"serial_pps\": ");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
-    let n: usize = std::env::args()
-        .skip(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let rebase = std::env::var_os("PB_BENCH_REBASE").is_some();
+    let n: usize = args
+        .iter()
         .find_map(|a| a.parse().ok())
         .unwrap_or(DEFAULT_PACKETS);
     let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
     let packets = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED).take_packets(n);
 
+    // Land the file at the workspace root regardless of cargo's bench CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json");
+    let committed = if check {
+        Some(std::fs::read_to_string(&path).expect("read committed BENCH_throughput.json"))
+    } else {
+        None
+    };
+
     let mut entries = Vec::new();
+    let mut regressions = Vec::new();
     for id in AppId::WITH_EXTENSIONS {
         let engine = Engine::new(id);
         let (serial, _) = best_pps(&engine, &packets, 1);
@@ -53,10 +93,39 @@ fn main() {
             id.slug(),
             parallel / serial
         );
+        if let Some(json) = &committed {
+            match committed_serial_pps(json, id.slug()) {
+                Some(baseline) if serial < baseline * (1.0 - CHECK_TOLERANCE) => {
+                    regressions.push(format!(
+                        "{}: serial {serial:.0} pps is {:.1}% below committed {baseline:.0} pps",
+                        id.slug(),
+                        (1.0 - serial / baseline) * 100.0
+                    ));
+                }
+                Some(_) => {}
+                None => regressions.push(format!("{}: no committed baseline", id.slug())),
+            }
+        }
         entries.push(format!(
             "    \"{}\": {{\"serial_pps\": {serial:.0}, \"parallel_pps\": {parallel:.0}, \"parallel_threads\": {used}}}",
             id.slug()
         ));
+    }
+
+    if check && !rebase {
+        if regressions.is_empty() {
+            println!(
+                "bench check passed: no app more than {:.0}% below baseline",
+                CHECK_TOLERANCE * 100.0
+            );
+            return;
+        }
+        eprintln!("throughput regression vs committed BENCH_throughput.json:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        eprintln!("(intentional rebaseline: rerun with PB_BENCH_REBASE=1)");
+        std::process::exit(1);
     }
 
     let stamp = npobs::Stamp::new(npobs::stamp::BENCH_SCHEMA_VERSION);
@@ -65,10 +134,6 @@ fn main() {
         stamp.json_fields(),
         entries.join(",\n")
     );
-    // Land the file at the workspace root regardless of cargo's bench CWD.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_throughput.json");
     let mut file = std::fs::File::create(&path).expect("create BENCH_throughput.json");
     file.write_all(json.as_bytes()).expect("write json");
     println!("wrote {} ({host_threads} host threads)", path.display());

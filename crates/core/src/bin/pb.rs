@@ -202,8 +202,8 @@ the output can be diffed against fixtures.
 
 `pb conform` differentially tests the optimized simulator against a
 reference interpreter: a seeded corpus of random programs plus all five
-applications, across the full-detail, counts-only, and multi-threaded
-paths. On divergence it exits nonzero and writes a minimized repro to
+applications, across the full-detail, counts-only, superblock, and
+multi-threaded paths. On divergence it exits nonzero and writes a minimized repro to
 the --repro path (default conform_repro.s).
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error."

@@ -3,12 +3,13 @@
 //! Where `npconform`'s corpus harness cross-checks the interpreter paths
 //! on *generated* programs, this module replays the five real PacketBench
 //! applications — IPv4 radix, IPv4 trie, flow classification, TSA
-//! anonymization, and IPSec encryption — through four paths:
+//! anonymization, and IPSec encryption — through five paths:
 //!
 //! 1. the reference interpreter ([`npconform::RefCpu`]),
 //! 2. the optimized simulator forced onto its full-detail loop,
 //! 3. the optimized simulator forced onto its counts-only loop,
-//! 4. the multi-threaded [`Engine`],
+//! 4. the optimized simulator forced onto its superblock engine,
+//! 5. the multi-threaded [`Engine`],
 //!
 //! each against its own framework instance (own memory, own application
 //! state), asserting bit-identical per-packet statistics, verdicts,
@@ -20,7 +21,7 @@
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use nettrace::Packet;
 use npconform::{DiffLevel, ForcedCpu, Outcome, RefCpu};
-use npsim::{Cpu, ExecPath, Interpreter, RunConfig};
+use npsim::{BlockTable, Cpu, ExecPath, Interpreter, RunConfig};
 
 use crate::apps::{App, AppId};
 use crate::config::WorkloadConfig;
@@ -37,7 +38,7 @@ pub struct AppReport {
     pub packets: usize,
     /// Worker threads used for the engine leg.
     pub threads: usize,
-    /// Named divergences (empty = all four paths bit-identical).
+    /// Named divergences (empty = all five paths bit-identical).
     pub divergences: Vec<String>,
 }
 
@@ -79,7 +80,7 @@ fn run_leg(
 /// diverges on nearly every packet and drowning the report helps nobody.
 const MAX_DIVERGENCES: usize = 24;
 
-/// Replays `packets` through `id` on all four paths and reports every
+/// Replays `packets` through `id` on all five paths and reports every
 /// divergence from the reference interpreter.
 ///
 /// # Errors
@@ -89,7 +90,7 @@ const MAX_DIVERGENCES: usize = 24;
 pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppReport, BenchError> {
     let config = WorkloadConfig::small();
 
-    // Three serial legs, each with its own framework instance. The
+    // Four serial legs, each with its own framework instance. The
     // reference interpreter re-encodes the program and owns the words; the
     // forced CPUs borrow this clone.
     let app = App::build(id, &config)?;
@@ -103,6 +104,11 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
 
     let mut bench_counts = PacketBench::with_config(App::build(id, &config)?, &config)?;
     let mut interp_counts = ForcedCpu::new(Cpu::new(&program, map), ExecPath::Counts);
+
+    let mut bench_block = PacketBench::with_config(App::build(id, &config)?, &config)?;
+    let table = BlockTable::build(&program);
+    let mut interp_block =
+        ForcedCpu::new(Cpu::new(&program, map).with_blocks(&table), ExecPath::Block);
 
     let full_config = RunConfig {
         record_pc_trace: true,
@@ -122,10 +128,12 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
             packet,
             &counts_config,
         )?;
+        let leg_block = run_leg(&mut bench_block, &mut interp_block, packet, &counts_config)?;
 
         for (name, leg, level) in [
             ("full", &leg_full, DiffLevel::Full),
             ("counts", &leg_counts, DiffLevel::Counts),
+            ("block", &leg_block, DiffLevel::Counts),
         ] {
             for d in leg_ref.outcome.diff(&leg.outcome, level) {
                 divergences.push(format!("packet {i} {name}: {d}"));
@@ -154,6 +162,9 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
     }
     if bench_ref.output_packets() != bench_counts.output_packets() {
         divergences.push("counts: output packets differ from reference".to_string());
+    }
+    if bench_ref.output_packets() != bench_block.output_packets() {
+        divergences.push("block: output packets differ from reference".to_string());
     }
 
     // Engine leg: the multi-threaded run must reproduce the reference's

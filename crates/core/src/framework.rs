@@ -10,7 +10,7 @@
 //! *selective accounting*).
 
 use nettrace::{Packet, Timestamp};
-use npsim::bblock::BlockMap;
+use npsim::bblock::{BlockMap, BlockTable};
 use npsim::{
     reg, Cpu, Interpreter, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome,
 };
@@ -165,7 +165,7 @@ pub struct PacketBench {
     mem: Memory,
     map: MemoryMap,
     entry: u32,
-    block_map: BlockMap,
+    block_table: BlockTable,
     out_packets: Vec<Packet>,
     packets_processed: u64,
 }
@@ -194,13 +194,13 @@ impl PacketBench {
         let mut mem = Memory::new();
         app.init(&mut mem, config);
         let entry = app.entry();
-        let block_map = BlockMap::build(app.image().program());
+        let block_table = BlockTable::build(app.image().program());
         Ok(PacketBench {
             app,
             mem,
             map,
             entry,
-            block_map,
+            block_table,
             out_packets: Vec::new(),
             packets_processed: 0,
         })
@@ -213,7 +213,13 @@ impl PacketBench {
 
     /// The static basic-block partition of the application.
     pub fn block_map(&self) -> &BlockMap {
-        &self.block_map
+        self.block_table.block_map()
+    }
+
+    /// The predecoded superblock table counts-only packet runs execute
+    /// through (see `npsim::bblock::BlockTable`).
+    pub fn block_table(&self) -> &BlockTable {
+        &self.block_table
     }
 
     /// Simulated memory (application state lives here between packets).
@@ -296,7 +302,7 @@ impl PacketBench {
     ) -> Result<(), BenchError> {
         l3_checked(packet)?;
         let program = self.app.image().program();
-        let mut cpu = Cpu::new(program, self.map);
+        let mut cpu = Cpu::new(program, self.map).with_blocks(&self.block_table);
         self.packets_processed += 1;
         run_packet_on(
             &mut cpu,
@@ -333,7 +339,7 @@ impl PacketBench {
     ) -> Result<(), BenchError> {
         let l3 = l3_checked(packet)?;
         let program = self.app.image().program();
-        let mut cpu = Cpu::new(program, self.map);
+        let mut cpu = Cpu::new(program, self.map).with_blocks(&self.block_table);
         self.packets_processed += 1;
         stage_and_boot(&mut cpu, &mut self.mem, self.map, self.entry, l3);
         let mut handler = FrameworkSys {

@@ -2,12 +2,14 @@
 //! compare, shrink.
 //!
 //! One corpus item is one seeded random program plus one boundary-case
-//! packet. Each item runs through three interpreter paths on identically
+//! packet. Each item runs through four interpreter paths on identically
 //! staged memory:
 //!
 //! 1. the reference interpreter ([`crate::RefCpu`]) with full tracing,
 //! 2. the optimized simulator forced onto its full-detail loop,
 //! 3. the optimized simulator forced onto its counts-only loop,
+//! 4. the optimized simulator forced onto its superblock engine
+//!    (block-level dispatch with fused accounting),
 //!
 //! and any divergence from the reference — result, statistics, registers,
 //! memory digest, traces — fails the item. Failing programs are shrunk
@@ -25,8 +27,8 @@ use crate::shrink::shrink;
 use nprng::{SeedableRng, StdRng};
 use npsim::isa::{reg, Inst};
 use npsim::{
-    Cpu, ExecPath, Interpreter, Memory, MemoryMap, Program, RunConfig, RunStats, SimError,
-    SysHandler, SysOutcome,
+    BlockTable, Cpu, ExecPath, Interpreter, Memory, MemoryMap, Program, RunConfig, RunStats,
+    SimError, SysHandler, SysOutcome,
 };
 
 /// A deterministic `sys` handler for generated programs.
@@ -201,7 +203,7 @@ impl CorpusReport {
     }
 }
 
-/// Runs one program/packet pair through all three paths and returns the
+/// Runs one program/packet pair through all four paths and returns the
 /// named divergences from the reference (empty = conformant).
 ///
 /// Memory is staged identically for every path: the packet at
@@ -255,6 +257,14 @@ pub fn check_program(insts: &[Inst], packet: &[u8], config: &ConformConfig) -> V
     );
     let counts = capture(&mut counts, &counts_config);
 
+    // The superblock engine sees the true map: fault injection targets the
+    // plain counts leg, and this leg proves the block-level dispatcher
+    // itself (fused deltas, cached successors, fallback) against the
+    // reference.
+    let table = BlockTable::build(&program);
+    let mut block = ForcedCpu::new(Cpu::new(&program, map).with_blocks(&table), ExecPath::Block);
+    let block = capture(&mut block, &counts_config);
+
     let mut divergences = Vec::new();
     divergences.extend(
         reference
@@ -267,6 +277,12 @@ pub fn check_program(insts: &[Inst], packet: &[u8], config: &ConformConfig) -> V
             .diff(&counts, DiffLevel::Counts)
             .into_iter()
             .map(|d| format!("counts: {d}")),
+    );
+    divergences.extend(
+        reference
+            .diff(&block, DiffLevel::Counts)
+            .into_iter()
+            .map(|d| format!("block: {d}")),
     );
     divergences
 }

@@ -1,0 +1,137 @@
+//! Block-boundary edge cases through the full four-path differ.
+//!
+//! Each program here is shaped to stress one seam of the superblock
+//! engine — single-instruction self-loops, fallthrough into branch-target
+//! leaders, `sys`/`halt` terminators mid-program, and an indirect jump
+//! whose target alternates every iteration (the 1-entry inline cache's
+//! worst case). Every one must produce bit-identical `RunStats` against
+//! the reference interpreter on all paths.
+
+use npconform::{check_program, ConformConfig};
+use npsim::isa::{reg, Inst, Op};
+
+/// A small deterministic packet; contents only matter insofar as every
+/// path stages the same bytes.
+fn packet() -> Vec<u8> {
+    (0u8..64).collect()
+}
+
+fn assert_conformant(insts: Vec<Inst>, config: &ConformConfig) {
+    let divergences = check_program(&insts, &packet(), config);
+    assert!(
+        divergences.is_empty(),
+        "paths diverged: {divergences:#?}\nprogram: {insts:#?}"
+    );
+}
+
+#[test]
+fn branch_to_self_exhausts_budget_identically() {
+    // A single-instruction block that is its own branch target. The
+    // budget error must land on the same instruction everywhere, and the
+    // block engine's fused retire must not overshoot the limit.
+    for budget in [1, 2, 97, 100] {
+        assert_conformant(
+            vec![Inst::branch(Op::Beq, reg::ZERO, reg::ZERO, -4)],
+            &ConformConfig {
+                max_instructions: budget,
+                ..ConformConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn fallthrough_into_branch_target_block() {
+    // Instruction 1 is a branch target *and* the fallthrough successor of
+    // the entry block: the engine must chain entry -> loop head without
+    // double-counting the leader.
+    assert_conformant(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 5),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1), // loop head
+            Inst::with_imm(Op::Lw, reg::T1, reg::A0, 0),    // packet load
+            Inst::branch(Op::Bne, reg::T0, reg::ZERO, -12),
+            Inst::jr(reg::RA),
+        ],
+        &ConformConfig::default(),
+    );
+}
+
+#[test]
+fn sys_and_halt_terminate_blocks_mid_program() {
+    // `sys` codes 0..=5 mutate a0 and program data (visible in the memory
+    // digest), 6 stops, anything larger is an unknown-syscall error with
+    // a rewritten PC — each must come out of the block engine identically.
+    assert_conformant(
+        vec![
+            Inst::with_imm(Op::Addi, reg::A0, reg::ZERO, 7),
+            Inst::sys(1),
+            Inst::with_imm(Op::Addi, reg::T0, reg::A0, 1),
+            Inst::sys(3),
+            Inst::sys(6), // stop; everything after is dead
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 100),
+            Inst::jr(reg::RA),
+        ],
+        &ConformConfig::default(),
+    );
+    assert_conformant(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+            Inst::halt(),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, 100), // dead
+        ],
+        &ConformConfig::default(),
+    );
+    // Unknown syscall: the error must carry the sys instruction's PC on
+    // every path.
+    assert_conformant(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 2),
+            Inst::sys(42),
+        ],
+        &ConformConfig::default(),
+    );
+}
+
+#[test]
+fn alternating_indirect_target_defeats_the_inline_cache() {
+    // `jr t2` flips between two in-text targets every iteration, so the
+    // block engine's 1-entry inline cache misses on all but the first
+    // visit of each target. Layout (4-byte instructions from text base):
+    //
+    //   0  lui  s1, 1          s1 = 0x10000 = text base
+    //   1  addi s2, s1, 36     s2 = &inst 9  (odd-parity path)
+    //   2  addi s3, s1, 44     s3 = &inst 11 (even-parity path)
+    //   3  addi t0, zero, 6    counter
+    //   4  andi t1, t0, 1      loop head
+    //   5  sub  t2, s3, s2
+    //   6  mul  t2, t1, t2
+    //   7  add  t2, s2, t2     t2 alternates s2 / s3
+    //   8  jr   t2
+    //   9  addi t3, t3, 1      path A
+    //  10  j    +4   -> 12     join
+    //  11  addi t4, t4, 1      path B
+    //  12  addi t0, t0, -1     join
+    //  13  bne  t0, zero, -40  -> 4
+    //  14  jr   ra
+    assert_conformant(
+        vec![
+            Inst::lui(reg::S1, 1),
+            Inst::with_imm(Op::Addi, reg::S2, reg::S1, 36),
+            Inst::with_imm(Op::Addi, reg::S3, reg::S1, 44),
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 6),
+            Inst::with_imm(Op::Andi, reg::T1, reg::T0, 1),
+            Inst::rtype(Op::Sub, reg::T2, reg::S3, reg::S2),
+            Inst::rtype(Op::Mul, reg::T2, reg::T1, reg::T2),
+            Inst::rtype(Op::Add, reg::T2, reg::S2, reg::T2),
+            Inst::jr(reg::T2),
+            Inst::with_imm(Op::Addi, reg::T3, reg::T3, 1),
+            Inst::jump(Op::J, 4),
+            Inst::with_imm(Op::Addi, reg::T4, reg::T4, 1),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+            Inst::branch(Op::Bne, reg::T0, reg::ZERO, -40),
+            Inst::jr(reg::RA),
+        ],
+        &ConformConfig::default(),
+    );
+}

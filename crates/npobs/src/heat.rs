@@ -104,6 +104,14 @@ impl HeatObserver {
 }
 
 impl Observer for HeatObserver {
+    // Heat only needs entry and retire counts per block, so the superblock
+    // engine can report whole-block retires through `on_block` instead of
+    // one `on_inst` per instruction. The per-instruction hook still fires
+    // on the engine's fallback paths and on the full-detail loop, and the
+    // two accountings agree exactly: a fully-retired block always enters
+    // at its leader (one entry) and retires all `len` instructions.
+    const BLOCK_LEVEL: bool = true;
+
     #[inline(always)]
     fn on_run_start(&mut self) {
         self.prev = u32::MAX;
@@ -120,6 +128,13 @@ impl Observer for HeatObserver {
             self.prev = block;
         }
         self.instructions[block as usize] += 1;
+    }
+
+    #[inline(always)]
+    fn on_block(&mut self, block: usize, _first: usize, len: usize) {
+        self.entries[block] += 1;
+        self.instructions[block] += len as u64;
+        self.prev = block as u32;
     }
 }
 

@@ -8,6 +8,7 @@
 //! counts, and (optionally) full PC and memory traces plus
 //! micro-architectural model results.
 
+use crate::bblock::{BlockTable, TermKind, UOp, UOpKind};
 use crate::error::SimError;
 use crate::isa::{Inst, Op, Reg};
 use crate::mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};
@@ -205,6 +206,29 @@ impl MemCounts {
         }
     }
 
+    /// Counts a pre-classified group of accesses in one shot — the block
+    /// engine's fused retire path. Equivalent to `reads + writes` calls to
+    /// [`MemCounts::record`] with the same region, because every bucket is
+    /// a plain sum.
+    #[inline]
+    pub fn record_group(&mut self, region: Region, reads: u64, writes: u64) {
+        match region {
+            Region::Packet => {
+                self.packet_reads += reads;
+                self.packet_writes += writes;
+            }
+            Region::ProgramData => {
+                self.data_reads += reads;
+                self.data_writes += writes;
+            }
+            Region::Stack => {
+                self.stack_reads += reads;
+                self.stack_writes += writes;
+            }
+            _ => self.other += reads + writes,
+        }
+    }
+
     /// Adds another count set into this one.
     pub fn merge(&mut self, other: &MemCounts) {
         self.packet_reads += other.packet_reads;
@@ -341,6 +365,13 @@ pub enum ExecPath {
     Counts,
     /// Force the full-detail loop, even for a counts-only config.
     Full,
+    /// Force the superblock engine: counts-only accounting retired at
+    /// basic-block granularity through a [`BlockTable`] (one is built on
+    /// the fly if the CPU was not given one via [`Cpu::with_blocks`]).
+    /// Trace flags and uarch models are ignored, as with
+    /// [`ExecPath::Counts`]; per-instruction observer hooks only fire on
+    /// the engine's fallback paths (see [`Observer::BLOCK_LEVEL`]).
+    Block,
 }
 
 /// A pluggable NP32 interpreter: anything that can boot, be seeded, run a
@@ -391,6 +422,9 @@ pub struct Cpu<'p> {
     pub pc: u32,
     program: &'p Program,
     map: MemoryMap,
+    /// Predecoded superblock table for the block engine, when the caller
+    /// shares one (PacketBench builds it once per app).
+    blocks: Option<&'p BlockTable>,
 }
 
 impl<'p> Cpu<'p> {
@@ -406,7 +440,18 @@ impl<'p> Cpu<'p> {
             pc: program.text_base(),
             program,
             map,
+            blocks: None,
         }
+    }
+
+    /// Attaches a predecoded [`BlockTable`] (built from the same program),
+    /// making counts-only runs eligible for the superblock engine under
+    /// [`ExecPath::Auto`]. Without a table, [`ExecPath::Auto`] keeps the
+    /// per-instruction counts loop and [`ExecPath::Block`] builds a
+    /// throwaway table per run.
+    pub fn with_blocks(mut self, table: &'p BlockTable) -> Cpu<'p> {
+        self.blocks = Some(table);
+        self
     }
 
     /// The memory map in force.
@@ -563,15 +608,30 @@ impl<'p> Cpu<'p> {
             ExecPath::Auto => {
                 config.uarch.is_none() && !config.record_pc_trace && !config.record_mem_trace
             }
-            ExecPath::Counts => true,
+            ExecPath::Counts | ExecPath::Block => true,
             ExecPath::Full => false,
+        };
+        // Counts-only runs step up to block granularity when a predecoded
+        // table is attached and the observer accepts block-level events;
+        // the conformance harness can also force the engine outright.
+        let use_blocks = match path {
+            ExecPath::Auto => counts_only && O::BLOCK_LEVEL && self.blocks.is_some(),
+            ExecPath::Block => true,
+            _ => false,
         };
         let mut uarch = if counts_only {
             None
         } else {
             config.uarch.as_ref().map(Uarch::new)
         };
-        if counts_only {
+        if use_blocks {
+            if let Some(table) = self.blocks {
+                self.exec_blocks(mem, config, handler, stats, table, obs)?;
+            } else {
+                let table = BlockTable::build(self.program);
+                self.exec_blocks(mem, config, handler, stats, &table, obs)?;
+            }
+        } else if counts_only {
             self.exec::<false, O>(mem, config, handler, stats, &mut uarch, obs)?;
         } else {
             self.exec::<true, O>(mem, config, handler, stats, &mut uarch, obs)?;
@@ -820,6 +880,505 @@ impl<'p> Cpu<'p> {
         }
 
         Ok(())
+    }
+
+    /// The superblock engine: counts-only execution retired one basic
+    /// block at a time against a predecoded [`BlockTable`].
+    ///
+    /// Per fully-retired block this applies one fused delta (instruction
+    /// count, op-class mix, unique-coverage bit) and, when the runtime
+    /// region gate passes, the block's statically-grouped memory-access
+    /// counts — then follows a pre-resolved successor link, so the hot
+    /// loop does no per-instruction PC translation, dispatch bookkeeping,
+    /// or accounting. Entry points that are not block leaders and runs
+    /// close enough to the instruction budget that the next block might
+    /// not complete bail out to the per-instruction counts loop, which is
+    /// the reference semantics — so every observable outcome (stats,
+    /// registers, PC, memory, errors) is bit-identical to
+    /// `exec::<false, _>`. See DESIGN.md ("Superblock engine").
+    fn exec_blocks<O: Observer>(
+        &mut self,
+        mem: &mut Memory,
+        config: &RunConfig,
+        handler: &mut dyn SysHandler,
+        stats: &mut RunStats,
+        table: &BlockTable,
+        obs: &mut O,
+    ) -> Result<(), SimError> {
+        let program: &'p Program = self.program;
+        let text_base = program.text_base();
+        let insts = program.insts();
+        let n = insts.len();
+        let max_instructions = config.max_instructions;
+        debug_assert!(
+            ((RETURN_SENTINEL.wrapping_sub(text_base) >> 2) as usize) >= n,
+            "return sentinel aliases the text region"
+        );
+        debug_assert_eq!(
+            table.block_map().block_ids().len(),
+            n,
+            "block table built from a different program"
+        );
+
+        // Blocks retired whole this run; expanded into per-instruction
+        // `executed` bits on every exit. Kept separate from
+        // `stats.executed` because the per-instruction fallback may set a
+        // leader's bit and then fault mid-block — expanding leader bits
+        // would over-mark.
+        let mut seen = table.seen_scratch();
+        let mut retires = table.retire_scratch();
+        let mut result: Result<(), SimError> = Ok(());
+        // When set, the per-instruction counts loop finishes the run.
+        let mut bail = false;
+
+        'run: loop {
+            // Dispatch from `self.pc`, same fused range check and cold-arm
+            // order as the per-instruction loop. The hot path only comes
+            // through here once per run (and on indirect-cache misses):
+            // static successors are pre-resolved to block ids, so
+            // block-to-block transitions skip this translation entirely.
+            let offset = self.pc.wrapping_sub(text_base);
+            let index = (offset >> 2) as usize;
+            if offset & 3 != 0 || index >= n {
+                if self.pc == RETURN_SENTINEL {
+                    stats.halt = HaltReason::Returned;
+                } else if !self.pc.is_multiple_of(4) {
+                    result = Err(SimError::MisalignedPc { pc: self.pc });
+                } else {
+                    result = Err(SimError::PcOutOfRange { pc: self.pc });
+                }
+                break 'run;
+            }
+            if !table.is_leader(index) {
+                // Mid-block entry (an indirect jump into a block's
+                // interior): only the per-instruction loop can account
+                // a partial block correctly.
+                bail = true;
+                break 'run;
+            }
+            let mut b = table.block_map().block_of(index);
+            'chain: loop {
+                let entry = table.entry(b);
+                let len = entry.len as u64;
+                if stats.instret + len > max_instructions {
+                    // The budget error must land at exactly the right
+                    // instruction inside this block; hand over.
+                    bail = true;
+                    break 'run;
+                }
+
+                // Fused retire: the whole block's instruction count,
+                // op-class mix, and coverage in one shot, before the
+                // terminator runs — matching the per-instruction order
+                // where accounting precedes the `sys`/`halt` dispatch.
+                // The mix itself folds in at run end (`mix * retires`),
+                // so a retire is two increments, not seven u64 adds.
+                stats.instret += len;
+                retires[b] += 1;
+                seen.insert(b);
+                obs.on_block(b, entry.first as usize, entry.len as usize);
+
+                // Runtime region gate over the statically-grouped
+                // accesses: classify each group's lowest and highest byte
+                // against the live base-register value; fuse only when
+                // every group provably stays inside one interval region.
+                let mut fused = true;
+                let mut regions = [Region::Other; crate::bblock::MAX_GROUPS];
+                for (slot, g) in regions.iter_mut().zip(&entry.groups) {
+                    let lo = self.regs[g.base as usize].wrapping_add(g.kmin);
+                    match self.uniform_region(lo, lo.wrapping_add(g.span_m1)) {
+                        Some(r) => *slot = r,
+                        None => {
+                            fused = false;
+                            break;
+                        }
+                    }
+                }
+                if fused {
+                    for (g, &r) in entry.groups.iter().zip(&regions) {
+                        stats.mem.record_group(r, g.reads as u64, g.writes as u64);
+                    }
+                }
+
+                // Block interior: predecoded micro-ops (fewer than the
+                // instruction count after fusion), with pre-extracted
+                // operands and per-uop grouped flags. No micro-op writes
+                // `r0`, so the per-instruction `regs[0] = 0` reset is gone
+                // from the hot loop entirely.
+                let first = entry.first as usize;
+                let internal_end = if matches!(entry.term, TermKind::Fall) {
+                    entry.next as usize
+                } else {
+                    first + entry.len as usize - 1
+                };
+                for u in table.uops(entry) {
+                    self.exec_uop(u, fused, mem, stats);
+                }
+
+                // Terminator + successor. Static targets are pre-resolved
+                // to block ids; anything unresolved (out-of-text,
+                // misaligned, the return sentinel, indirect-cache misses)
+                // sets `self.pc` and goes back through the dispatcher's
+                // cold path so errors come out identical to the
+                // per-instruction loop.
+                let last = internal_end;
+                match entry.term {
+                    TermKind::Fall => {
+                        self.pc = text_base.wrapping_add(entry.next * 4);
+                        if entry.next_block != u32::MAX {
+                            b = entry.next_block as usize;
+                            continue 'chain;
+                        }
+                        continue 'run;
+                    }
+                    TermKind::Branch {
+                        op,
+                        rs1,
+                        rs2,
+                        taken_block,
+                        taken_pc,
+                    } => {
+                        let rs1 = self.regs[(rs1 & 31) as usize];
+                        let rs2 = self.regs[(rs2 & 31) as usize];
+                        let t = match op {
+                            Op::Beq => rs1 == rs2,
+                            Op::Bne => rs1 != rs2,
+                            Op::Blt => (rs1 as i32) < (rs2 as i32),
+                            Op::Bge => (rs1 as i32) >= (rs2 as i32),
+                            Op::Bltu => rs1 < rs2,
+                            _ => rs1 >= rs2,
+                        };
+                        if t {
+                            self.pc = taken_pc;
+                            if taken_block != u32::MAX {
+                                b = taken_block as usize;
+                                continue 'chain;
+                            }
+                            continue 'run;
+                        }
+                        self.pc = text_base.wrapping_add(entry.next * 4);
+                        if entry.next_block != u32::MAX {
+                            b = entry.next_block as usize;
+                            continue 'chain;
+                        }
+                        continue 'run;
+                    }
+                    TermKind::Jump {
+                        target_block,
+                        target_pc,
+                        link,
+                    } => {
+                        if link {
+                            self.regs[crate::reg::RA.index()] =
+                                text_base.wrapping_add((last as u32) * 4 + 4);
+                        }
+                        self.pc = target_pc;
+                        if target_block != u32::MAX {
+                            b = target_block as usize;
+                            continue 'chain;
+                        }
+                        continue 'run;
+                    }
+                    TermKind::Indirect { rs1, rd, link } => {
+                        let target = self.regs[(rs1 & 31) as usize];
+                        if link {
+                            self.regs[(rd & 31) as usize] =
+                                text_base.wrapping_add((last as u32) * 4 + 4);
+                            self.regs[0] = 0;
+                        }
+                        self.pc = target;
+                        // 2-way MRU inline cache of translated target
+                        // block ids: way 0 is checked first, a way-1 hit
+                        // swaps to the front, and a translate fill evicts
+                        // way 1. This covers the dominant shape — a
+                        // subroutine returning alternately to two call
+                        // sites — that a single entry misses on every
+                        // visit.
+                        let mut ways = entry.cache.get();
+                        if ways[0].0 == target && ways[0].1 != 0 {
+                            b = (ways[0].1 - 1) as usize;
+                            continue 'chain;
+                        }
+                        if ways[1].0 == target && ways[1].1 != 0 {
+                            ways.swap(0, 1);
+                            let hit = (ways[0].1 - 1) as usize;
+                            entry.cache.set(ways);
+                            b = hit;
+                            continue 'chain;
+                        }
+                        let off = target.wrapping_sub(text_base);
+                        let ti = (off >> 2) as usize;
+                        if off & 3 == 0 && ti < n && table.is_leader(ti) {
+                            let tb = table.block_map().block_of(ti);
+                            ways[1] = ways[0];
+                            ways[0] = (target, tb as u32 + 1);
+                            entry.cache.set(ways);
+                            b = tb;
+                            continue 'chain;
+                        }
+                        // Out of text, misaligned, the return sentinel, or
+                        // a mid-block target: the dispatcher's cold path
+                        // sorts them out (never cached).
+                        continue 'run;
+                    }
+                    TermKind::Sys { code } => {
+                        let sys_pc = text_base.wrapping_add((last as u32) * 4);
+                        match handler.sys(code, &mut self.regs, mem) {
+                            Ok(SysOutcome::Continue) => {
+                                self.regs[0] = 0;
+                                self.pc = sys_pc.wrapping_add(4);
+                                if entry.next_block != u32::MAX {
+                                    b = entry.next_block as usize;
+                                    continue 'chain;
+                                }
+                                continue 'run;
+                            }
+                            Ok(SysOutcome::Stop) => {
+                                stats.halt = HaltReason::SysStop;
+                                self.regs[0] = 0;
+                                self.pc = sys_pc.wrapping_add(4);
+                                break 'run;
+                            }
+                            Err(SimError::UnknownSyscall { code, .. }) => {
+                                self.pc = sys_pc;
+                                result = Err(SimError::UnknownSyscall { code, pc: sys_pc });
+                                break 'run;
+                            }
+                            Err(e) => {
+                                self.pc = sys_pc;
+                                result = Err(e);
+                                break 'run;
+                            }
+                        }
+                    }
+                    TermKind::Halt => {
+                        stats.halt = HaltReason::Halted;
+                        self.pc = text_base.wrapping_add((last as u32) * 4 + 4);
+                        break 'run;
+                    }
+                }
+            }
+        }
+
+        // Expand fully-retired blocks into per-instruction coverage bits
+        // and fold the deferred op-mix deltas — on every exit, including
+        // faults, so partial runs compare equal to the per-instruction
+        // loop. Zeroing each visited retire count restores the scratch's
+        // all-zero invariant without an O(num_blocks) clear.
+        for b in seen.iter() {
+            for i in table.block_map().block_range(b) {
+                stats.executed.insert(i);
+            }
+            let times = std::mem::take(&mut retires[b]);
+            stats.op_mix.merge_scaled(&table.entry(b).mix, times);
+        }
+        drop(seen);
+        drop(retires);
+
+        if bail {
+            // Reference semantics finish the run: exact per-access
+            // classification, per-instruction budget check and observer
+            // hooks, from the current architectural state.
+            return self.exec::<false, O>(mem, config, handler, stats, &mut None, obs);
+        }
+        result
+    }
+
+    /// One predecoded micro-op inside a fully-retired block.
+    ///
+    /// No micro-op writes `r0` (the decoder drops dead writes and lowers
+    /// `r0`-destined loads to [`UOpKind::LoadDiscard`]), so there is no
+    /// zero-register reset here. `fused` is true when the block's region
+    /// gate passed; it suppresses per-access classification only for
+    /// micro-ops whose accounting is part of the gated group delta
+    /// (`u.grouped`).
+    #[inline(always)]
+    fn exec_uop(&mut self, u: &UOp, fused: bool, mem: &mut Memory, stats: &mut RunStats) {
+        use UOpKind as K;
+        let rs1 = self.regs[(u.rs1 & 31) as usize];
+        let rs2 = self.regs[(u.rs2 & 31) as usize];
+        let rd = (u.rd & 31) as usize;
+        let imm = u.imm;
+        macro_rules! classify {
+            ($addr:expr, $kind:expr) => {
+                if !(fused && u.grouped) {
+                    stats.mem.record(self.map.region($addr), $kind);
+                }
+            };
+        }
+        match u.kind {
+            K::Add => self.regs[rd] = rs1.wrapping_add(rs2),
+            K::Sub => self.regs[rd] = rs1.wrapping_sub(rs2),
+            K::And => self.regs[rd] = rs1 & rs2,
+            K::Or => self.regs[rd] = rs1 | rs2,
+            K::Xor => self.regs[rd] = rs1 ^ rs2,
+            K::Nor => self.regs[rd] = !(rs1 | rs2),
+            K::Sll => self.regs[rd] = rs1.wrapping_shl(rs2 & 31),
+            K::Srl => self.regs[rd] = rs1.wrapping_shr(rs2 & 31),
+            K::Sra => self.regs[rd] = ((rs1 as i32).wrapping_shr(rs2 & 31)) as u32,
+            K::Slt => self.regs[rd] = ((rs1 as i32) < (rs2 as i32)) as u32,
+            K::Sltu => self.regs[rd] = (rs1 < rs2) as u32,
+            K::Mul => self.regs[rd] = rs1.wrapping_mul(rs2),
+            K::Mulhu => self.regs[rd] = ((rs1 as u64 * rs2 as u64) >> 32) as u32,
+            K::Divu => self.regs[rd] = rs1.checked_div(rs2).unwrap_or(u32::MAX),
+            K::Remu => self.regs[rd] = if rs2 == 0 { rs1 } else { rs1 % rs2 },
+            K::AddImm => self.regs[rd] = rs1.wrapping_add(imm),
+            K::AndImm => self.regs[rd] = rs1 & imm,
+            K::OrImm => self.regs[rd] = rs1 | imm,
+            K::XorImm => self.regs[rd] = rs1 ^ imm,
+            K::SllImm => self.regs[rd] = rs1.wrapping_shl(imm),
+            K::SrlImm => self.regs[rd] = rs1.wrapping_shr(imm),
+            K::SraImm => self.regs[rd] = ((rs1 as i32).wrapping_shr(imm)) as u32,
+            K::SltImm => self.regs[rd] = ((rs1 as i32) < imm as i32) as u32,
+            K::SltuImm => self.regs[rd] = (rs1 < imm) as u32,
+            K::MovImm => self.regs[rd] = imm,
+            K::Lb => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u8(addr) as i8 as i32 as u32;
+            }
+            K::Lbu => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u8(addr) as u32;
+            }
+            K::Lh => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u16(addr) as i16 as i32 as u32;
+            }
+            K::Lhu => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u16(addr) as u32;
+            }
+            K::Lw => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u32(addr);
+            }
+            K::Sb => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Write);
+                mem.write_u8(addr, rs2 as u8);
+            }
+            K::Sh => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Write);
+                mem.write_u16(addr, rs2 as u16);
+            }
+            K::Sw => {
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Write);
+                mem.write_u32(addr, rs2);
+            }
+            K::LoadDiscard => {
+                // Loads have no side effects, so only the classification
+                // survives; the lookup itself is dead.
+                let addr = rs1.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+            }
+            K::AddLb => {
+                let sum = rs1.wrapping_add(rs2);
+                self.regs[(u.rd2 & 31) as usize] = sum;
+                let addr = sum.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u8(addr) as i8 as i32 as u32;
+            }
+            K::AddLbu => {
+                let sum = rs1.wrapping_add(rs2);
+                self.regs[(u.rd2 & 31) as usize] = sum;
+                let addr = sum.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u8(addr) as u32;
+            }
+            K::MovAddLbu => {
+                let addr = imm.wrapping_add(rs2);
+                self.regs[(u.rd2 & 31) as usize] = addr;
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u8(addr) as u32;
+            }
+            K::AddLh => {
+                let sum = rs1.wrapping_add(rs2);
+                self.regs[(u.rd2 & 31) as usize] = sum;
+                let addr = sum.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u16(addr) as i16 as i32 as u32;
+            }
+            K::AddLhu => {
+                let sum = rs1.wrapping_add(rs2);
+                self.regs[(u.rd2 & 31) as usize] = sum;
+                let addr = sum.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u16(addr) as u32;
+            }
+            K::AddLw => {
+                let sum = rs1.wrapping_add(rs2);
+                self.regs[(u.rd2 & 31) as usize] = sum;
+                let addr = sum.wrapping_add(imm);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u32(addr);
+            }
+            K::SrlAnd => self.regs[rd] = rs1.wrapping_shr(rs2 & 31) & imm,
+            K::RsbImm => self.regs[rd] = imm.wrapping_sub(rs1),
+            K::AndRsb => {
+                let m = rs1 & (imm & 0xffff);
+                self.regs[(u.rd2 & 31) as usize] = m;
+                self.regs[rd] = (imm >> 16).wrapping_sub(m);
+            }
+            K::AddPair => {
+                self.regs[rd] = rs1.wrapping_add(rs2);
+                let c = self.regs[(imm & 31) as usize];
+                let d = self.regs[((imm >> 8) & 31) as usize];
+                self.regs[(u.rd2 & 31) as usize] = c.wrapping_add(d);
+            }
+            K::AddImmPair => {
+                self.regs[rd] = rs1.wrapping_add(imm as u16 as i16 as i32 as u32);
+                self.regs[(u.rd2 & 31) as usize] =
+                    rs2.wrapping_add((imm >> 16) as u16 as i16 as i32 as u32);
+            }
+            K::LwPair => {
+                let addr = rs1.wrapping_add(imm & 0xffff);
+                classify!(addr, AccessKind::Read);
+                self.regs[rd] = mem.read_u32(addr);
+                let addr2 = rs1.wrapping_add(imm >> 16);
+                classify!(addr2, AccessKind::Read);
+                self.regs[(u.rd2 & 31) as usize] = mem.read_u32(addr2);
+            }
+        }
+    }
+
+    /// Classifies the closed byte range `[lo, hi]` when it provably lies
+    /// in a single region. Sound because the mapped regions are address
+    /// intervals: a range whose endpoints both fit inside one interval is
+    /// wholly inside it. The complement region ([`Region::Other`]) is not
+    /// an interval, so ranges there — and ranges that wrap the address
+    /// space — return `None` and fall back to per-access classification.
+    #[inline(always)]
+    fn uniform_region(&self, lo: u32, hi: u32) -> Option<Region> {
+        if hi < lo {
+            return None;
+        }
+        let m = &self.map;
+        if lo >= m.packet_base && hi < m.packet_end {
+            Some(Region::Packet)
+        } else if lo >= m.data_base
+            && hi < m.data_end
+            // Classification priority: an address inside both intervals
+            // would count as Packet per-access, so the whole range must
+            // stay clear of the packet interval.
+            && (hi < m.packet_base || lo >= m.packet_end)
+        {
+            Some(Region::ProgramData)
+        } else if lo > m.stack_limit
+            && hi <= m.stack_top
+            && (hi < m.packet_base || lo >= m.packet_end)
+            && (hi < m.data_base || lo >= m.data_end)
+        {
+            Some(Region::Stack)
+        } else {
+            None
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1173,5 +1732,323 @@ mod tests {
         assert_eq!(stats.op_mix.count(OpClass::Store), 1);
         assert_eq!(stats.op_mix.count(OpClass::Jump), 1);
         assert_eq!(stats.op_mix.total(), stats.instret);
+    }
+
+    /// Runs `insts` under the forced counts loop and the forced block
+    /// engine with identical seeding and asserts every observable — the
+    /// result, all statistics, the register file, the PC, and a memory
+    /// digest — is bit-identical.
+    fn assert_block_matches_counts(
+        insts: Vec<Inst>,
+        config: &RunConfig,
+        handler_factory: impl Fn() -> Box<dyn SysHandler>,
+        setup: impl Fn(&mut Cpu, &mut Memory),
+    ) -> (Result<(), SimError>, RunStats) {
+        let program = Program::new(insts, map().text_base);
+        let table = crate::bblock::BlockTable::build(&program);
+        let mut outcomes = Vec::new();
+        for path in [ExecPath::Counts, ExecPath::Block] {
+            let mut mem = Memory::new();
+            let mut cpu = Cpu::new(&program, map()).with_blocks(&table);
+            setup(&mut cpu, &mut mem);
+            let mut stats = RunStats::for_program(program.len());
+            let mut handler = handler_factory();
+            let result = cpu.run_into_path(&mut mem, config, handler.as_mut(), &mut stats, path);
+            outcomes.push((result, stats, cpu.state(), mem.digest()));
+        }
+        let (r0, s0, st0, d0) = outcomes.remove(0);
+        let (r1, s1, st1, d1) = outcomes.remove(0);
+        assert_eq!(r0, r1, "run result");
+        assert_eq!(s0.instret, s1.instret, "instret");
+        assert_eq!(s0.op_mix, s1.op_mix, "op mix");
+        assert_eq!(s0.executed, s1.executed, "executed set");
+        assert_eq!(s0.mem, s1.mem, "mem counts");
+        assert_eq!(s0.halt, s1.halt, "halt reason");
+        assert_eq!(st0, st1, "architectural state");
+        assert_eq!(d0, d1, "memory digest");
+        (r0, s0)
+    }
+
+    fn no_sys() -> Box<dyn SysHandler> {
+        Box::new(NoSys)
+    }
+
+    #[test]
+    fn block_engine_matches_counts_on_loops_and_memory() {
+        let m = map();
+        let (result, stats) = assert_block_matches_counts(
+            vec![
+                // t0 = 4 loop iterations, each touching packet + stack.
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 4),
+                // loop head (branch target): two packet loads, one stack
+                // store — static groups on a0 and sp.
+                Inst::with_imm(Op::Lw, reg::T1, reg::A0, 0),
+                Inst::with_imm(Op::Lw, reg::T2, reg::A0, 4),
+                Inst::store(Op::Sw, reg::T1, reg::SP, -8),
+                Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+                Inst::branch(Op::Bne, reg::T0, reg::ZERO, -20),
+                Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            move |cpu, _| cpu.set_reg(reg::A0, m.packet_base),
+        );
+        result.unwrap();
+        assert_eq!(stats.instret, 1 + 4 * 5 + 1);
+        assert_eq!(stats.mem.packet_reads, 8);
+        assert_eq!(stats.mem.stack_writes, 4);
+        assert_eq!(stats.halt, HaltReason::Returned);
+    }
+
+    #[test]
+    fn block_engine_branch_to_self_hits_budget_identically() {
+        // A single-instruction block that is its own branch target; the
+        // budget error must fire at the same instruction on both paths.
+        let (result, stats) = assert_block_matches_counts(
+            vec![Inst::branch(Op::Beq, reg::ZERO, reg::ZERO, -4)],
+            &RunConfig {
+                max_instructions: 97,
+                ..RunConfig::default()
+            },
+            no_sys,
+            |_, _| {},
+        );
+        assert!(matches!(
+            result,
+            Err(SimError::InstructionBudgetExceeded { limit: 97 })
+        ));
+        assert_eq!(stats.instret, 97);
+    }
+
+    #[test]
+    fn block_engine_handles_blocks_longer_than_the_static_mask() {
+        // One straight-line block of >64 instructions with memory accesses
+        // past position 64: those can never be in `static_mask` and must
+        // account dynamically without overflowing the mask shift.
+        let m = map();
+        let mut insts = vec![Inst::with_imm(Op::Lw, reg::T1, reg::A0, 0)];
+        insts.extend((0..70).map(|_| Inst::with_imm(Op::Addi, reg::T0, reg::T0, 1)));
+        insts.push(Inst::with_imm(Op::Lw, reg::T2, reg::A0, 4));
+        insts.push(Inst::store(Op::Sw, reg::T0, reg::SP, -4));
+        insts.push(Inst::halt());
+        let (result, stats) =
+            assert_block_matches_counts(insts, &RunConfig::default(), no_sys, move |cpu, _| {
+                cpu.set_reg(reg::A0, m.packet_base)
+            });
+        result.unwrap();
+        assert_eq!(stats.instret, 74);
+        assert_eq!(stats.mem.packet_reads, 2);
+        assert_eq!(stats.mem.stack_writes, 1);
+    }
+
+    #[test]
+    fn block_engine_fallthrough_into_branch_target() {
+        // Instruction 3 is both the fallthrough successor of the block
+        // after the branch and the branch's own target — a `Fall` block
+        // boundary with no control transfer.
+        let (result, stats) = assert_block_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+                Inst::branch(Op::Beq, reg::T0, reg::ZERO, 4),
+                Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 2),
+                Inst::with_imm(Op::Addi, reg::T2, reg::ZERO, 3),
+                Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        result.unwrap();
+        assert_eq!(stats.instret, 5);
+    }
+
+    #[test]
+    fn block_engine_sys_and_halt_terminators() {
+        // sys Continue, then sys Stop; the handler mutates a0 so the gate
+        // also sees a base register change under its feet.
+        struct Handler;
+        impl SysHandler for Handler {
+            fn sys(
+                &mut self,
+                code: u32,
+                regs: &mut [u32; 32],
+                _mem: &mut Memory,
+            ) -> Result<SysOutcome, SimError> {
+                match code {
+                    0 => {
+                        regs[reg::A0.index()] = regs[reg::A0.index()].wrapping_add(1);
+                        Ok(SysOutcome::Continue)
+                    }
+                    6 => Ok(SysOutcome::Stop),
+                    _ => Err(SimError::UnknownSyscall { code, pc: 0 }),
+                }
+            }
+        }
+        let (result, stats) = assert_block_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::A0, reg::ZERO, 10),
+                Inst::sys(0),
+                Inst::with_imm(Op::Addi, reg::A1, reg::A0, 0),
+                Inst::sys(6),
+                Inst::halt(),
+            ],
+            &RunConfig::default(),
+            || Box::new(Handler),
+            |_, _| {},
+        );
+        result.unwrap();
+        assert_eq!(stats.halt, HaltReason::SysStop);
+        assert_eq!(stats.instret, 4);
+
+        let (result, stats) = assert_block_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+                Inst::halt(),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        result.unwrap();
+        assert_eq!(stats.halt, HaltReason::Halted);
+
+        let (result, _) = assert_block_matches_counts(
+            vec![Inst::sys(42)],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        let m = map();
+        assert_eq!(
+            result,
+            Err(SimError::UnknownSyscall {
+                code: 42,
+                pc: m.text_base
+            })
+        );
+    }
+
+    #[test]
+    fn block_engine_alternating_indirect_target() {
+        // A single `jr` whose computed target alternates between two
+        // leaders every iteration — the 1-entry inline cache misses every
+        // time and must still resolve correctly.
+        let m = map();
+        let text = m.text_base;
+        let (result, stats) = assert_block_matches_counts(
+            vec![
+                /* 0 */ Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 8),
+                /* 1 */ Inst::lui(reg::S0, (text >> 16) as i32),
+                /* 2 */ Inst::with_imm(Op::Addi, reg::S1, reg::S0, 36), // A = inst 9
+                /* 3 */ Inst::with_imm(Op::Addi, reg::S2, reg::S0, 44), // B = inst 11
+                /* 4 */ Inst::rtype(Op::Sub, reg::S3, reg::S2, reg::S1),
+                /* 5 */ Inst::with_imm(Op::Andi, reg::T1, reg::T0, 1), // loop head
+                /* 6 */ Inst::rtype(Op::Mul, reg::T2, reg::T1, reg::S3),
+                /* 7 */ Inst::rtype(Op::Add, reg::T2, reg::S1, reg::T2),
+                /* 8 */ Inst::jr(reg::T2),
+                /* 9 */ Inst::with_imm(Op::Addi, reg::T3, reg::T3, 1), // A
+                /* 10 */ Inst::jump(Op::J, 8), // -> 13
+                /* 11 */ Inst::with_imm(Op::Addi, reg::T4, reg::T4, 1), // B
+                /* 12 */ Inst::jump(Op::J, 0), // -> 13
+                /* 13 */ Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+                /* 14 */ Inst::branch(Op::Bne, reg::T0, reg::ZERO, -40), // -> 5
+                /* 15 */ Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        result.unwrap();
+        assert_eq!(stats.halt, HaltReason::Returned);
+    }
+
+    #[test]
+    fn block_engine_mid_block_indirect_entry() {
+        // `jr` into the middle of a block: the engine must fall back to
+        // per-instruction execution and still match exactly (including
+        // the partial-block executed set).
+        let m = map();
+        let (result, stats) = assert_block_matches_counts(
+            vec![
+                /* 0 */ Inst::lui(reg::T0, (m.text_base >> 16) as i32),
+                /* 1 */ Inst::with_imm(Op::Addi, reg::T0, reg::T0, 16), // inst 4
+                /* 2 */ Inst::jr(reg::T0),
+                /* 3 */
+                Inst::with_imm(Op::Addi, reg::T1, reg::ZERO, 1), // leader, skipped
+                /* 4 */
+                Inst::with_imm(Op::Addi, reg::T2, reg::ZERO, 2), // mid-block target
+                /* 5 */ Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        result.unwrap();
+        assert_eq!(stats.instret, 5);
+        assert!(!stats.executed.contains(3));
+        assert!(stats.executed.contains(4));
+    }
+
+    #[test]
+    fn block_engine_stray_and_misaligned_targets() {
+        // Branch taken to an out-of-text target.
+        let (result, _) = assert_block_matches_counts(
+            vec![Inst::branch(Op::Beq, reg::ZERO, reg::ZERO, 400)],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        assert!(matches!(result, Err(SimError::PcOutOfRange { .. })));
+
+        // Indirect jump to a misaligned address.
+        let (result, _) = assert_block_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 0x1002),
+                Inst::jr(reg::T0),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        assert!(matches!(result, Err(SimError::MisalignedPc { pc: 0x1002 })));
+
+        // Running off the end of the text.
+        let (result, _) = assert_block_matches_counts(
+            vec![Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1)],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+        );
+        assert!(matches!(result, Err(SimError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn auto_path_uses_block_engine_only_with_table() {
+        // With a table attached, Auto + NullObserver must produce the
+        // same stats as the explicit counts loop.
+        let m = map();
+        let program = Program::new(
+            vec![
+                Inst::with_imm(Op::Lw, reg::T0, reg::A0, 0),
+                Inst::store(Op::Sw, reg::T0, reg::GP, 0),
+                Inst::jr(reg::RA),
+            ],
+            m.text_base,
+        );
+        let table = crate::bblock::BlockTable::build(&program);
+        let run = |blocks: bool| {
+            let mut mem = Memory::new();
+            let mut cpu = Cpu::new(&program, m);
+            if blocks {
+                cpu = cpu.with_blocks(&table);
+            }
+            cpu.set_reg(reg::A0, m.packet_base);
+            cpu.run(&mut mem, &RunConfig::default()).unwrap()
+        };
+        let with_table = run(true);
+        let without = run(false);
+        assert_eq!(with_table.instret, without.instret);
+        assert_eq!(with_table.mem, without.mem);
+        assert_eq!(with_table.executed, without.executed);
     }
 }

@@ -51,9 +51,13 @@ impl Reg {
 
     /// The register number as an array index (always `< 32` by
     /// construction).
+    ///
+    /// The mask is a no-op for every constructible `Reg` but lets the
+    /// optimizer drop the bounds check on `regs[r.index()]` — which sits
+    /// on every operand of every interpreted instruction.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 
     /// The register number.

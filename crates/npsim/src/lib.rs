@@ -70,6 +70,7 @@ pub mod obs;
 pub mod uarch;
 pub mod util;
 
+pub use bblock::{BlockMap, BlockTable};
 pub use cpu::{
     Cpu, CpuState, ExecPath, HaltReason, Interpreter, MemCounts, Program, RunConfig, RunStats,
     SysHandler, SysOutcome,

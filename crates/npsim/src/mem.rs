@@ -198,8 +198,12 @@ pub struct Memory {
     /// Two-level page table: `index[pn >> L2_BITS][pn & (L2_SIZE - 1)]`
     /// holds `slot + 1`, or 0 for an unmapped page.
     index: Vec<Option<Box<[u32; L2_SIZE]>>>,
-    /// Last page translated: `(page_base, slot + 1)`; slot 0 means empty.
-    last: Cell<(u32, u32)>,
+    /// Tiny direct-mapped translation cache indexed by the low page-number
+    /// bits: entry `(addr >> 12) & 3` holds `(page_base, slot + 1)`; slot
+    /// 0 means empty. Four entries (instead of one) keep loops that
+    /// alternate between a lookup structure and a second region from
+    /// thrashing the cache on every access.
+    last: [Cell<(u32, u32)>; 4],
 }
 
 impl Default for Memory {
@@ -214,7 +218,7 @@ impl Memory {
         Memory {
             frames: Vec::new(),
             index: vec![None; L1_SIZE],
-            last: Cell::new((0, 0)),
+            last: [const { Cell::new((0, 0)) }; 4],
         }
     }
 
@@ -223,7 +227,8 @@ impl Memory {
     #[inline]
     fn slot_of(&self, addr: u32) -> Option<usize> {
         let page_base = addr & !PAGE_MASK;
-        let (cached_base, cached_slot) = self.last.get();
+        let way = &self.last[((addr >> 12) & 3) as usize];
+        let (cached_base, cached_slot) = way.get();
         if cached_slot != 0 && cached_base == page_base {
             return Some((cached_slot - 1) as usize);
         }
@@ -232,7 +237,7 @@ impl Memory {
         if entry == 0 {
             return None;
         }
-        self.last.set((page_base, entry));
+        way.set((page_base, entry));
         Some((entry - 1) as usize)
     }
 
@@ -241,7 +246,8 @@ impl Memory {
     #[inline]
     fn slot_ensure(&mut self, addr: u32) -> usize {
         let page_base = addr & !PAGE_MASK;
-        let (cached_base, cached_slot) = self.last.get();
+        let way = ((addr >> 12) & 3) as usize;
+        let (cached_base, cached_slot) = self.last[way].get();
         if cached_slot != 0 && cached_base == page_base {
             return (cached_slot - 1) as usize;
         }
@@ -253,7 +259,7 @@ impl Memory {
             *entry = self.frames.len() as u32;
         }
         let slot = *entry;
-        self.last.set((page_base, slot));
+        self.last[way].set((page_base, slot));
         (slot - 1) as usize
     }
 
@@ -369,7 +375,9 @@ impl Memory {
     pub fn clear(&mut self) {
         self.frames.clear();
         self.index.iter_mut().for_each(|leaf| *leaf = None);
-        self.last.set((0, 0));
+        for way in &self.last {
+            way.set((0, 0));
+        }
     }
 
     /// A digest of memory *contents*, independent of allocation history.

@@ -18,6 +18,22 @@ use crate::mem::{AccessKind, Region};
 /// body so an observer implements only what it needs; every call site is
 /// monomorphized, so unimplemented hooks cost nothing.
 pub trait Observer {
+    /// Whether the observer accepts block-granular retire events in place
+    /// of per-instruction callbacks.
+    ///
+    /// The counts-only interpreter has a superblock fast path that retires
+    /// whole basic blocks at once; inside a fully-retired block it calls
+    /// neither [`Observer::on_inst`] nor [`Observer::on_mem`], only
+    /// [`Observer::on_block`]. That path is only eligible when the
+    /// attached observer opts in by setting this to `true` — an observer
+    /// that does so must derive everything it needs from `on_block` plus
+    /// the per-instruction hooks, which still fire on the engine's
+    /// fallback paths (mid-block entries, instruction-budget tails).
+    ///
+    /// Defaults to `false`: an ordinary per-instruction observer keeps the
+    /// per-instruction loop and sees every event, exactly as before.
+    const BLOCK_LEVEL: bool = false;
+
     /// A run (one packet, in PacketBench terms) is about to start.
     /// Per-run observer state (like the current basic block) resets here.
     #[inline(always)]
@@ -35,14 +51,27 @@ pub trait Observer {
     fn on_mem(&mut self, addr: u32, size: u8, kind: AccessKind, region: Region) {
         let _ = (addr, size, kind, region);
     }
+
+    /// One whole basic block retired by the superblock engine: block id
+    /// `block`, spanning `len` instructions starting at static instruction
+    /// index `first`. Only fires when [`Observer::BLOCK_LEVEL`] is `true`
+    /// and the block engine is active; equivalent per-instruction activity
+    /// is reported through [`Observer::on_inst`] otherwise.
+    #[inline(always)]
+    fn on_block(&mut self, block: usize, first: usize, len: usize) {
+        let _ = (block, first, len);
+    }
 }
 
 /// The no-op observer: all hooks inline to nothing, so loops instantiated
-/// with it are the uninstrumented loops.
+/// with it are the uninstrumented loops. Block-level, so unobserved
+/// counts-only runs are eligible for the superblock fast path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+impl Observer for NullObserver {
+    const BLOCK_LEVEL: bool = true;
+}
 
 #[cfg(test)]
 mod tests {

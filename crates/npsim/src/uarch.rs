@@ -292,6 +292,16 @@ impl OpMix {
         }
     }
 
+    /// Adds `times` copies of another mix into this one (the superblock
+    /// engine folds a block's static mix in once per run, scaled by its
+    /// retire count, instead of once per retire).
+    #[inline]
+    pub fn merge_scaled(&mut self, other: &OpMix, times: u64) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b * times;
+        }
+    }
+
     /// Iterates `(class, executed count)` over every opcode class in
     /// [`OpClass::ALL`] order — the stable ordering the metrics exporters
     /// rely on.

@@ -95,6 +95,35 @@ fn engine_serial_path_matches_packetbench() {
 }
 
 #[test]
+fn serial_fast_path_report_bytes_match_threaded_runs() {
+    // `Engine::run` takes a zero-overhead serial path at threads == 1 (no
+    // worker threads, no channels). The rendered aggregate report — the
+    // user-visible artifact — must still be byte-equal to every threaded
+    // run's, proving the fast path is not a separate semantics.
+    let packets = mra_trace(PACKETS);
+    for id in AppId::WITH_EXTENSIONS {
+        let engine = Engine::new(id);
+        let fold = |run: &EngineRun| {
+            let mut agg = StreamAggregate::new();
+            for record in &run.records {
+                agg.add_record(record);
+            }
+            report::render_aggregate_report(id, &agg, false, false)
+        };
+        let serial = fold(&engine.run(&packets, Detail::counts(), 1).unwrap());
+        for threads in [2, 4] {
+            let parallel = fold(&engine.run(&packets, Detail::counts(), threads).unwrap());
+            assert_eq!(
+                serial,
+                parallel,
+                "{}: report bytes at {threads} threads",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn aggregate_tables_are_thread_count_invariant() {
     // The quantities behind the paper's Tables II/III/V: total and
     // per-packet instruction counts and region-classified memory accesses.

@@ -95,6 +95,32 @@ impl AppId {
             .into_iter()
             .find(|a| a.slug().eq_ignore_ascii_case(name) || a.name().eq_ignore_ascii_case(name))
     }
+
+    /// The memoization key declaration: how many leading layer-3 bytes the
+    /// application's result can depend on, or `None` for applications that
+    /// mutate state between packets and must bypass the memo cache.
+    ///
+    /// This is only a *declaration* — eligibility is still proven
+    /// statically by `npsim::analyze_writes` over the assembled program
+    /// (see `PacketBench::set_memo`), so a wrong `Some` here cannot make
+    /// an unsafe application memoizable. TSA declares a key, for example,
+    /// but is vetoed by the write analysis because it appends to its
+    /// in-memory record table through a pointer loaded from memory.
+    pub fn memo_key_len(self) -> Option<usize> {
+        match self {
+            // Forwarding reads the full IPv4 header (checksum loop covers
+            // `ihl * 4` bytes, at most 60) and nothing past it.
+            AppId::Ipv4Radix | AppId::Ipv4Trie => Some(60),
+            // TSA collects at most 36 header bytes per record (TCP case).
+            AppId::Tsa => Some(40),
+            // Flow classification increments per-flow counters: the result
+            // for a repeated packet differs from the first occurrence.
+            AppId::FlowClass => None,
+            // IPsec rewrites the whole payload in place; replaying a cached
+            // verdict would skip the encryption side effect.
+            AppId::IpsecEnc => None,
+        }
+    }
 }
 
 impl std::fmt::Display for AppId {
@@ -231,7 +257,11 @@ impl App {
         self.image.symbol("main").expect("checked in build")
     }
 
-    fn struct_base(&self) -> u32 {
+    /// Base address of the `init()`-built persistent structures. Assembly
+    /// `.data` below this address is per-packet scratch (`state_ptr`, key
+    /// buffers); everything at or above it is state that must survive
+    /// between packets — the boundary the memoization write-guard enforces.
+    pub fn struct_base(&self) -> u32 {
         self.image.data_base() + STRUCT_OFFSET
     }
 

@@ -5,13 +5,15 @@
 //! pb traces                        list trace profiles
 //! pb disasm --app <app>            disassemble an application
 //! pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
-//!        [--verify] [--uarch] [--seed <n>]
+//!        [--verify] [--uarch] [--seed <n>] [--memo on|off|check]
 //! pb stream <app> <source> [--threads <n>] [--chunk-size <n>]
 //!           [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
-//!           [--progress]
+//!           [--progress] [--memo on|off|check]
 //! pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
+//!           [--memo on|off|check]
 //! pb report --app <app> --metrics json|prom [--trace <profile>]
 //!           [-n <packets>] [--out <file>] [--deterministic]
+//!           [--memo on|off|check]
 //! pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
 //! pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 //! ```
@@ -31,7 +33,7 @@ use npstream::SourceSpec;
 use packetbench::analysis::StreamAggregate;
 use packetbench::apps::{App, AppId};
 use packetbench::engine::Engine;
-use packetbench::framework::Detail;
+use packetbench::framework::{Detail, MemoMode};
 use packetbench::profile::{run_profile, ProfileSpec};
 use packetbench::stream::StreamConfig;
 use packetbench::{report, WorkloadConfig};
@@ -167,14 +169,15 @@ USAGE:
   pb disasm --app <app>            disassemble an application
   pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
          [--verify] [--uarch] [--seed <n>] [--threads <n>] [--progress]
+         [--memo on|off|check]
   pb stream <app> <source> [--threads <n>] [--chunk-size <n>]
             [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
-            [--progress]
+            [--progress] [--memo on|off|check]
   pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
-             [--progress]
+             [--progress] [--memo on|off|check]
   pb report --app <app> --metrics json|prom [--trace <profile>]
             [-n <packets>] [--seed <n>] [--threads <n>] [--out <file>]
-            [--deterministic]
+            [--deterministic] [--memo on|off|check]
   pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
   pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 
@@ -200,10 +203,20 @@ Prometheus text-format document (schema version, git commit, ISO-8601
 timestamp); --deterministic pins the stamp and zeroes timing fields so
 the output can be diffed against fixtures.
 
+`--memo on` enables per-worker flow memoization: results for repeated
+flows are answered from a cache keyed on the header bytes the
+application reads, skipping simulation entirely. A static write
+analysis proves which applications are safe to memoize (radix and
+trie); stateful or writing applications bypass the cache automatically.
+Reports are bit-identical to `--memo off`. `--memo check` always
+simulates and asserts every cached result matches the live run — the
+soundness debug mode. Try it on the `zipf` trace profile, which models
+a fixed flow population under a Zipf popularity law.
+
 `pb conform` differentially tests the optimized simulator against a
 reference interpreter: a seeded corpus of random programs plus all five
-applications, across the full-detail, counts-only, superblock, and
-multi-threaded paths. On divergence it exits nonzero and writes a minimized repro to
+applications, across the full-detail, counts-only, superblock,
+multi-threaded, and memoization-replay paths. On divergence it exits nonzero and writes a minimized repro to
 the --repro path (default conform_repro.s).
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error."
@@ -229,7 +242,10 @@ fn cmd_traces() -> Result<(), CliError> {
         "{:<6} {:<20} {:>12} {:>10} {:>10}",
         "name", "type", "packets", "flows", "new-flow%"
     );
-    for p in TraceProfile::all() {
+    for p in TraceProfile::all()
+        .into_iter()
+        .chain([TraceProfile::zipf()])
+    {
         println!(
             "{:<6} {:<20} {:>12} {:>10} {:>9.1}%",
             p.name,
@@ -239,6 +255,11 @@ fn cmd_traces() -> Result<(), CliError> {
             p.new_flow_prob * 100.0
         );
     }
+    println!(
+        "\n`zipf` replays a fixed flow population under a Zipf popularity law\n\
+         (synthetic flow reuse for memoization studies; configure it in stream\n\
+         specs with `:flows=<n>:skew=<s>`). The four paper traces are reuse-free."
+    );
     Ok(())
 }
 
@@ -250,6 +271,37 @@ fn app_from(args: &Args) -> Result<AppId, CliError> {
         Some(id) => Ok(id),
         None => usage_err(format!("unknown application `{name}`")),
     }
+}
+
+/// Parses `--memo on|off|check` (default off).
+fn memo_from(args: &Args) -> Result<MemoMode, CliError> {
+    match args.options.get("memo") {
+        None => Ok(MemoMode::Off),
+        Some(v) => match MemoMode::parse(v) {
+            Some(mode) => Ok(mode),
+            None => usage_err(format!("bad --memo value `{v}` (on|off|check)")),
+        },
+    }
+}
+
+/// One stderr line summarizing per-worker memoization traffic. Printed
+/// only when memoization was requested, so default runs are unchanged.
+fn report_memo(memo: MemoMode, workers: &[packetbench::WorkerMetrics]) {
+    if memo == MemoMode::Off {
+        return;
+    }
+    let hits: u64 = workers.iter().map(|w| w.memo_hits).sum();
+    let misses: u64 = workers.iter().map(|w| w.memo_misses).sum();
+    let evictions: u64 = workers.iter().map(|w| w.memo_evictions).sum();
+    let total = hits + misses;
+    if total == 0 {
+        eprintln!("memo:                   inactive (application not memoizable)");
+        return;
+    }
+    eprintln!(
+        "memo:                   {hits} hits / {misses} misses ({:.1}% hit rate, {evictions} evictions)",
+        hits as f64 / total as f64 * 100.0
+    );
 }
 
 fn trace_profile(name: &str) -> Result<TraceProfile, CliError> {
@@ -302,9 +354,11 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         uarch,
         ..Detail::counts()
     };
+    let memo = memo_from(args)?;
     let engine = Engine::with_config(id, config)
         .verify(verify)
-        .progress(args.flag("progress"));
+        .progress(args.flag("progress"))
+        .memo(memo);
     let run = engine
         .run(&packets, detail, threads)
         .map_err(|e| e.to_string())?;
@@ -329,6 +383,7 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     if run.threads > 1 {
         eprint!("{}", report::render_worker_table(&run.workers));
     }
+    report_memo(memo, &run.workers);
     Ok(())
 }
 
@@ -377,9 +432,11 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
         uarch,
         ..Detail::counts()
     };
+    let memo = memo_from(args)?;
     let engine = Engine::with_config(id, WorkloadConfig::default())
         .verify(verify)
-        .progress(args.flag("progress"));
+        .progress(args.flag("progress"))
+        .memo(memo);
     let run = engine
         .run_streaming(
             source,
@@ -409,6 +466,7 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
     if run.threads > 1 {
         eprint!("{}", report::render_worker_table(&run.workers));
     }
+    report_memo(memo, &run.workers);
     Ok(())
 }
 
@@ -419,6 +477,7 @@ fn profile_spec(args: &Args, app: AppId, trace_name: &str) -> Result<ProfileSpec
     spec.seed = args.parse_opt("seed", 42)?;
     spec.threads = args.parse_opt("threads", 1)?;
     spec.progress = args.flag("progress");
+    spec.memo = memo_from(args)?;
     Ok(spec)
 }
 

@@ -17,6 +17,14 @@
 //! Applications are stateful (flow tables, anonymization mappings), so
 //! agreeing packet-by-packet over a whole trace is a much stronger check
 //! than any single-packet comparison.
+//!
+//! A sixth **memo leg** replays the trace twice through one
+//! [`MemoMode::Check`] framework: the first pass misses and installs
+//! cache entries, the second hits — and Check mode re-simulates every
+//! hit and asserts the cached result is bit-identical before applying
+//! it. The leg also asserts the static write guard engages for exactly
+//! the proven-safe applications (radix and trie) and that stateful or
+//! vetoed applications bypass the cache entirely.
 
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use nettrace::Packet;
@@ -27,7 +35,7 @@ use crate::apps::{App, AppId};
 use crate::config::WorkloadConfig;
 use crate::engine::Engine;
 use crate::error::BenchError;
-use crate::framework::{Detail, PacketBench, PacketRecord, Verdict};
+use crate::framework::{Detail, MemoMode, PacketBench, PacketRecord, Verdict};
 
 /// Conformance result for one application over one trace.
 #[derive(Debug, Clone)]
@@ -198,6 +206,74 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
             divergences.push(format!(
                 "engine({threads}): output packets differ from reference"
             ));
+        }
+    }
+
+    // Memo leg: one Check-mode bench replays the trace twice. Pass one
+    // misses and installs entries; pass two hits, and Check mode
+    // re-simulates each hit, asserting bit-identity with the cached
+    // result before it is applied. Both passes must match the reference
+    // per packet. Non-memoizable applications (stateful, or vetoed by
+    // the static write guard) skip pass two: their "memo" run is a plain
+    // counts run, and replaying would advance their state past the
+    // reference's.
+    if divergences.len() < MAX_DIVERGENCES {
+        let mut bench_memo = PacketBench::with_config(App::build(id, &config)?, &config)?;
+        bench_memo.set_memo(MemoMode::Check);
+        let want_active = matches!(id, AppId::Ipv4Radix | AppId::Ipv4Trie);
+        if bench_memo.memo_active() != want_active {
+            divergences.push(format!(
+                "memo: write guard engaged={} for {:?}, expected {}",
+                bench_memo.memo_active(),
+                id,
+                want_active
+            ));
+        }
+        let passes = if bench_memo.memo_active() { 2 } else { 1 };
+        'memo: for pass in 0..passes {
+            for (i, packet) in packets.iter().enumerate() {
+                let index = (pass * packets.len() + i) as u64;
+                let mut record = PacketRecord::empty();
+                if let Err(e) =
+                    bench_memo.process_packet_at(index, packet, Detail::counts(), &mut record)
+                {
+                    divergences.push(format!("packet {i} memo(pass {pass}): {e}"));
+                    break 'memo;
+                }
+                let Some(reference) = reference_legs.get(i) else {
+                    break 'memo;
+                };
+                let r = &reference.outcome.stats;
+                let e = &record.stats;
+                for (field, same) in [
+                    ("instret", r.instret == e.instret),
+                    ("op_mix", r.op_mix == e.op_mix),
+                    ("executed", r.executed == e.executed),
+                    ("mem", r.mem == e.mem),
+                    ("halt", r.halt == e.halt),
+                    ("verdict", reference.verdict == record.verdict),
+                    (
+                        "return_value",
+                        reference.return_value == record.return_value,
+                    ),
+                ] {
+                    if !same {
+                        divergences.push(format!("packet {i} memo(pass {pass}): {field} differs"));
+                    }
+                }
+                if divergences.len() >= MAX_DIVERGENCES {
+                    break 'memo;
+                }
+            }
+        }
+        if bench_memo.memo_active() && !packets.is_empty() {
+            let counters = bench_memo.memo_counters();
+            if counters.hits == 0 || counters.misses == 0 {
+                divergences.push(format!(
+                    "memo: replay produced no cache traffic (hits={} misses={})",
+                    counters.hits, counters.misses
+                ));
+            }
         }
     }
 

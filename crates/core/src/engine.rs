@@ -39,7 +39,7 @@ use npsim::{NullObserver, Observer};
 use crate::apps::{App, AppId};
 use crate::config::WorkloadConfig;
 use crate::error::BenchError;
-use crate::framework::{Detail, PacketBench, PacketRecord};
+use crate::framework::{Detail, MemoMode, PacketBench, PacketRecord};
 
 /// How often the in-run progress line is refreshed.
 const PROGRESS_INTERVAL: Duration = Duration::from_millis(1000);
@@ -51,6 +51,7 @@ pub struct Engine {
     config: WorkloadConfig,
     pub(crate) verify: bool,
     pub(crate) progress: bool,
+    pub(crate) memo: MemoMode,
 }
 
 impl Engine {
@@ -66,6 +67,7 @@ impl Engine {
             config,
             verify: false,
             progress: false,
+            memo: MemoMode::Off,
         }
     }
 
@@ -80,6 +82,15 @@ impl Engine {
     /// counter is touched on the packet path.
     pub fn progress(mut self, progress: bool) -> Engine {
         self.progress = progress;
+        self
+    }
+
+    /// Sets the flow-memoization mode for every worker's `PacketBench`.
+    /// Memoization only ever engages for applications the static write
+    /// guard proves safe ([`PacketBench::set_memo`]); for the rest this
+    /// is a no-op, so `MemoMode::On` is always sound to request.
+    pub fn memo(mut self, memo: MemoMode) -> Engine {
+        self.memo = memo;
         self
     }
 
@@ -282,6 +293,7 @@ impl Engine {
     ) -> Result<(EngineRun, Vec<O>), BenchError> {
         let app = App::build(self.id, &self.config)?;
         let mut bench = PacketBench::with_config(app, &self.config)?;
+        bench.set_memo(self.memo);
         let mut records = Vec::with_capacity(packets.len());
         let busy_start = Instant::now();
         for (i, packet) in packets.iter().enumerate() {
@@ -294,12 +306,16 @@ impl Engine {
         }
         let busy_ns = busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let memo = bench.memo_counters();
         let workers = vec![WorkerMetrics {
             worker: 0,
             packets: packets.len() as u64,
             busy_ns,
             idle_ns: wall_ns.saturating_sub(busy_ns),
             queue_depth: packets.len() as u64,
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_evictions: memo.evictions,
         }];
         Ok((
             EngineRun {
@@ -332,6 +348,7 @@ impl Engine {
         let first = indices.first().copied().unwrap_or(0);
         let app = App::build(self.id, &self.config).map_err(|e| (first, e))?;
         let mut bench = PacketBench::with_config(app, &self.config).map_err(|e| (first, e))?;
+        bench.set_memo(self.memo);
         let mut batch = Vec::with_capacity(indices.len());
         let busy_start = Instant::now();
         for &i in indices {
@@ -349,12 +366,16 @@ impl Engine {
                 counter.fetch_add(1, Ordering::Relaxed);
             }
         }
+        let memo = bench.memo_counters();
         let metrics = WorkerMetrics {
             worker,
             packets: indices.len() as u64,
             busy_ns: busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             idle_ns: 0,
             queue_depth: indices.len() as u64,
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_evictions: memo.evictions,
         };
         Ok((batch, obs, metrics))
     }
@@ -375,6 +396,17 @@ pub struct WorkerMetrics {
     pub idle_ns: u64,
     /// Packets assigned to this worker's shard.
     pub queue_depth: u64,
+    /// Packets answered from this worker's flow-memoization cache
+    /// (simulation skipped entirely). Zero when memoization is off or
+    /// the application is not memoizable.
+    pub memo_hits: u64,
+    /// Packets that missed the memoization cache and ran the simulator
+    /// (each installs or refreshes an entry). Zero when memoization is
+    /// off.
+    pub memo_misses: u64,
+    /// Cache entries displaced by a colliding key (direct-mapped
+    /// replacement). Zero when memoization is off.
+    pub memo_evictions: u64,
 }
 
 /// The merged, trace-ordered result of an [`Engine::run`].
@@ -543,6 +575,62 @@ mod tests {
                 matches!(err, BenchError::BadPacket(_)),
                 "threads={threads}: {err:?}"
             );
+        }
+    }
+
+    #[test]
+    fn memo_on_matches_memo_off_at_every_thread_count() {
+        use crate::framework::MemoMode;
+        let packets: Vec<Packet> =
+            SyntheticTrace::new(TraceProfile::with_zipf(32, 120), 21).take_packets(300);
+        for id in [AppId::Ipv4Radix, AppId::Ipv4Trie] {
+            for threads in [1, 4, 7] {
+                let off = Engine::new(id)
+                    .memo(MemoMode::Off)
+                    .run(&packets, Detail::counts(), threads)
+                    .unwrap();
+                let on = Engine::new(id)
+                    .memo(MemoMode::On)
+                    .run(&packets, Detail::counts(), threads)
+                    .unwrap();
+                for (i, (a, b)) in off.records.iter().zip(&on.records).enumerate() {
+                    assert_eq!(
+                        a.stats.instret, b.stats.instret,
+                        "{id:?} threads={threads} packet {i}"
+                    );
+                    assert_eq!(a.stats.op_mix, b.stats.op_mix, "{id:?} t={threads} p={i}");
+                    assert_eq!(a.stats.mem, b.stats.mem, "{id:?} t={threads} p={i}");
+                    assert_eq!(a.verdict, b.verdict, "{id:?} t={threads} p={i}");
+                    assert_eq!(a.return_value, b.return_value, "{id:?} t={threads} p={i}");
+                }
+                let hits: u64 = on.workers.iter().map(|w| w.memo_hits).sum();
+                let misses: u64 = on.workers.iter().map(|w| w.memo_misses).sum();
+                assert!(hits > 0, "{id:?} threads={threads}");
+                assert_eq!(hits + misses, 300, "{id:?} threads={threads}");
+                assert!(
+                    off.workers.iter().all(|w| w.memo_hits == 0),
+                    "memo-off run must not touch the cache"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_mode_matches_off_in_the_engine() {
+        use crate::framework::MemoMode;
+        let packets: Vec<Packet> =
+            SyntheticTrace::new(TraceProfile::with_zipf(16, 100), 23).take_packets(120);
+        let off = Engine::new(AppId::Ipv4Radix)
+            .memo(MemoMode::Off)
+            .run(&packets, Detail::counts(), 4)
+            .unwrap();
+        let check = Engine::new(AppId::Ipv4Radix)
+            .memo(MemoMode::Check)
+            .run(&packets, Detail::counts(), 4)
+            .unwrap();
+        for (a, b) in off.records.iter().zip(&check.records) {
+            assert_eq!(a.stats.instret, b.stats.instret);
+            assert_eq!(a.verdict, b.verdict);
         }
     }
 

@@ -27,6 +27,13 @@ pub enum BenchError {
         /// What disagreed.
         what: String,
     },
+    /// A memoized result differed from the live run under
+    /// [`crate::framework::MemoMode::Check`] — a corrupted or unsound
+    /// cache entry.
+    MemoMismatch {
+        /// The first differing field.
+        what: String,
+    },
 }
 
 impl fmt::Display for BenchError {
@@ -39,6 +46,9 @@ impl fmt::Display for BenchError {
                 write!(f, "application `{app}` has no `main` symbol")
             }
             BenchError::Mismatch { what } => write!(f, "golden-model mismatch: {what}"),
+            BenchError::MemoMismatch { what } => {
+                write!(f, "memoized result diverges from live run: {what}")
+            }
         }
     }
 }

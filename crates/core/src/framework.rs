@@ -11,8 +11,12 @@
 
 use nettrace::{Packet, Timestamp};
 use npsim::bblock::{BlockMap, BlockTable};
+use npsim::cpu::HaltReason;
+use npsim::uarch::OpMix;
+use npsim::util::BitSet;
 use npsim::{
-    reg, Cpu, Interpreter, Memory, MemoryMap, RunConfig, RunStats, SimError, SysHandler, SysOutcome,
+    reg, Cpu, Interpreter, MemCounts, MemoCache, MemoCounters, Memory, MemoryMap, RunConfig,
+    RunStats, SimError, SysHandler, SysOutcome,
 };
 
 use crate::apps::App;
@@ -89,6 +93,125 @@ impl Detail {
             ..RunConfig::default()
         }
     }
+}
+
+/// Whether (and how) the counts-only hot path memoizes per-flow results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemoMode {
+    /// Never consult the cache (the default — paper-exhibit runs stay
+    /// exact re-simulations).
+    #[default]
+    Off,
+    /// Consult a per-worker cache keyed on the header bytes the
+    /// application reads; a hit applies the cached result and skips
+    /// simulation entirely.
+    On,
+    /// Always simulate, and additionally assert that any cached result is
+    /// bit-identical to the live run — the memo soundness debug mode.
+    Check,
+}
+
+impl MemoMode {
+    /// Parses the CLI spelling (`on` / `off` / `check`).
+    pub fn parse(s: &str) -> Option<MemoMode> {
+        match s {
+            "off" => Some(MemoMode::Off),
+            "on" => Some(MemoMode::On),
+            "check" => Some(MemoMode::Check),
+            _ => None,
+        }
+    }
+}
+
+/// One cached per-flow result: the counts-only [`RunStats`] delta plus the
+/// application's verdict and return value. Traces and uarch stats are never
+/// cached — memoization only engages at [`Detail::counts`].
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    instret: u64,
+    op_mix: OpMix,
+    executed: BitSet,
+    mem: MemCounts,
+    halt: HaltReason,
+    verdict: Verdict,
+    return_value: u32,
+}
+
+impl MemoEntry {
+    fn from_record(record: &PacketRecord) -> MemoEntry {
+        MemoEntry {
+            instret: record.stats.instret,
+            op_mix: record.stats.op_mix,
+            executed: record.stats.executed.clone(),
+            mem: record.stats.mem,
+            halt: record.stats.halt,
+            verdict: record.verdict,
+            return_value: record.return_value,
+        }
+    }
+
+    /// Replays this entry into `record` without allocating.
+    fn apply(&self, record: &mut PacketRecord) {
+        let stats = &mut record.stats;
+        stats.instret = self.instret;
+        stats.op_mix = self.op_mix;
+        stats.executed.copy_from(&self.executed);
+        stats.mem = self.mem;
+        stats.halt = self.halt;
+        stats.pc_trace.clear();
+        stats.mem_trace.clear();
+        stats.uarch = None;
+        record.verdict = self.verdict;
+        record.return_value = self.return_value;
+    }
+
+    /// The first field where this entry differs from a live run, if any.
+    fn divergence_from(&self, record: &PacketRecord) -> Option<String> {
+        if self.instret != record.stats.instret {
+            return Some(format!(
+                "instret: cached {}, live {}",
+                self.instret, record.stats.instret
+            ));
+        }
+        if self.op_mix != record.stats.op_mix {
+            return Some("instruction mix differs".into());
+        }
+        if self.executed != record.stats.executed {
+            return Some("executed-instruction set differs".into());
+        }
+        if self.mem != record.stats.mem {
+            return Some("memory access counts differ".into());
+        }
+        if self.halt != record.stats.halt {
+            return Some(format!(
+                "halt reason: cached {:?}, live {:?}",
+                self.halt, record.stats.halt
+            ));
+        }
+        if self.verdict != record.verdict {
+            return Some(format!(
+                "verdict: cached {:?}, live {:?}",
+                self.verdict, record.verdict
+            ));
+        }
+        if self.return_value != record.return_value {
+            return Some(format!(
+                "return value: cached {:#x}, live {:#x}",
+                self.return_value, record.return_value
+            ));
+        }
+        None
+    }
+}
+
+/// Per-bench memoization state, present only when the mode is not `Off`
+/// *and* the application passed the static write-region guard.
+#[derive(Debug)]
+struct MemoLayer {
+    mode: MemoMode,
+    cache: MemoCache<MemoEntry>,
+    key_len: usize,
+    key_buf: Vec<u8>,
 }
 
 /// Everything recorded about one packet's processing.
@@ -168,6 +291,7 @@ pub struct PacketBench {
     block_table: BlockTable,
     out_packets: Vec<Packet>,
     packets_processed: u64,
+    memo: Option<MemoLayer>,
 }
 
 impl PacketBench {
@@ -203,7 +327,140 @@ impl PacketBench {
             block_table,
             out_packets: Vec::new(),
             packets_processed: 0,
+            memo: None,
         })
+    }
+
+    /// Enables (or disables) per-flow memoization of the counts-only path.
+    ///
+    /// A mode other than [`MemoMode::Off`] only takes effect when the
+    /// application both declares a memo key ([`AppId::memo_key_len`]) and
+    /// passes the static write-region guard: `npsim::analyze_writes` must
+    /// prove every store targets the packet buffer, the stack, or the
+    /// `.data` scratch below [`App::struct_base`], and the program must
+    /// not call the side-effectful `write_packet_to_file`. Applications
+    /// failing either test silently bypass the cache — annotations are
+    /// never trusted over the analysis.
+    pub fn set_memo(&mut self, mode: MemoMode) {
+        self.memo = None;
+        if mode == MemoMode::Off {
+            return;
+        }
+        let Some(key_len) = self.app.id().memo_key_len() else {
+            return;
+        };
+        let analysis = npsim::analyze_writes(
+            self.app.image().program(),
+            &self.map,
+            self.app.struct_base(),
+        );
+        if !analysis.memoizable || analysis.sys_codes.contains(&sys::WRITE) {
+            return;
+        }
+        self.memo = Some(MemoLayer {
+            mode,
+            cache: MemoCache::new(),
+            key_len,
+            key_buf: Vec::with_capacity(key_len + 4),
+        });
+    }
+
+    /// Whether memoization is active (mode not `Off` and the application
+    /// passed the static guard).
+    pub fn memo_active(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Hit/miss/eviction counters of the memo cache (zeros when inactive).
+    pub fn memo_counters(&self) -> MemoCounters {
+        self.memo
+            .as_ref()
+            .map(|m| m.cache.counters())
+            .unwrap_or_default()
+    }
+
+    /// Corrupts every cached memo entry (bumps its instruction count) and
+    /// returns how many entries were corrupted. Exists so fault-injection
+    /// tests can prove [`MemoMode::Check`] detects a bad cache entry.
+    #[doc(hidden)]
+    pub fn corrupt_memo_entries(&mut self) -> usize {
+        match &mut self.memo {
+            Some(layer) => {
+                let mut n = 0;
+                for entry in layer.cache.values_mut() {
+                    entry.instret = entry.instret.wrapping_add(1);
+                    n += 1;
+                }
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Builds the memo key for `l3` and, in `On` mode, applies a cached
+    /// result. Returns `true` when the packet was served from the cache
+    /// (simulation must be skipped). In `Check` mode (and on a miss) the
+    /// key is left in the layer's buffer for [`PacketBench::memo_post`].
+    fn memo_pre(&mut self, l3: &[u8], detail: Detail, record: &mut PacketRecord) -> bool {
+        if detail != Detail::counts() {
+            return false;
+        }
+        let Some(layer) = self.memo.as_mut() else {
+            return false;
+        };
+        layer.key_buf.clear();
+        layer
+            .key_buf
+            .extend_from_slice(&(l3.len() as u32).to_le_bytes());
+        layer
+            .key_buf
+            .extend_from_slice(&l3[..layer.key_len.min(l3.len())]);
+        if layer.mode != MemoMode::On {
+            return false;
+        }
+        let MemoLayer { cache, key_buf, .. } = layer;
+        if let Some(entry) = cache.lookup(key_buf) {
+            entry.apply(record);
+            self.packets_processed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// After a live run: installs the result on a miss, or (in `Check`
+    /// mode) asserts bit-identity against the cached entry.
+    fn memo_post(&mut self, detail: Detail, record: &PacketRecord) -> Result<(), BenchError> {
+        if detail != Detail::counts() {
+            return Ok(());
+        }
+        let Some(layer) = self.memo.as_mut() else {
+            return Ok(());
+        };
+        let MemoLayer {
+            mode,
+            cache,
+            key_buf,
+            ..
+        } = layer;
+        match mode {
+            MemoMode::On => {
+                cache.insert(key_buf, MemoEntry::from_record(record));
+                Ok(())
+            }
+            MemoMode::Check => {
+                if let Some(entry) = cache.lookup(key_buf) {
+                    if let Some(what) = entry.divergence_from(record) {
+                        return Err(BenchError::MemoMismatch { what });
+                    }
+                    Ok(())
+                } else {
+                    cache.insert(key_buf, MemoEntry::from_record(record));
+                    Ok(())
+                }
+            }
+            MemoMode::Off => Ok(()),
+        }
     }
 
     /// The application under test.
@@ -300,7 +557,10 @@ impl PacketBench {
         clock: Option<u32>,
         record: &mut PacketRecord,
     ) -> Result<(), BenchError> {
-        l3_checked(packet)?;
+        let l3 = l3_checked(packet)?;
+        if self.memo_pre(l3, detail, record) {
+            return Ok(());
+        }
         let program = self.app.image().program();
         let mut cpu = Cpu::new(program, self.map).with_blocks(&self.block_table);
         self.packets_processed += 1;
@@ -314,7 +574,8 @@ impl PacketBench {
             packet,
             &detail.run_config(),
             record,
-        )
+        )?;
+        self.memo_post(detail, record)
     }
 
     /// Runs one packet like [`PacketBench::process_packet_at`], streaming
@@ -338,6 +599,9 @@ impl PacketBench {
         obs: &mut O,
     ) -> Result<(), BenchError> {
         let l3 = l3_checked(packet)?;
+        if self.memo_pre(l3, detail, record) {
+            return Ok(());
+        }
         let program = self.app.image().program();
         let mut cpu = Cpu::new(program, self.map).with_blocks(&self.block_table);
         self.packets_processed += 1;
@@ -356,7 +620,7 @@ impl PacketBench {
         )?;
         record.verdict = handler.verdict;
         record.return_value = cpu.state().regs[reg::A0.index()];
-        Ok(())
+        self.memo_post(detail, record)
     }
 
     /// Runs one packet through a caller-supplied [`Interpreter`] instead
@@ -737,5 +1001,110 @@ mod ipsec_tests {
             );
             break;
         }
+    }
+}
+
+#[cfg(test)]
+mod memo_tests {
+    use super::*;
+    use crate::apps::AppId;
+    use nettrace::synth::{SyntheticTrace, TraceProfile};
+
+    fn bench(id: AppId) -> PacketBench {
+        let config = WorkloadConfig::small();
+        let app = App::build(id, &config).unwrap();
+        PacketBench::with_config(app, &config).unwrap()
+    }
+
+    #[test]
+    fn write_guard_engages_for_exactly_the_proven_safe_apps() {
+        // The guard is static analysis, not trusted annotation: TSA
+        // *declares* a memo key but its record-table stores are
+        // statically unresolvable, so it must be vetoed; flow and ipsec
+        // never declare a key.
+        for id in AppId::WITH_EXTENSIONS {
+            let mut b = bench(id);
+            b.set_memo(MemoMode::On);
+            let want = matches!(id, AppId::Ipv4Radix | AppId::Ipv4Trie);
+            assert_eq!(b.memo_active(), want, "{id:?}");
+            if !want {
+                // Bypassing apps never touch the cache.
+                let p = SyntheticTrace::new(TraceProfile::mra(), 5).next_packet();
+                b.process_packet(&p, Detail::counts()).unwrap();
+                b.process_packet(&p, Detail::counts()).unwrap();
+                assert_eq!(b.memo_counters(), npsim::MemoCounters::default(), "{id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_results_are_bit_identical_to_simulation() {
+        for id in [AppId::Ipv4Radix, AppId::Ipv4Trie] {
+            let mut live = bench(id);
+            let mut memo = bench(id);
+            memo.set_memo(MemoMode::On);
+            let mut trace = SyntheticTrace::new(TraceProfile::with_zipf(16, 100), 9);
+            for i in 0..200 {
+                let p = trace.next_packet();
+                let a = live.process_packet(&p, Detail::counts()).unwrap();
+                let b = memo.process_packet(&p, Detail::counts()).unwrap();
+                assert_eq!(a.stats.instret, b.stats.instret, "{id:?} packet {i}");
+                assert_eq!(a.stats.op_mix, b.stats.op_mix, "{id:?} packet {i}");
+                assert_eq!(a.stats.executed, b.stats.executed, "{id:?} packet {i}");
+                assert_eq!(a.stats.mem, b.stats.mem, "{id:?} packet {i}");
+                assert_eq!(a.stats.halt, b.stats.halt, "{id:?} packet {i}");
+                assert_eq!(a.verdict, b.verdict, "{id:?} packet {i}");
+                assert_eq!(a.return_value, b.return_value, "{id:?} packet {i}");
+            }
+            let counters = memo.memo_counters();
+            assert!(counters.hits > 100, "{id:?}: {counters:?}");
+            assert!(counters.misses >= 16, "{id:?}: {counters:?}");
+        }
+    }
+
+    #[test]
+    fn check_mode_catches_a_corrupted_cache_entry() {
+        let mut b = bench(AppId::Ipv4Radix);
+        b.set_memo(MemoMode::Check);
+        let p = SyntheticTrace::new(TraceProfile::mra(), 11).next_packet();
+        b.process_packet(&p, Detail::counts()).unwrap();
+        assert_eq!(b.corrupt_memo_entries(), 1);
+        let err = b.process_packet(&p, Detail::counts()).unwrap_err();
+        assert!(
+            matches!(&err, BenchError::MemoMismatch { what } if what.contains("instret")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_mode_passes_on_an_honest_cache() {
+        let mut b = bench(AppId::Ipv4Trie);
+        b.set_memo(MemoMode::Check);
+        let mut trace = SyntheticTrace::new(TraceProfile::with_zipf(8, 100), 13);
+        for _ in 0..100 {
+            let p = trace.next_packet();
+            b.process_packet(&p, Detail::counts()).unwrap();
+        }
+        assert!(b.memo_counters().hits > 0);
+    }
+
+    #[test]
+    fn memo_only_engages_at_counts_detail() {
+        // Traces and uarch stats are never cached; richer detail levels
+        // must bypass the cache entirely.
+        let mut b = bench(AppId::Ipv4Radix);
+        b.set_memo(MemoMode::On);
+        let p = SyntheticTrace::new(TraceProfile::mra(), 17).next_packet();
+        let detail = Detail {
+            uarch: true,
+            ..Detail::counts()
+        };
+        b.process_packet(&p, detail).unwrap();
+        b.process_packet(&p, detail).unwrap();
+        assert_eq!(b.memo_counters(), npsim::MemoCounters::default());
+        // The same packet at counts detail does use the cache.
+        b.process_packet(&p, Detail::counts()).unwrap();
+        b.process_packet(&p, Detail::counts()).unwrap();
+        assert_eq!(b.memo_counters().hits, 1);
     }
 }

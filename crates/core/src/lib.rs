@@ -58,6 +58,6 @@ pub use apps::{App, AppId};
 pub use config::WorkloadConfig;
 pub use engine::{Engine, EngineRun, WorkerMetrics};
 pub use error::BenchError;
-pub use framework::{Detail, PacketBench, PacketRecord, Verdict};
+pub use framework::{Detail, MemoMode, PacketBench, PacketRecord, Verdict};
 pub use profile::{run_profile, ProfileResult, ProfileSpec};
 pub use stream::{StreamConfig, StreamRun};

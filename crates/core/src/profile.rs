@@ -26,7 +26,7 @@ use crate::apps::{App, AppId};
 use crate::config::WorkloadConfig;
 use crate::engine::{Engine, EngineRun};
 use crate::error::BenchError;
-use crate::framework::Detail;
+use crate::framework::{Detail, MemoMode};
 use crate::report;
 
 /// What to profile.
@@ -46,6 +46,8 @@ pub struct ProfileSpec {
     pub config: WorkloadConfig,
     /// Emit the engine's periodic progress line on stderr.
     pub progress: bool,
+    /// Flow-memoization mode for the run's workers.
+    pub memo: MemoMode,
 }
 
 impl ProfileSpec {
@@ -59,6 +61,7 @@ impl ProfileSpec {
             threads: 1,
             config: WorkloadConfig::default(),
             progress: false,
+            memo: MemoMode::Off,
         }
     }
 }
@@ -105,7 +108,9 @@ pub fn profile_packets(
     let app = App::build(spec.app, &spec.config)?;
     let block_map = BlockMap::build(app.image().program());
 
-    let engine = Engine::with_config(spec.app, spec.config).progress(spec.progress);
+    let engine = Engine::with_config(spec.app, spec.config)
+        .progress(spec.progress)
+        .memo(spec.memo);
     let (run, observers) = engine.run_observed(packets, Detail::counts(), spec.threads, || {
         HeatObserver::new(&block_map)
     })?;
@@ -166,8 +171,9 @@ impl ProfileResult {
 
     /// Builds the exportable metrics document. With `deterministic`, the
     /// stamp is pinned and every wall-clock field (run, merge, per-worker
-    /// busy/idle) is zeroed so CI can byte-diff the export; packet and
-    /// queue-depth counts stay real.
+    /// busy/idle) is zeroed so CI can byte-diff the export; packet,
+    /// queue-depth, and memoization counts stay real (they are pure
+    /// functions of the trace and sharding).
     pub fn metrics_doc(&self, deterministic: bool) -> MetricsDoc {
         let stamp = if deterministic {
             Stamp::deterministic(METRICS_SCHEMA_VERSION)
@@ -201,6 +207,11 @@ impl ProfileResult {
                     busy_ns: if deterministic { 0 } else { w.busy_ns },
                     idle_ns: if deterministic { 0 } else { w.idle_ns },
                     queue_depth: w.queue_depth,
+                    // Memo counters are a pure function of the trace and
+                    // sharding, so they stay real in deterministic mode.
+                    memo_hits: w.memo_hits,
+                    memo_misses: w.memo_misses,
+                    memo_evictions: w.memo_evictions,
                 })
                 .collect(),
         }

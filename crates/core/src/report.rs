@@ -450,6 +450,7 @@ mod tests {
             busy_ns: 3_000_000,
             idle_ns: 1_000_000,
             queue_depth: 10,
+            ..Default::default()
         }];
         let text = render_worker_table(&workers);
         assert!(text.contains("worker"));

@@ -378,12 +378,19 @@ impl Engine {
             failed = !matches!(outcome, ChunkOutcome::Stats(_));
             let _ = result.push(outcome);
         }
+        let memo = bench
+            .as_ref()
+            .map(|b| b.memo_counters())
+            .unwrap_or_default();
         WorkerMetrics {
             worker,
             packets,
             busy_ns,
             idle_ns: 0,
             queue_depth: enqueued,
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_evictions: memo.evictions,
         }
     }
 
@@ -403,7 +410,13 @@ impl Engine {
                 let built = App::build(self.id(), self.config())
                     .and_then(|app| PacketBench::with_config(app, self.config()));
                 match built {
-                    Ok(b) => bench.insert(b),
+                    Ok(mut b) => {
+                        // The bench — and with it the memo cache — lives
+                        // for the worker's whole run, so entries installed
+                        // in one chunk serve hits in every later chunk.
+                        b.set_memo(self.memo);
+                        bench.insert(b)
+                    }
                     Err(error) => return ChunkOutcome::Failed(error),
                 }
             }
@@ -603,6 +616,57 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, BenchError::BadPacket(_)), "{err:?}");
+    }
+
+    #[test]
+    fn memoized_stream_matches_unmemoized_across_thread_counts() {
+        use crate::framework::MemoMode;
+        // The per-worker cache lives across chunks: with chunk_size 16
+        // and 400 packets over 32 flows, most hits are cross-chunk.
+        let zipf = TraceProfile::with_zipf(32, 120);
+        let source = |n| Limited::new(SyntheticTrace::new(zipf, 27), n);
+        for id in [AppId::Ipv4Radix, AppId::Ipv4Trie] {
+            let want = Engine::new(id)
+                .run_streaming(
+                    source(400),
+                    Detail::counts(),
+                    StreamConfig {
+                        threads: 1,
+                        chunk_size: 64,
+                        max_inflight: 2,
+                    },
+                )
+                .unwrap()
+                .aggregate;
+            for threads in [1, 4, 7] {
+                let run = Engine::new(id)
+                    .memo(MemoMode::On)
+                    .run_streaming(
+                        source(400),
+                        Detail::counts(),
+                        StreamConfig {
+                            threads,
+                            chunk_size: 16,
+                            max_inflight: 3,
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(run.aggregate, want, "{id:?} threads={threads}");
+                let hits: u64 = run.workers.iter().map(|w| w.memo_hits).sum();
+                let misses: u64 = run.workers.iter().map(|w| w.memo_misses).sum();
+                assert_eq!(hits + misses, 400, "{id:?} threads={threads}");
+                // Each worker's private cache pays at most one miss per
+                // flow (32 flows, ignoring rare collisions), so hits
+                // can't fall below 400 - 32*threads. With chunk_size 16
+                // that floor is only reachable if caches survive across
+                // chunks — a cache that died per chunk would miss once
+                // per flow per chunk.
+                assert!(
+                    hits >= (400 - 32 * threads as u64).saturating_sub(16),
+                    "{id:?} threads={threads}: {hits} hits"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! Everything is driven by a seeded PRNG: the same profile and seed always
 //! generate byte-identical packets.
 
+use std::fmt;
+
 use nprng::rngs::StdRng;
 use nprng::{Rng, SeedableRng};
 
@@ -41,6 +43,47 @@ pub enum AddressSpace {
 /// A packet-size point in a profile's mix: `(total IP length, weight)`.
 pub type SizePoint = (u16, u32);
 
+/// Parameters of the `zipf` flow-reuse profile: a fixed population of
+/// flows whose packets repeat **byte-identically**, drawn with Zipfian
+/// popularity (flow of rank *r* has weight `1/r^s`).
+///
+/// The paper's four traces never repeat a packet (each carries a fresh IP
+/// `ident` and advancing TCP sequence numbers); this profile instead models
+/// the flow concentration of production traffic, where a small hot flow set
+/// dominates. It exists to exercise flow-level caching layers such as the
+/// engine's memoization cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfParams {
+    /// Number of distinct flows (each flow is one frozen packet).
+    pub flows: u32,
+    /// Skew exponent in hundredths: `100` is the classic `s = 1.0`.
+    pub skew_centi: u32,
+}
+
+/// A profile that models flow reuse was passed to a consumer that requires
+/// the paper's reuse-free traces (e.g. the committed throughput baseline,
+/// which caching layers would inflate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseNotAllowed {
+    /// Name of the offending profile.
+    pub profile: &'static str,
+    /// What required a reuse-free trace.
+    pub context: &'static str,
+}
+
+impl fmt::Display for ReuseNotAllowed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profile `{}` models flow reuse and cannot be used for {} \
+             (use one of the reuse-free paper traces: MRA, COS, ODU, LAN)",
+            self.profile, self.context
+        )
+    }
+}
+
+impl std::error::Error for ReuseNotAllowed {}
+
 /// The shape of one synthetic trace, modelled on a paper trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceProfile {
@@ -62,6 +105,9 @@ pub struct TraceProfile {
     pub sizes: &'static [SizePoint],
     /// Where addresses come from.
     pub address_space: AddressSpace,
+    /// Flow-reuse parameters; `Some` only for the synthetic `zipf` profile.
+    /// The four paper profiles are reuse-free and carry `None`.
+    pub zipf: Option<ZipfParams>,
 }
 
 impl TraceProfile {
@@ -77,6 +123,7 @@ impl TraceProfile {
             udp_fraction: 0.12,
             sizes: &[(40, 45), (52, 10), (576, 15), (1420, 10), (1500, 20)],
             address_space: AddressSpace::ScrambledInternet,
+            zipf: None,
         }
     }
 
@@ -92,6 +139,7 @@ impl TraceProfile {
             udp_fraction: 0.17,
             sizes: &[(40, 40), (64, 12), (552, 18), (576, 12), (1500, 18)],
             address_space: AddressSpace::ScrambledInternet,
+            zipf: None,
         }
     }
 
@@ -107,6 +155,7 @@ impl TraceProfile {
             udp_fraction: 0.22,
             sizes: &[(40, 42), (60, 13), (512, 15), (576, 12), (1500, 18)],
             address_space: AddressSpace::ScrambledInternet,
+            zipf: None,
         }
     }
 
@@ -122,10 +171,68 @@ impl TraceProfile {
             udp_fraction: 0.28,
             sizes: &[(64, 45), (128, 10), (256, 10), (1024, 12), (1500, 23)],
             address_space: AddressSpace::Lan,
+            zipf: None,
         }
     }
 
-    /// The four paper traces in Table I order.
+    /// `zipf`: a flow-reuse trace with default parameters (1024 flows,
+    /// skew `s = 1.0`). Not a paper trace — see [`ZipfParams`]. Use
+    /// [`TraceProfile::with_zipf`] to vary the population or the skew.
+    pub fn zipf() -> TraceProfile {
+        TraceProfile {
+            name: "zipf",
+            link: LinkType::Raw,
+            nominal_packets: 1_000_000,
+            max_flows: 1024,
+            new_flow_prob: 0.0,
+            tcp_fraction: 0.85,
+            udp_fraction: 0.12,
+            sizes: &[(40, 45), (52, 10), (576, 15), (1420, 10), (1500, 20)],
+            address_space: AddressSpace::ScrambledInternet,
+            zipf: Some(ZipfParams {
+                flows: 1024,
+                skew_centi: 100,
+            }),
+        }
+    }
+
+    /// The `zipf` profile with an explicit flow count and skew
+    /// (in hundredths, so `skew_centi = 120` means `s = 1.2`).
+    /// The flow count is clamped to at least 1.
+    pub fn with_zipf(flows: u32, skew_centi: u32) -> TraceProfile {
+        let flows = flows.max(1);
+        let mut p = TraceProfile::zipf();
+        p.max_flows = flows as usize;
+        p.zipf = Some(ZipfParams { flows, skew_centi });
+        p
+    }
+
+    /// This profile with the Zipf flow population resized (clamped to at
+    /// least 1 flow). No-op on reuse-free profiles, which have no
+    /// population to resize.
+    #[must_use]
+    pub fn set_zipf_flows(mut self, flows: u32) -> TraceProfile {
+        if let Some(params) = &mut self.zipf {
+            params.flows = flows.max(1);
+            self.max_flows = params.flows as usize;
+        }
+        self
+    }
+
+    /// This profile with the Zipf skew replaced (in hundredths, so `120`
+    /// means `s = 1.2`). No-op on reuse-free profiles.
+    #[must_use]
+    pub fn set_zipf_skew(mut self, skew_centi: u32) -> TraceProfile {
+        if let Some(params) = &mut self.zipf {
+            params.skew_centi = skew_centi;
+        }
+        self
+    }
+
+    /// The four paper traces in Table I order. The synthetic `zipf`
+    /// flow-reuse profile is deliberately **not** part of this set: the
+    /// paper's characterization (and everything keyed off `all()`, such as
+    /// conformance sweeps and report exhibits) assumes reuse-free traces.
     pub fn all() -> [TraceProfile; 4] {
         [
             TraceProfile::mra(),
@@ -135,11 +242,35 @@ impl TraceProfile {
         ]
     }
 
-    /// Looks a profile up by (case-insensitive) name.
+    /// Looks a profile up by (case-insensitive) name, including `zipf`.
     pub fn by_name(name: &str) -> Option<TraceProfile> {
         TraceProfile::all()
             .into_iter()
+            .chain(std::iter::once(TraceProfile::zipf()))
             .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Whether this profile never repeats a packet byte-identically (true
+    /// for the four paper traces, false for `zipf`).
+    pub fn is_reuse_free(&self) -> bool {
+        self.zipf.is_none()
+    }
+
+    /// Rejects flow-reuse profiles with a typed error naming the consumer
+    /// that requires a reuse-free trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReuseNotAllowed`] when the profile models flow reuse.
+    pub fn require_reuse_free(&self, context: &'static str) -> Result<(), ReuseNotAllowed> {
+        if self.is_reuse_free() {
+            Ok(())
+        } else {
+            Err(ReuseNotAllowed {
+                profile: self.name,
+                context,
+            })
+        }
     }
 
     /// A human-readable link description, as in paper Table I.
@@ -195,13 +326,19 @@ pub struct SyntheticTrace {
     clock_sec: u32,
     clock_usec: u32,
     size_weight_total: u32,
+    /// Frozen per-flow packets for the `zipf` profile (empty otherwise).
+    /// Each flow's bytes are built once at construction, so repeats are
+    /// byte-identical — the defining property of the reuse profile.
+    zipf_packets: Vec<Packet>,
+    /// Normalized cumulative Zipf weights, parallel to `zipf_packets`.
+    zipf_cdf: Vec<f64>,
 }
 
 impl SyntheticTrace {
     /// Creates a generator for `profile` from a seed. Equal seeds generate
     /// identical traces.
     pub fn new(profile: TraceProfile, seed: u64) -> SyntheticTrace {
-        SyntheticTrace {
+        let mut trace = SyntheticTrace {
             profile,
             rng: StdRng::seed_from_u64(seed ^ 0x5049_4e47_u64),
             flows: Vec::with_capacity(profile.max_flows),
@@ -210,6 +347,36 @@ impl SyntheticTrace {
             clock_sec: 1_100_000_000, // paper-era epoch
             clock_usec: 0,
             size_weight_total: profile.sizes.iter().map(|&(_, w)| w).sum(),
+            zipf_packets: Vec::new(),
+            zipf_cdf: Vec::new(),
+        };
+        if let Some(params) = profile.zipf {
+            trace.build_zipf_population(params);
+        }
+        trace
+    }
+
+    fn build_zipf_population(&mut self, params: ZipfParams) {
+        let s = f64::from(params.skew_centi) / 100.0;
+        let flows = params.flows.max(1);
+        let mut total = 0.0;
+        for rank in 0..flows {
+            let flow = self.new_flow();
+            let total_len = self.pick_size().max(40);
+            let ident = self.ident;
+            self.ident = self.ident.wrapping_add(1);
+            self.zipf_packets.push(compose_packet(
+                &self.profile,
+                flow,
+                total_len,
+                ident,
+                Timestamp::new(0, 0),
+            ));
+            total += f64::from(rank + 1).powf(-s);
+            self.zipf_cdf.push(total);
+        }
+        for c in &mut self.zipf_cdf {
+            *c /= total;
         }
     }
 
@@ -300,6 +467,19 @@ impl SyntheticTrace {
         }
         let ts = Timestamp::new(self.clock_sec, self.clock_usec);
 
+        // Flow-reuse profile: draw a rank from the Zipf CDF and replay that
+        // flow's frozen bytes; only the timestamp differs between repeats.
+        if !self.zipf_packets.is_empty() {
+            let u: f64 = self.rng.gen();
+            let index = self
+                .zipf_cdf
+                .partition_point(|&c| c < u)
+                .min(self.zipf_packets.len() - 1);
+            let mut packet = self.zipf_packets[index].clone();
+            packet.ts = ts;
+            return packet;
+        }
+
         // Choose or create a flow.
         let flow_index = if self.flows.is_empty()
             || (self.flows.len() < self.profile.max_flows
@@ -317,90 +497,102 @@ impl SyntheticTrace {
         flow.seq = flow.seq.wrapping_add(u32::from(total_len) - 40);
         let flow = self.flows[flow_index];
 
-        let mut header = Ipv4Header {
-            version: 4,
-            ihl: 5,
-            tos: 0,
-            total_len,
-            ident: self.ident,
-            flags_frag: 0x4000, // DF
-            ttl: flow.ttl,
-            protocol: flow.protocol,
-            header_checksum: 0,
-            src: flow.src.into(),
-            dst: flow.dst.into(),
-        };
-        header.finalize();
+        let ident = self.ident;
         self.ident = self.ident.wrapping_add(1);
-
-        let captured = (total_len as usize).min(GEN_SNAP);
-        let mut l3 = vec![0u8; captured];
-        header.write(&mut l3[..20]);
-        match flow.protocol {
-            proto::TCP if captured >= 40 => {
-                TcpHeader {
-                    src_port: flow.src_port,
-                    dst_port: flow.dst_port,
-                    seq: flow.seq,
-                    ack: flow.seq.rotate_left(7),
-                    offset_flags: 0x5010, // data offset 5, ACK
-                    window: 0xffff,
-                    checksum: 0,
-                    urgent: 0,
-                }
-                .write(&mut l3[20..40]);
-            }
-            proto::UDP if captured >= 28 => {
-                UdpHeader {
-                    src_port: flow.src_port,
-                    dst_port: flow.dst_port,
-                    length: total_len - 20,
-                    checksum: 0,
-                }
-                .write(&mut l3[20..28]);
-            }
-            _ => {
-                // ICMP echo request stub.
-                if captured >= 24 {
-                    l3[20] = 8; // type
-                    l3[23] = 0;
-                }
-            }
-        }
-        // Deterministic payload fill.
-        let payload_start = 20
-            + usize::from(header.protocol == proto::TCP) * 20
-            + usize::from(header.protocol == proto::UDP) * 8;
-        for (i, byte) in l3.iter_mut().enumerate().skip(payload_start.min(captured)) {
-            *byte = (i as u8) ^ (flow.seq as u8);
-        }
-
-        let mut data = l3;
-        if self.profile.link == LinkType::Ethernet {
-            let mut framed = vec![0u8; 14 + data.len()];
-            // Locally administered MACs derived from the addresses.
-            framed[0..4].copy_from_slice(&flow.dst.to_be_bytes());
-            framed[4] = 0x02;
-            framed[6..10].copy_from_slice(&flow.src.to_be_bytes());
-            framed[10] = 0x02;
-            framed[12] = 0x08; // ethertype IPv4
-            framed[13] = 0x00;
-            framed[14..].copy_from_slice(&data);
-            data = framed;
-        }
-
-        let link_overhead = self.profile.link.l3_offset() as u32;
-        Packet {
-            ts,
-            orig_len: u32::from(total_len) + link_overhead,
-            link: self.profile.link,
-            data,
-        }
+        compose_packet(&self.profile, flow, total_len, ident, ts)
     }
 
     /// Generates `n` packets into a vector.
     pub fn take_packets(&mut self, n: usize) -> Vec<Packet> {
         (0..n).map(|_| self.next_packet()).collect()
+    }
+}
+
+/// Builds the wire bytes of one packet from a flow's current state.
+fn compose_packet(
+    profile: &TraceProfile,
+    flow: FlowState,
+    total_len: u16,
+    ident: u16,
+    ts: Timestamp,
+) -> Packet {
+    let mut header = Ipv4Header {
+        version: 4,
+        ihl: 5,
+        tos: 0,
+        total_len,
+        ident,
+        flags_frag: 0x4000, // DF
+        ttl: flow.ttl,
+        protocol: flow.protocol,
+        header_checksum: 0,
+        src: flow.src.into(),
+        dst: flow.dst.into(),
+    };
+    header.finalize();
+
+    let captured = (total_len as usize).min(GEN_SNAP);
+    let mut l3 = vec![0u8; captured];
+    header.write(&mut l3[..20]);
+    match flow.protocol {
+        proto::TCP if captured >= 40 => {
+            TcpHeader {
+                src_port: flow.src_port,
+                dst_port: flow.dst_port,
+                seq: flow.seq,
+                ack: flow.seq.rotate_left(7),
+                offset_flags: 0x5010, // data offset 5, ACK
+                window: 0xffff,
+                checksum: 0,
+                urgent: 0,
+            }
+            .write(&mut l3[20..40]);
+        }
+        proto::UDP if captured >= 28 => {
+            UdpHeader {
+                src_port: flow.src_port,
+                dst_port: flow.dst_port,
+                length: total_len - 20,
+                checksum: 0,
+            }
+            .write(&mut l3[20..28]);
+        }
+        _ => {
+            // ICMP echo request stub.
+            if captured >= 24 {
+                l3[20] = 8; // type
+                l3[23] = 0;
+            }
+        }
+    }
+    // Deterministic payload fill.
+    let payload_start = 20
+        + usize::from(header.protocol == proto::TCP) * 20
+        + usize::from(header.protocol == proto::UDP) * 8;
+    for (i, byte) in l3.iter_mut().enumerate().skip(payload_start.min(captured)) {
+        *byte = (i as u8) ^ (flow.seq as u8);
+    }
+
+    let mut data = l3;
+    if profile.link == LinkType::Ethernet {
+        let mut framed = vec![0u8; 14 + data.len()];
+        // Locally administered MACs derived from the addresses.
+        framed[0..4].copy_from_slice(&flow.dst.to_be_bytes());
+        framed[4] = 0x02;
+        framed[6..10].copy_from_slice(&flow.src.to_be_bytes());
+        framed[10] = 0x02;
+        framed[12] = 0x08; // ethertype IPv4
+        framed[13] = 0x00;
+        framed[14..].copy_from_slice(&data);
+        data = framed;
+    }
+
+    let link_overhead = profile.link.l3_offset() as u32;
+    Packet {
+        ts,
+        orig_len: u32::from(total_len) + link_overhead,
+        link: profile.link,
+        data,
     }
 }
 
@@ -547,5 +739,69 @@ mod tests {
         assert_eq!(TraceProfile::by_name("mra").unwrap().name, "MRA");
         assert_eq!(TraceProfile::by_name("LAN").unwrap().name, "LAN");
         assert!(TraceProfile::by_name("nope").is_none());
+        assert_eq!(TraceProfile::by_name("zipf").unwrap().name, "zipf");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_repeats_bytes() {
+        let a: Vec<Packet> = SyntheticTrace::new(TraceProfile::zipf(), 9).take_packets(500);
+        let b: Vec<Packet> = SyntheticTrace::new(TraceProfile::zipf(), 9).take_packets(500);
+        assert_eq!(a, b);
+        // Packets from the same flow are byte-identical (only ts differs).
+        let mut bodies = HashSet::new();
+        for p in &a {
+            bodies.insert(p.data.clone());
+        }
+        assert!(
+            bodies.len() <= 1024,
+            "at most one body per flow, got {}",
+            bodies.len()
+        );
+        assert!(
+            bodies.len() < a.len() / 2,
+            "flow reuse must repeat bodies: {} distinct of {}",
+            bodies.len(),
+            a.len()
+        );
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_hot_flows() {
+        let mut trace = SyntheticTrace::new(TraceProfile::with_zipf(256, 120), 4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            let p = trace.next_packet();
+            *counts.entry(p.data.clone()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // Uniform would give ~16 per flow; s = 1.2 concentrates hard.
+        assert!(max > 200, "hottest flow only {max} of 4000");
+        assert!(counts.len() <= 256);
+    }
+
+    #[test]
+    fn zipf_packets_are_valid_ipv4() {
+        let mut trace = SyntheticTrace::new(TraceProfile::with_zipf(64, 100), 1);
+        for _ in 0..300 {
+            let p = trace.next_packet();
+            let h = Ipv4Header::parse(p.l3()).expect("valid header");
+            assert!(h.verify_checksum());
+            assert!(h.ttl >= 2);
+            assert!(h.total_len >= 40);
+        }
+    }
+
+    #[test]
+    fn reuse_free_gate_rejects_zipf_only() {
+        for p in TraceProfile::all() {
+            assert!(p.is_reuse_free());
+            assert!(p.require_reuse_free("anything").is_ok());
+        }
+        let z = TraceProfile::zipf();
+        assert!(!z.is_reuse_free());
+        let err = z.require_reuse_free("the throughput baseline").unwrap_err();
+        assert_eq!(err.profile, "zipf");
+        let message = err.to_string();
+        assert!(message.contains("zipf") && message.contains("throughput baseline"));
     }
 }

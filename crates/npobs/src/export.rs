@@ -25,6 +25,15 @@ pub struct WorkerStat {
     pub idle_ns: u64,
     /// Packets that were queued to this worker's shard.
     pub queue_depth: u64,
+    /// Packets answered from the worker's flow-memoization cache
+    /// (simulation skipped). Zero when memoization is off.
+    pub memo_hits: u64,
+    /// Packets that missed the memoization cache and were simulated.
+    /// Zero when memoization is off.
+    pub memo_misses: u64,
+    /// Memoization cache entries displaced by a colliding key. Zero when
+    /// memoization is off.
+    pub memo_evictions: u64,
 }
 
 /// A complete, exportable metrics document for one profiling run.
@@ -109,8 +118,16 @@ impl MetricsDoc {
             let _ = write!(
                 out,
                 "    {{\"worker\": {}, \"packets\": {}, \"busy_ns\": {}, \
-                 \"idle_ns\": {}, \"queue_depth\": {}}}",
-                w.worker, w.packets, w.busy_ns, w.idle_ns, w.queue_depth
+                 \"idle_ns\": {}, \"queue_depth\": {}, \"memo_hits\": {}, \
+                 \"memo_misses\": {}, \"memo_evictions\": {}}}",
+                w.worker,
+                w.packets,
+                w.busy_ns,
+                w.idle_ns,
+                w.queue_depth,
+                w.memo_hits,
+                w.memo_misses,
+                w.memo_evictions
             );
             out.push_str(if i + 1 == self.workers.len() {
                 "\n"
@@ -206,6 +223,45 @@ impl MetricsDoc {
                 w.worker, w.queue_depth
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP pb_worker_memo_hits_total Packets answered from the worker's \
+             flow-memoization cache."
+        );
+        let _ = writeln!(out, "# TYPE pb_worker_memo_hits_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_memo_hits_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.memo_hits
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_worker_memo_misses_total Packets that missed the memoization \
+             cache and were simulated."
+        );
+        let _ = writeln!(out, "# TYPE pb_worker_memo_misses_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_memo_misses_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.memo_misses
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_worker_memo_evictions_total Memoization cache entries displaced \
+             by a colliding key."
+        );
+        let _ = writeln!(out, "# TYPE pb_worker_memo_evictions_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_memo_evictions_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.memo_evictions
+            );
+        }
         out
     }
 }
@@ -236,6 +292,9 @@ mod tests {
                     busy_ns: 0,
                     idle_ns: 0,
                     queue_depth: 2,
+                    memo_hits: 1,
+                    memo_misses: 1,
+                    memo_evictions: 0,
                 },
                 WorkerStat {
                     worker: 1,
@@ -243,6 +302,7 @@ mod tests {
                     busy_ns: 0,
                     idle_ns: 0,
                     queue_depth: 1,
+                    ..WorkerStat::default()
                 },
             ],
         }
@@ -259,6 +319,7 @@ mod tests {
         assert!(a.contains("\"instructions_per_packet\""));
         assert!(a.contains("{\"lo\": 128, \"hi\": 255, \"count\": 2}"));
         assert!(a.contains("\"worker\": 1, \"packets\": 1"));
+        assert!(a.contains("\"memo_hits\": 1, \"memo_misses\": 1, \"memo_evictions\": 0"));
         // Crude balance check on the hand-rolled writer.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
@@ -284,6 +345,11 @@ mod tests {
             prom.contains("pb_worker_packets_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 2")
         );
         assert!(prom.contains("pb_build_info{schema_version=\"1\",git_commit=\"deterministic\"} 1"));
+        assert!(
+            prom.contains("pb_worker_memo_hits_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 1")
+        );
+        assert!(prom
+            .contains("pb_worker_memo_misses_total{app=\"radix\",trace=\"mra\",worker=\"1\"} 0"));
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod encode;
 pub mod error;
 pub mod isa;
 pub mod mem;
+pub mod memo;
 pub mod obs;
 pub mod uarch;
 pub mod util;
@@ -78,6 +79,7 @@ pub use cpu::{
 pub use error::SimError;
 pub use isa::{reg, Inst, Op, Reg};
 pub use mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};
+pub use memo::{analyze_writes, MemoCache, MemoCounters, WriteAnalysis};
 pub use obs::{NullObserver, Observer};
 
 /// Address the simulator treats as "return to framework".

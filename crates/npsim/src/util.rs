@@ -81,6 +81,17 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// Makes `self` an exact copy of `other` without reallocating when the
+    /// capacities match (the memoization hit path copies a cached execution
+    /// footprint into a reused [`crate::cpu::RunStats`] this way).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        if self.capacity == other.capacity {
+            self.words.copy_from_slice(&other.words);
+        } else {
+            *self = other.clone();
+        }
+    }
+
     /// Merges `other` into `self` (set union).
     ///
     /// # Panics

@@ -30,8 +30,17 @@ use nettrace::TraceError;
 pub enum SpecError {
     /// `synth:<profile>` named a profile that does not exist.
     UnknownProfile(String),
-    /// A `synth:` option was not `seed=<n>` or `packets=<n>`.
+    /// A `synth:` option was not `seed=<n>` or `packets=<n>` (or, for the
+    /// `zipf` profile, `flows=<n>` or `skew=<s>`).
     BadSynthOption(String),
+    /// A flow-population option (`flows=` / `skew=`) was given for a
+    /// reuse-free paper profile; those options only exist on `zipf`.
+    ReuseOption {
+        /// The offending option, verbatim.
+        option: String,
+        /// The profile it was applied to.
+        profile: &'static str,
+    },
     /// The string is neither a `synth:` spec nor a recognized trace file
     /// extension (`.pcap`, `.tsh`).
     UnknownFormat(String),
@@ -46,7 +55,15 @@ impl fmt::Display for SpecError {
             SpecError::BadSynthOption(opt) => {
                 write!(
                     f,
-                    "bad synth option `{opt}` (expected seed=<n> or packets=<n>)"
+                    "bad synth option `{opt}` (expected seed=<n> or packets=<n>; \
+                     zipf also takes flows=<n> and skew=<s>)"
+                )
+            }
+            SpecError::ReuseOption { option, profile } => {
+                write!(
+                    f,
+                    "option `{option}` is only valid for the `zipf` profile; \
+                     `{profile}` is a reuse-free paper trace"
                 )
             }
             SpecError::UnknownFormat(spec) => {
@@ -95,6 +112,21 @@ impl SourceSpec {
                 .ok_or_else(|| SpecError::UnknownProfile(name.to_string()))?;
             let mut seed = 42u64;
             let mut packets = None;
+            let mut profile = profile;
+            // Whether flows=/skew= apply never changes: the setters are
+            // no-ops on reuse-free profiles.
+            let reuse_free = profile.is_reuse_free();
+            let profile_name = profile.name;
+            let reuse_only = move |part: &str| -> Result<(), SpecError> {
+                if reuse_free {
+                    Err(SpecError::ReuseOption {
+                        option: part.to_string(),
+                        profile: profile_name,
+                    })
+                } else {
+                    Ok(())
+                }
+            };
             for part in parts {
                 if let Some(value) = part.strip_prefix("seed=") {
                     seed = value
@@ -106,6 +138,22 @@ impl SourceSpec {
                             .parse()
                             .map_err(|_| SpecError::BadSynthOption(part.to_string()))?,
                     );
+                } else if let Some(value) = part.strip_prefix("flows=") {
+                    reuse_only(part)?;
+                    let flows: u32 = value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| SpecError::BadSynthOption(part.to_string()))?;
+                    profile = profile.set_zipf_flows(flows);
+                } else if let Some(value) = part.strip_prefix("skew=") {
+                    reuse_only(part)?;
+                    let skew: f64 = value
+                        .parse()
+                        .ok()
+                        .filter(|s: &f64| s.is_finite() && (0.0..=10.0).contains(s))
+                        .ok_or_else(|| SpecError::BadSynthOption(part.to_string()))?;
+                    profile = profile.set_zipf_skew((skew * 100.0).round() as u32);
                 } else {
                     return Err(SpecError::BadSynthOption(part.to_string()));
                 }
@@ -229,6 +277,54 @@ mod tests {
             SourceSpec::parse("synth:mra:packets=lots"),
             Err(SpecError::BadSynthOption(_))
         ));
+    }
+
+    #[test]
+    fn zipf_specs_take_flow_population_options() {
+        let spec = SourceSpec::parse("synth:zipf:flows=64:skew=1.2:packets=100").unwrap();
+        match spec {
+            SourceSpec::Synth {
+                profile, packets, ..
+            } => {
+                assert_eq!(profile.name, "zipf");
+                assert_eq!(profile.max_flows, 64);
+                let params = profile.zipf.unwrap();
+                assert_eq!(params.flows, 64);
+                assert_eq!(params.skew_centi, 120);
+                assert_eq!(packets, Some(100));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Values must be sane: zero flows, negative or absurd skew are
+        // usage errors, not silent clamps.
+        assert!(matches!(
+            SourceSpec::parse("synth:zipf:flows=0"),
+            Err(SpecError::BadSynthOption(_))
+        ));
+        assert!(matches!(
+            SourceSpec::parse("synth:zipf:skew=-1"),
+            Err(SpecError::BadSynthOption(_))
+        ));
+        assert!(matches!(
+            SourceSpec::parse("synth:zipf:skew=steep"),
+            Err(SpecError::BadSynthOption(_))
+        ));
+    }
+
+    #[test]
+    fn flow_options_on_paper_traces_are_rejected() {
+        let err = SourceSpec::parse("synth:mra:flows=64").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::ReuseOption {
+                option: "flows=64".to_string(),
+                profile: "MRA",
+            }
+        );
+        let message = SourceSpec::parse("synth:lan:skew=1.0")
+            .unwrap_err()
+            .to_string();
+        assert!(message.contains("zipf") && message.contains("reuse-free"));
     }
 
     #[test]

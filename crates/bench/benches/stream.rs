@@ -54,29 +54,36 @@ fn main() {
     for n in [small, large] {
         let (serial_pps, _) = stream_once(&engine, n, 1);
         let (parallel_pps, used) = stream_once(&engine, n, 0);
-        let peak_kb = npstream::peak_rss_kb().unwrap_or(0);
+        // `None` means the platform exposes no /proc/self/status; say so
+        // instead of reporting a silent 0 that reads as "no memory used".
+        let peak_kb = npstream::peak_rss_kb();
         peaks.push(peak_kb);
+        let peak_text = peak_kb.map_or("n/a".to_string(), |kb| format!("{kb} kB"));
+        let peak_json = peak_kb.map_or("null".to_string(), |kb| kb.to_string());
         println!(
             "{n:>9} packets   serial {serial_pps:>9.0} pps   parallel({used}) \
-             {parallel_pps:>9.0} pps   peak RSS {peak_kb} kB"
+             {parallel_pps:>9.0} pps   peak RSS {peak_text}"
         );
         entries.push(format!(
             "    {{\"packets\": {n}, \"serial_pps\": {serial_pps:.0}, \
              \"parallel_pps\": {parallel_pps:.0}, \"parallel_threads\": {used}, \
-             \"peak_rss_kb\": {peak_kb}}}"
+             \"peak_rss_kb\": {peak_json}}}"
         ));
     }
-    let rss_growth = if peaks[0] > 0 {
-        peaks[1] as f64 / peaks[0] as f64
-    } else {
-        0.0
+    let rss_growth = match (peaks[0], peaks[1]) {
+        (Some(first), Some(second)) if first > 0 => Some(second as f64 / first as f64),
+        _ => None,
     };
-    println!("peak RSS growth across a 5x larger trace: x{rss_growth:.2}");
+    match rss_growth {
+        Some(g) => println!("peak RSS growth across a 5x larger trace: x{g:.2}"),
+        None => println!("peak RSS growth across a 5x larger trace: n/a (no RSS source)"),
+    }
 
     let stamp = npobs::Stamp::new(npobs::stamp::BENCH_SCHEMA_VERSION);
+    let rss_growth_json = rss_growth.map_or("null".to_string(), |g| format!("{g:.3}"));
     let json = format!(
         "{{\n  {},\n  \"app\": \"trie\",\n  \"trace\": \"MRA\",\n  \
-         \"host_threads\": {host_threads},\n  \"rss_growth\": {rss_growth:.3},\n  \
+         \"host_threads\": {host_threads},\n  \"rss_growth\": {rss_growth_json},\n  \
          \"runs\": [\n{}\n  ]\n}}\n",
         stamp.json_fields(),
         entries.join(",\n")

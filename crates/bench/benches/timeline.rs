@@ -1,0 +1,100 @@
+//! Sampler-overhead benchmark for the in-flight telemetry layer, written
+//! to `BENCH_timeline.json`.
+//!
+//! The timeline sampler rides the engine's per-packet hot loop, so its
+//! cost budget is explicit: at the default interval the wall-clock
+//! sampler must stay within a few percent of the untelemetered engine
+//! (the off-sample path is one increment and one compare). This bench
+//! measures serial packets/sec for three configurations — no timeline,
+//! wall sampling at the default interval, and deterministic (logical)
+//! sampling, which pays a per-packet bucket fold — and records the
+//! overhead of each relative to the baseline.
+//!
+//! Not a Criterion bench: the engine is timed end to end, which is what
+//! `pb run --timeline-out` pays. Run with
+//! `cargo bench --bench timeline [-- <packets>]`.
+
+use std::io::Write;
+
+use nettrace::synth::{SyntheticTrace, TraceProfile};
+use nettrace::Packet;
+use npobs::TimelineSpec;
+use packetbench::apps::AppId;
+use packetbench::engine::Engine;
+use packetbench::framework::Detail;
+use packetbench_bench::TRACE_SEED;
+
+const DEFAULT_PACKETS: usize = 20_000;
+const RUNS: usize = 9;
+
+/// One timed serial run's packets/sec.
+fn pps_once(engine: &Engine, packets: &[Packet]) -> f64 {
+    engine
+        .run(packets, Detail::counts(), 1)
+        .expect("trace runs")
+        .packets_per_sec()
+}
+
+/// Best (highest) packets/sec per configuration over [`RUNS`] rounds.
+/// The configurations are *interleaved* within each round rather than
+/// measured in sequential blocks: on a shared host, frequency drift
+/// between blocks would otherwise dwarf the sampler cost being measured.
+fn best_pps_interleaved(engines: &[&Engine], packets: &[Packet]) -> Vec<f64> {
+    for engine in engines {
+        pps_once(engine, packets); // untimed warmup
+    }
+    let mut best = vec![0.0f64; engines.len()];
+    for _ in 0..RUNS {
+        for (i, engine) in engines.iter().enumerate() {
+            best[i] = best[i].max(pps_once(engine, packets));
+        }
+    }
+    best
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_PACKETS);
+    let host_threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let packets = SyntheticTrace::new(TraceProfile::mra(), TRACE_SEED).take_packets(n);
+
+    let mut entries = Vec::new();
+    for id in [AppId::Ipv4Radix, AppId::Ipv4Trie] {
+        let plain = Engine::new(id);
+        let walled = Engine::new(id).timeline(Some(TimelineSpec::wall()));
+        let logicald = Engine::new(id).timeline(Some(TimelineSpec::logical()));
+        let best = best_pps_interleaved(&[&plain, &walled, &logicald], &packets);
+        let (baseline, wall, logical) = (best[0], best[1], best[2]);
+        let wall_cost = (1.0 - wall / baseline) * 100.0;
+        let logical_cost = (1.0 - logical / baseline) * 100.0;
+        println!(
+            "{:<12} baseline {baseline:>9.0} pps   wall {wall:>9.0} pps ({wall_cost:+.1}%)   \
+             logical {logical:>9.0} pps ({logical_cost:+.1}%)",
+            id.slug()
+        );
+        entries.push(format!(
+            "    \"{}\": {{\"baseline_pps\": {baseline:.0}, \"wall_pps\": {wall:.0}, \
+             \"wall_overhead_pct\": {wall_cost:.1}, \"logical_pps\": {logical:.0}, \
+             \"logical_overhead_pct\": {logical_cost:.1}}}",
+            id.slug()
+        ));
+    }
+
+    let stamp = npobs::Stamp::new(npobs::stamp::BENCH_SCHEMA_VERSION);
+    let json = format!(
+        "{{\n  {},\n  \"trace\": \"MRA\",\n  \"packets\": {n},\n  \
+         \"interval\": {},\n  \"host_threads\": {host_threads},\n  \"apps\": {{\n{}\n  }}\n}}\n",
+        stamp.json_fields(),
+        TimelineSpec::DEFAULT_INTERVAL,
+        entries.join(",\n")
+    );
+    // Land the file at the workspace root regardless of cargo's bench CWD.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_timeline.json");
+    let mut file = std::fs::File::create(&path).expect("create BENCH_timeline.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {} ({host_threads} host threads)", path.display());
+}

@@ -6,14 +6,17 @@
 //! pb disasm --app <app>            disassemble an application
 //! pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
 //!        [--verify] [--uarch] [--seed <n>] [--memo on|off|check]
+//!        [--trace-out <f>] [--timeline-out <f>] [--timeline-interval <n>]
+//!        [--watch] [--deterministic]
 //! pb stream <app> <source> [--threads <n>] [--chunk-size <n>]
 //!           [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
-//!           [--progress] [--memo on|off|check]
+//!           [--progress] [--watch] [--memo on|off|check]
+//!           [--trace-out <f>] [--timeline-out <f>] [--timeline-interval <n>]
 //! pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
 //!           [--memo on|off|check]
-//! pb report --app <app> --metrics json|prom [--trace <profile>]
-//!           [-n <packets>] [--out <file>] [--deterministic]
-//!           [--memo on|off|check]
+//! pb report --app <app> (--metrics json|prom | --timeline json|csv)
+//!           [--trace <profile>] [-n <packets>] [--out <file>]
+//!           [--deterministic] [--memo on|off|check]
 //! pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
 //! pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 //! ```
@@ -25,10 +28,13 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use nettrace::pcap::{PcapReader, PcapWriter};
 use nettrace::synth::{SyntheticTrace, TraceProfile};
 use nettrace::{Limited, Packet, PacketSource};
+use npobs::timeline::{Timeline, TimelineSpec, TIMELINE_SCHEMA_VERSION};
+use npobs::{Stamp, StatusLine};
 use npstream::SourceSpec;
 use packetbench::analysis::StreamAggregate;
 use packetbench::apps::{App, AppId};
@@ -108,7 +114,7 @@ fn parse_args(raw: &[String]) -> Result<Args, CliError> {
             // Flags that take no value.
             if matches!(
                 name,
-                "verify" | "uarch" | "help" | "deterministic" | "progress"
+                "verify" | "uarch" | "help" | "deterministic" | "progress" | "watch"
             ) {
                 args.flags.push(name.to_string());
             } else {
@@ -169,15 +175,18 @@ USAGE:
   pb disasm --app <app>            disassemble an application
   pb run --app <app> [--trace <profile> | --pcap <file>] [-n <packets>]
          [--verify] [--uarch] [--seed <n>] [--threads <n>] [--progress]
-         [--memo on|off|check]
+         [--watch] [--memo on|off|check] [--trace-out <file>]
+         [--timeline-out <file>] [--timeline-interval <n>] [--deterministic]
   pb stream <app> <source> [--threads <n>] [--chunk-size <n>]
             [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
-            [--progress] [--memo on|off|check]
+            [--progress] [--watch] [--memo on|off|check] [--trace-out <file>]
+            [--timeline-out <file>] [--timeline-interval <n>] [--deterministic]
   pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
              [--progress] [--memo on|off|check]
-  pb report --app <app> --metrics json|prom [--trace <profile>]
-            [-n <packets>] [--seed <n>] [--threads <n>] [--out <file>]
-            [--deterministic] [--memo on|off|check]
+  pb report --app <app> (--metrics json|prom | --timeline json|csv)
+            [--trace <profile>] [-n <packets>] [--seed <n>] [--threads <n>]
+            [--out <file>] [--deterministic] [--timeline-interval <n>]
+            [--memo on|off|check]
   pb conform [--corpus <n>] [--seed <n>] [--threads <n>] [--repro <file.s>]
   pb anonymize <in.pcap> <out.pcap> [--seed <n>]
 
@@ -202,6 +211,19 @@ count for a fixed app/trace/seed.
 Prometheus text-format document (schema version, git commit, ISO-8601
 timestamp); --deterministic pins the stamp and zeroes timing fields so
 the output can be diffed against fixtures.
+
+In-flight telemetry (run and stream): --timeline-out samples per-lane
+counters (packets, pps, queue depth, backpressure wait, busy time, memo
+traffic, superblock bail-outs) into a stamped JSON time series;
+--trace-out writes the same run as a Chrome trace-event file with one
+named track per pipeline lane (workers, reader, merger) — load it in
+ui.perfetto.dev or chrome://tracing. --timeline-interval sets the
+sample spacing in packets. --watch redraws a live packets/pps status
+line in place on stderr. With --deterministic, samples are keyed on
+logical time (packets retired in trace order) instead of the wall
+clock, so the timeline is byte-identical at any thread count;
+`pb report --timeline json|csv` exports that same series from a
+profile run. Runs without these flags carry zero telemetry cost.
 
 `--memo on` enables per-worker flow memoization: results for repeated
 flows are answered from a cache keyed on the header bytes the
@@ -286,7 +308,9 @@ fn memo_from(args: &Args) -> Result<MemoMode, CliError> {
 
 /// One stderr line summarizing per-worker memoization traffic. Printed
 /// only when memoization was requested, so default runs are unchanged.
-fn report_memo(memo: MemoMode, workers: &[packetbench::WorkerMetrics]) {
+/// Routed through the run's shared [`StatusLine`] so it cannot interleave
+/// with an in-flight `--progress` or `--watch` line.
+fn report_memo(memo: MemoMode, workers: &[packetbench::WorkerMetrics], status: &StatusLine) {
     if memo == MemoMode::Off {
         return;
     }
@@ -295,13 +319,103 @@ fn report_memo(memo: MemoMode, workers: &[packetbench::WorkerMetrics]) {
     let evictions: u64 = workers.iter().map(|w| w.memo_evictions).sum();
     let total = hits + misses;
     if total == 0 {
-        eprintln!("memo:                   inactive (application not memoizable)");
+        status.emit("memo:                   inactive (application not memoizable)");
         return;
     }
-    eprintln!(
+    status.emit(&format!(
         "memo:                   {hits} hits / {misses} misses ({:.1}% hit rate, {evictions} evictions)",
         hits as f64 / total as f64 * 100.0
-    );
+    ));
+}
+
+/// The in-flight telemetry outputs requested on `pb run`/`pb stream`:
+/// the sampler spec (`None` when no sampling was asked for — the engine
+/// then carries zero telemetry cost) and where to write the results.
+struct TimelineOpts {
+    spec: Option<TimelineSpec>,
+    trace_out: Option<String>,
+    timeline_out: Option<String>,
+    deterministic: bool,
+}
+
+fn timeline_opts(args: &Args) -> Result<TimelineOpts, CliError> {
+    let trace_out = args.options.get("trace-out").cloned();
+    let timeline_out = args.options.get("timeline-out").cloned();
+    let deterministic = args.flag("deterministic");
+    let interval: u64 = args.parse_opt("timeline-interval", 0)?;
+    if interval == 0 && args.options.contains_key("timeline-interval") {
+        return usage_err("--timeline-interval must be at least 1");
+    }
+    if deterministic && trace_out.is_some() {
+        return usage_err(
+            "--trace-out records wall-clock spans, which --deterministic replaces \
+             with logical time; drop one of the two",
+        );
+    }
+    let wanted = trace_out.is_some() || timeline_out.is_some() || interval > 0;
+    let spec = wanted.then(|| {
+        let base = if deterministic {
+            TimelineSpec::logical()
+        } else {
+            TimelineSpec::wall()
+        };
+        if interval > 0 {
+            base.every(interval)
+        } else {
+            base
+        }
+    });
+    Ok(TimelineOpts {
+        spec,
+        trace_out,
+        timeline_out,
+        deterministic,
+    })
+}
+
+/// A label safe to splice into the hand-rolled JSON/trace documents:
+/// anything outside a conservative character set becomes `_` (pcap paths
+/// can contain quotes or backslashes; source specs cannot, but this is
+/// cheaper than auditing every caller).
+fn json_safe_label(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || ":=_.-/".contains(c) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes the requested timeline artifacts after a run.
+fn write_timeline_outputs(
+    opts: &TimelineOpts,
+    timeline: Option<&Timeline>,
+    app: AppId,
+    trace: &str,
+) -> Result<(), CliError> {
+    let Some(timeline) = timeline else {
+        return Ok(());
+    };
+    let trace = json_safe_label(trace);
+    if let Some(path) = &opts.trace_out {
+        let body = timeline.to_chrome_trace(app.slug(), &trace);
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("pb: wrote chrome trace to {path} (load in ui.perfetto.dev or chrome://tracing)");
+    }
+    if let Some(path) = &opts.timeline_out {
+        let stamp = if opts.deterministic {
+            Stamp::deterministic(TIMELINE_SCHEMA_VERSION)
+        } else {
+            Stamp::new(TIMELINE_SCHEMA_VERSION)
+        };
+        let body = timeline.to_json(&stamp, app.slug(), &trace);
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("pb: wrote timeline to {path}");
+    }
+    Ok(())
 }
 
 fn trace_profile(name: &str) -> Result<TraceProfile, CliError> {
@@ -355,9 +469,22 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
         ..Detail::counts()
     };
     let memo = memo_from(args)?;
+    let tl = timeline_opts(args)?;
+    let trace_label = match args.options.get("pcap") {
+        Some(path) => format!("pcap:{path}"),
+        None => args
+            .options
+            .get("trace")
+            .cloned()
+            .unwrap_or_else(|| "MRA".to_string()),
+    };
+    let status = Arc::new(StatusLine::default());
     let engine = Engine::with_config(id, config)
         .verify(verify)
         .progress(args.flag("progress"))
+        .watch(args.flag("watch"))
+        .status(Arc::clone(&status))
+        .timeline(tl.spec)
         .memo(memo);
     let run = engine
         .run(&packets, detail, threads)
@@ -383,7 +510,8 @@ fn cmd_run(args: &Args) -> Result<(), CliError> {
     if run.threads > 1 {
         eprint!("{}", report::render_worker_table(&run.workers));
     }
-    report_memo(memo, &run.workers);
+    report_memo(memo, &run.workers, &status);
+    write_timeline_outputs(&tl, run.timeline.as_ref(), id, &trace_label)?;
     Ok(())
 }
 
@@ -433,9 +561,14 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
         ..Detail::counts()
     };
     let memo = memo_from(args)?;
+    let tl = timeline_opts(args)?;
+    let status = Arc::new(StatusLine::default());
     let engine = Engine::with_config(id, WorkloadConfig::default())
         .verify(verify)
         .progress(args.flag("progress"))
+        .watch(args.flag("watch"))
+        .status(Arc::clone(&status))
+        .timeline(tl.spec)
         .memo(memo);
     let run = engine
         .run_streaming(
@@ -466,7 +599,15 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
     if run.threads > 1 {
         eprint!("{}", report::render_worker_table(&run.workers));
     }
-    report_memo(memo, &run.workers);
+    // Peak RSS is the streaming pipeline's headline claim (bounded
+    // memory); "unavailable" is an honest answer on platforms without
+    // /proc/self/status, zero would be a lie.
+    match run.peak_rss_kb {
+        Some(kb) => eprintln!("peak rss:               {kb} kB"),
+        None => eprintln!("peak rss:               unavailable on this platform"),
+    }
+    report_memo(memo, &run.workers, &status);
+    write_timeline_outputs(&tl, run.timeline.as_ref(), id, source_arg)?;
     Ok(())
 }
 
@@ -496,28 +637,74 @@ fn cmd_profile(args: &Args) -> Result<(), CliError> {
 
 fn cmd_report(args: &Args) -> Result<(), CliError> {
     let id = app_from(args)?;
-    let format = match args.options.get("metrics").map(String::as_str) {
-        Some("json") => "json",
-        Some("prom") => "prom",
+    let metrics_fmt = match args.options.get("metrics").map(String::as_str) {
+        Some("json") => Some("json"),
+        Some("prom") => Some("prom"),
         Some(other) => return usage_err(format!("bad --metrics value `{other}` (json|prom)")),
-        None => return usage_err("missing --metrics json|prom"),
+        None => None,
+    };
+    let timeline_fmt = match args.options.get("timeline").map(String::as_str) {
+        Some("json") => Some("json"),
+        Some("csv") => Some("csv"),
+        Some(other) => return usage_err(format!("bad --timeline value `{other}` (json|csv)")),
+        None => None,
+    };
+    let (format, want_timeline) = match (metrics_fmt, timeline_fmt) {
+        (Some(_), Some(_)) => {
+            return usage_err("choose one of --metrics and --timeline per invocation")
+        }
+        (Some(f), None) => (f, false),
+        (None, Some(f)) => (f, true),
+        (None, None) => return usage_err("missing --metrics json|prom or --timeline json|csv"),
     };
     let trace_name = args
         .options
         .get("trace")
         .map(String::as_str)
         .unwrap_or("MRA");
-    let spec = profile_spec(args, id, trace_name)?;
+    let deterministic = args.flag("deterministic");
+    let mut spec = profile_spec(args, id, trace_name)?;
+    if want_timeline {
+        let interval: u64 = args.parse_opt("timeline-interval", 0)?;
+        let base = if deterministic {
+            TimelineSpec::logical()
+        } else {
+            TimelineSpec::wall()
+        };
+        spec.timeline = Some(if interval > 0 {
+            base.every(interval)
+        } else {
+            base
+        });
+    }
     let result = run_profile(&spec).map_err(|e| e.to_string())?;
-    let doc = result.metrics_doc(args.flag("deterministic"));
-    let body = match format {
-        "json" => doc.to_json(),
-        _ => doc.to_prometheus(),
+    let body = if want_timeline {
+        let timeline = result
+            .run
+            .timeline
+            .as_ref()
+            .expect("profile ran with a timeline spec");
+        let stamp = if deterministic {
+            Stamp::deterministic(TIMELINE_SCHEMA_VERSION)
+        } else {
+            Stamp::new(TIMELINE_SCHEMA_VERSION)
+        };
+        match format {
+            "json" => timeline.to_json(&stamp, id.slug(), &result.trace_name),
+            _ => timeline.to_csv(&stamp, id.slug(), &result.trace_name),
+        }
+    } else {
+        let doc = result.metrics_doc(deterministic);
+        match format {
+            "json" => doc.to_json(),
+            _ => doc.to_prometheus(),
+        }
     };
+    let what = if want_timeline { "timeline" } else { "metrics" };
     match args.options.get("out") {
         Some(path) => {
             std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("pb: wrote {format} metrics to {path}");
+            eprintln!("pb: wrote {format} {what} to {path}");
         }
         None => print!("{body}"),
     }

@@ -30,10 +30,14 @@
 //! overflow ordering is per-worker. The default workloads do neither.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use nettrace::Packet;
+use npobs::timeline::{
+    Counters, LogicalSeries, Sample, SpanLog, Stage, Timeline, TimelineSpec, WallSampler,
+};
+use npobs::StatusLine;
 use npsim::{NullObserver, Observer};
 
 use crate::apps::{App, AppId};
@@ -52,6 +56,9 @@ pub struct Engine {
     pub(crate) verify: bool,
     pub(crate) progress: bool,
     pub(crate) memo: MemoMode,
+    pub(crate) timeline: Option<TimelineSpec>,
+    pub(crate) watch: bool,
+    pub(crate) status: Option<Arc<StatusLine>>,
 }
 
 impl Engine {
@@ -68,6 +75,9 @@ impl Engine {
             verify: false,
             progress: false,
             memo: MemoMode::Off,
+            timeline: None,
+            watch: false,
+            status: None,
         }
     }
 
@@ -92,6 +102,36 @@ impl Engine {
     pub fn memo(mut self, memo: MemoMode) -> Engine {
         self.memo = memo;
         self
+    }
+
+    /// Attaches the in-flight telemetry sampler: every worker keeps a
+    /// bounded ring of counter snapshots (and, on the wall clock, stage
+    /// spans), merged into [`EngineRun::timeline`] at run end. `None`
+    /// (the default) keeps the packet path entirely unsampled.
+    pub fn timeline(mut self, spec: Option<TimelineSpec>) -> Engine {
+        self.timeline = spec;
+        self
+    }
+
+    /// Enables the live `--watch` status refresh on stderr: a single
+    /// in-place line (packets, percent, pps) redrawn about once a second.
+    /// Implies the same shared counter `--progress` uses.
+    pub fn watch(mut self, watch: bool) -> Engine {
+        self.watch = watch;
+        self
+    }
+
+    /// Shares a [`StatusLine`] with the engine so its progress/watch
+    /// output serializes with the caller's other stderr lines (the memo
+    /// summary, for one) instead of interleaving mid-line. Without this
+    /// the engine creates a private writer per run.
+    pub fn status(mut self, status: Arc<StatusLine>) -> Engine {
+        self.status = Some(status);
+        self
+    }
+
+    pub(crate) fn status_line(&self) -> Arc<StatusLine> {
+        self.status.clone().unwrap_or_default()
     }
 
     /// The application this engine runs.
@@ -175,7 +215,8 @@ impl Engine {
             .collect();
 
         type Batch = Vec<(usize, PacketRecord, Vec<Packet>)>;
-        type WorkerResult<O> = Result<(Batch, O, WorkerMetrics), (usize, BenchError)>;
+        type WorkerResult<O> =
+            Result<(Batch, O, WorkerMetrics, Option<LaneTelemetry>), (usize, BenchError)>;
         let (tx, rx) = mpsc::channel::<WorkerResult<O>>();
         let mut slots: Vec<Option<(PacketRecord, Vec<Packet>)>> = Vec::new();
         slots.resize_with(packets.len(), || None);
@@ -188,28 +229,42 @@ impl Engine {
                 ..WorkerMetrics::default()
             })
             .collect();
+        let mut lanes: Vec<LaneTelemetry> = Vec::new();
         let processed = AtomicU64::new(0);
         let done = AtomicBool::new(false);
+        let monitoring = self.progress || self.watch;
+        let status = monitoring.then(|| self.status_line());
 
         std::thread::scope(|scope| {
-            let monitor = self.progress.then(|| {
+            let monitor = status.as_ref().map(|status| {
                 let processed = &processed;
                 let done = &done;
                 let total = packets.len();
+                let watch = self.watch;
+                let status = Arc::clone(status);
                 scope.spawn(move || {
                     while !done.load(Ordering::Acquire) {
                         std::thread::park_timeout(PROGRESS_INTERVAL);
                         let n = processed.load(Ordering::Relaxed);
-                        if !done.load(Ordering::Acquire) && n > 0 {
-                            eprintln!(
-                                "pb: {n}/{total} packets ({:.1}%)",
-                                n as f64 / total.max(1) as f64 * 100.0
-                            );
+                        if done.load(Ordering::Acquire) || n == 0 {
+                            continue;
                         }
+                        let pct = n as f64 / total.max(1) as f64 * 100.0;
+                        if watch {
+                            let pps = n as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                            status.refresh(&format!(
+                                "pb: {n}/{total} packets ({pct:.1}%) {pps:.0} pps"
+                            ));
+                        } else {
+                            status.emit(&format!("pb: {n}/{total} packets ({pct:.1}%)"));
+                        }
+                    }
+                    if watch {
+                        status.finish_refresh();
                     }
                 })
             });
-            let counter = self.progress.then_some(&processed);
+            let counter = monitoring.then_some(&processed);
             for (worker, stat) in workers.iter_mut().enumerate() {
                 let tx = tx.clone();
                 let indices: Vec<usize> = assignments
@@ -224,14 +279,15 @@ impl Engine {
                 }
                 let obs = make_obs();
                 scope.spawn(move || {
-                    let _ =
-                        tx.send(self.worker_run(worker, &indices, packets, detail, obs, counter));
+                    let _ = tx.send(
+                        self.worker_run(worker, &indices, packets, detail, obs, counter, start),
+                    );
                 });
             }
             drop(tx);
             for result in rx {
                 match result {
-                    Ok((batch, obs, metrics)) => {
+                    Ok((batch, obs, metrics, lane)) => {
                         for (i, record, outs) in batch {
                             slots[i] = Some((record, outs));
                         }
@@ -241,6 +297,7 @@ impl Engine {
                             ..metrics
                         };
                         observers[metrics.worker] = Some(obs);
+                        lanes.extend(lane);
                     }
                     Err((i, e)) => {
                         if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
@@ -267,6 +324,32 @@ impl Engine {
             output_packets.extend(outs);
         }
         let merge = merge_start.elapsed();
+        let timeline = self.timeline.map(|spec| {
+            if spec.deterministic {
+                return Timeline::from_logical(
+                    lanes.into_iter().map(LaneTelemetry::into_logical).collect(),
+                );
+            }
+            // The trace-order reassembly is the engine's "merge" stage:
+            // one span on the merger lane.
+            let mut merge_log = SpanLog::new(start, spec.capacity);
+            merge_log.record(
+                Stage::Merge,
+                0,
+                threads + 1,
+                merge_start,
+                records.len() as u64,
+            );
+            let mut samplers = Vec::new();
+            let mut logs = vec![merge_log];
+            for lane in lanes {
+                if let LaneTelemetry::Wall(sampler, log) = lane {
+                    samplers.push(sampler);
+                    logs.push(log);
+                }
+            }
+            Timeline::from_wall(spec.interval, threads, samplers, logs)
+        });
         let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         for w in &mut workers {
             w.idle_ns = wall_ns.saturating_sub(w.busy_ns);
@@ -279,6 +362,7 @@ impl Engine {
                 elapsed: start.elapsed(),
                 merge,
                 workers,
+                timeline,
             },
             observers.into_iter().flatten().collect(),
         ))
@@ -295,6 +379,9 @@ impl Engine {
         let mut bench = PacketBench::with_config(app, &self.config)?;
         bench.set_memo(self.memo);
         let mut records = Vec::with_capacity(packets.len());
+        let mut lane = self.timeline.map(|spec| LaneTelemetry::new(spec, 0, start));
+        let mut probe = LaneProbe::default();
+        let status = self.watch.then(|| self.status_line());
         let busy_start = Instant::now();
         for (i, packet) in packets.iter().enumerate() {
             let mut record = PacketRecord::empty();
@@ -302,7 +389,34 @@ impl Engine {
             if self.verify {
                 bench.verify_record(packet, &record)?;
             }
+            if let Some(lane) = &mut lane {
+                probe.observe(
+                    lane,
+                    i as u64,
+                    &record,
+                    &bench,
+                    (packets.len() - i - 1) as u64,
+                    0,
+                    busy_start,
+                );
+            }
+            if let Some(status) = &status {
+                if i % 4096 == 4095 {
+                    let pps = (i + 1) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                    status.refresh(&format!(
+                        "pb: {}/{} packets {pps:.0} pps",
+                        i + 1,
+                        packets.len()
+                    ));
+                }
+            }
             records.push(record);
+        }
+        if let Some(lane) = &mut lane {
+            lane.finish_exec(0, busy_start, packets.len() as u64);
+        }
+        if let Some(status) = &status {
+            status.finish_refresh();
         }
         let busy_ns = busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -316,7 +430,15 @@ impl Engine {
             memo_hits: memo.hits,
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
+            block_bailouts: bench.block_bailouts(),
         }];
+        let timeline = self.timeline.map(|spec| match lane {
+            Some(LaneTelemetry::Logical(series)) => Timeline::from_logical(vec![series]),
+            Some(LaneTelemetry::Wall(sampler, log)) => {
+                Timeline::from_wall(spec.interval, 1, vec![sampler], vec![log])
+            }
+            None => Timeline::from_logical(Vec::new()),
+        });
         Ok((
             EngineRun {
                 records,
@@ -325,6 +447,7 @@ impl Engine {
                 elapsed: start.elapsed(),
                 merge: Duration::ZERO,
                 workers,
+                timeline,
             },
             vec![obs],
         ))
@@ -333,8 +456,10 @@ impl Engine {
     /// One worker: a private `PacketBench`, its assigned packets in trace
     /// order, results tagged with their trace index. Busy time is one
     /// clock pair around the whole loop — never per packet, so telemetry
-    /// stays off the per-packet critical path.
-    #[allow(clippy::type_complexity)]
+    /// stays off the per-packet critical path (the opt-in timeline
+    /// sampler adds one increment-and-compare per packet, and snapshots
+    /// only on its interval).
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn worker_run<O: Observer>(
         &self,
         worker: usize,
@@ -343,15 +468,27 @@ impl Engine {
         detail: Detail,
         mut obs: O,
         progress: Option<&AtomicU64>,
-    ) -> Result<(Vec<(usize, PacketRecord, Vec<Packet>)>, O, WorkerMetrics), (usize, BenchError)>
-    {
+        run_start: Instant,
+    ) -> Result<
+        (
+            Vec<(usize, PacketRecord, Vec<Packet>)>,
+            O,
+            WorkerMetrics,
+            Option<LaneTelemetry>,
+        ),
+        (usize, BenchError),
+    > {
         let first = indices.first().copied().unwrap_or(0);
         let app = App::build(self.id, &self.config).map_err(|e| (first, e))?;
         let mut bench = PacketBench::with_config(app, &self.config).map_err(|e| (first, e))?;
         bench.set_memo(self.memo);
         let mut batch = Vec::with_capacity(indices.len());
+        let mut lane = self
+            .timeline
+            .map(|spec| LaneTelemetry::new(spec, worker, run_start));
+        let mut probe = LaneProbe::default();
         let busy_start = Instant::now();
-        for &i in indices {
+        for (k, &i) in indices.iter().enumerate() {
             let packet = &packets[i];
             let mut record = PacketRecord::empty();
             bench
@@ -362,9 +499,23 @@ impl Engine {
             }
             let outs = bench.take_output_packets();
             batch.push((i, record, outs));
+            if let Some(lane) = &mut lane {
+                probe.observe(
+                    lane,
+                    i as u64,
+                    &batch.last().expect("just pushed").1,
+                    &bench,
+                    (indices.len() - k - 1) as u64,
+                    0,
+                    busy_start,
+                );
+            }
             if let Some(counter) = progress {
                 counter.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if let Some(lane) = &mut lane {
+            lane.finish_exec(worker as u64, busy_start, indices.len() as u64);
         }
         let memo = bench.memo_counters();
         let metrics = WorkerMetrics {
@@ -376,8 +527,113 @@ impl Engine {
             memo_hits: memo.hits,
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
+            block_bailouts: bench.block_bailouts(),
         };
-        Ok((batch, obs, metrics))
+        Ok((batch, obs, metrics, lane))
+    }
+}
+
+/// One lane's in-flight telemetry: a wall-clock sampler plus span log, or
+/// a deterministic logical series. Built per worker, merged after join.
+pub(crate) enum LaneTelemetry {
+    Wall(WallSampler, SpanLog),
+    Logical(LogicalSeries),
+}
+
+impl LaneTelemetry {
+    pub(crate) fn new(spec: TimelineSpec, lane: usize, t0: Instant) -> LaneTelemetry {
+        if spec.deterministic {
+            LaneTelemetry::Logical(LogicalSeries::new(spec))
+        } else {
+            LaneTelemetry::Wall(
+                WallSampler::new(spec, lane, t0),
+                SpanLog::new(t0, spec.capacity),
+            )
+        }
+    }
+
+    pub(crate) fn into_logical(self) -> LogicalSeries {
+        match self {
+            LaneTelemetry::Logical(series) => series,
+            LaneTelemetry::Wall(..) => unreachable!("wall lane in a deterministic timeline"),
+        }
+    }
+
+    /// Closes the lane's execution span: the whole packet loop, recorded
+    /// on the wall clock only.
+    pub(crate) fn finish_exec(&mut self, id: u64, began: Instant, packets: u64) {
+        if let LaneTelemetry::Wall(sampler, log) = self {
+            log.record(Stage::Exec, id, sampler.lane(), began, packets);
+        }
+    }
+}
+
+/// Per-lane accumulation state for the timeline sampler: cumulative
+/// counters plus the bail-out watermark for logical deltas.
+#[derive(Default)]
+pub(crate) struct LaneProbe {
+    instructions: u64,
+    mem_packet: u64,
+    mem_non_packet: u64,
+    last_bailouts: u64,
+}
+
+impl LaneProbe {
+    /// Folds one processed packet into the lane's telemetry. `remaining`
+    /// is the lane's queue depth after this packet; busy time at a
+    /// sample is `busy_base_ns` (previous chunks) plus the time since
+    /// `busy_start` (the current loop or chunk), so both the batch
+    /// engine's one-clock-pair loop and the stream worker's per-chunk
+    /// accumulation report honest busy time.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn observe(
+        &mut self,
+        lane: &mut LaneTelemetry,
+        index: u64,
+        record: &PacketRecord,
+        bench: &PacketBench,
+        remaining: u64,
+        busy_base_ns: u64,
+        busy_start: Instant,
+    ) {
+        let bailouts = bench.block_bailouts();
+        let bail_delta = bailouts - self.last_bailouts;
+        self.last_bailouts = bailouts;
+        self.instructions += record.stats.instret;
+        self.mem_packet += record.stats.mem.packet_total();
+        self.mem_non_packet += record.stats.mem.non_packet_total();
+        match lane {
+            LaneTelemetry::Logical(series) => {
+                series.record(
+                    index,
+                    &Counters {
+                        packets: 1,
+                        instructions: record.stats.instret,
+                        mem_packet: record.stats.mem.packet_total(),
+                        mem_non_packet: record.stats.mem.non_packet_total(),
+                        block_bailouts: bail_delta,
+                    },
+                );
+            }
+            LaneTelemetry::Wall(sampler, _) => {
+                if sampler.on_packet() {
+                    let memo = bench.memo_counters();
+                    sampler.push(Sample {
+                        instructions: self.instructions,
+                        mem_packet: self.mem_packet,
+                        mem_non_packet: self.mem_non_packet,
+                        queue_depth: remaining,
+                        busy_ns: busy_base_ns
+                            + busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        memo_hits: memo.hits,
+                        memo_misses: memo.misses,
+                        memo_evictions: memo.evictions,
+                        block_bailouts: bailouts,
+                        ..Sample::default()
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -407,6 +663,11 @@ pub struct WorkerMetrics {
     /// Cache entries displaced by a colliding key (direct-mapped
     /// replacement). Zero when memoization is off.
     pub memo_evictions: u64,
+    /// Times the superblock engine bailed out to the per-instruction
+    /// loop on this worker (mid-block entries and instruction-budget
+    /// tails). Zero on the full-detail paths, which never enter the
+    /// block engine.
+    pub block_bailouts: u64,
 }
 
 /// The merged, trace-ordered result of an [`Engine::run`].
@@ -425,6 +686,9 @@ pub struct EngineRun {
     pub merge: Duration,
     /// Per-worker telemetry, ordered by worker index.
     pub workers: Vec<WorkerMetrics>,
+    /// The in-flight telemetry timeline, present when the engine ran
+    /// with [`Engine::timeline`] attached.
+    pub timeline: Option<Timeline>,
 }
 
 impl EngineRun {

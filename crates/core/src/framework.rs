@@ -291,6 +291,7 @@ pub struct PacketBench {
     block_table: BlockTable,
     out_packets: Vec<Packet>,
     packets_processed: u64,
+    block_bailouts: u64,
     memo: Option<MemoLayer>,
 }
 
@@ -327,6 +328,7 @@ impl PacketBench {
             block_table,
             out_packets: Vec::new(),
             packets_processed: 0,
+            block_bailouts: 0,
             memo: None,
         })
     }
@@ -500,6 +502,14 @@ impl PacketBench {
         self.packets_processed
     }
 
+    /// Times the superblock engine bailed out to the per-instruction
+    /// loop across all packets so far. Pure telemetry (a deterministic
+    /// function of program + packets); memo hits contribute nothing —
+    /// they skip simulation entirely.
+    pub fn block_bailouts(&self) -> u64 {
+        self.block_bailouts
+    }
+
     /// Runs one packet through the application.
     ///
     /// # Errors
@@ -564,7 +574,7 @@ impl PacketBench {
         let program = self.app.image().program();
         let mut cpu = Cpu::new(program, self.map).with_blocks(&self.block_table);
         self.packets_processed += 1;
-        run_packet_on(
+        let result = run_packet_on(
             &mut cpu,
             &mut self.mem,
             self.map,
@@ -574,7 +584,9 @@ impl PacketBench {
             packet,
             &detail.run_config(),
             record,
-        )?;
+        );
+        self.block_bailouts += cpu.block_bailouts();
+        result?;
         self.memo_post(detail, record)
     }
 
@@ -611,13 +623,15 @@ impl PacketBench {
             out: &mut self.out_packets,
             clock: (index + 1) as u32,
         };
-        cpu.run_observed(
+        let result = cpu.run_observed(
             &mut self.mem,
             &detail.run_config(),
             &mut handler,
             &mut record.stats,
             obs,
-        )?;
+        );
+        self.block_bailouts += cpu.block_bailouts();
+        result?;
         record.verdict = handler.verdict;
         record.return_value = cpu.state().regs[reg::A0.index()];
         self.memo_post(detail, record)

@@ -48,6 +48,10 @@ pub struct ProfileSpec {
     pub progress: bool,
     /// Flow-memoization mode for the run's workers.
     pub memo: MemoMode,
+    /// In-flight telemetry: sample the run into a timeline (and span
+    /// log), surfaced on [`ProfileResult`]'s engine run. `None` costs
+    /// nothing.
+    pub timeline: Option<npobs::TimelineSpec>,
 }
 
 impl ProfileSpec {
@@ -62,6 +66,7 @@ impl ProfileSpec {
             config: WorkloadConfig::default(),
             progress: false,
             memo: MemoMode::Off,
+            timeline: None,
         }
     }
 }
@@ -110,7 +115,8 @@ pub fn profile_packets(
 
     let engine = Engine::with_config(spec.app, spec.config)
         .progress(spec.progress)
-        .memo(spec.memo);
+        .memo(spec.memo)
+        .timeline(spec.timeline);
     let (run, observers) = engine.run_observed(packets, Detail::counts(), spec.threads, || {
         HeatObserver::new(&block_map)
     })?;
@@ -212,6 +218,10 @@ impl ProfileResult {
                     memo_hits: w.memo_hits,
                     memo_misses: w.memo_misses,
                     memo_evictions: w.memo_evictions,
+                    // Also trace-determined — except under memoization,
+                    // where cache hits skip simulation and contribute no
+                    // bail-outs (see `PacketBench::block_bailouts`).
+                    block_bailouts: w.block_bailouts,
                 })
                 .collect(),
         }
@@ -262,6 +272,20 @@ mod tests {
         assert!(serial.contains("instructions_per_packet"));
         assert!(serial.contains("basic-block heat"));
         assert!(serial.contains("trie;"));
+    }
+
+    #[test]
+    fn profile_timeline_rides_along() {
+        let mut s = spec(2);
+        s.timeline = Some(npobs::TimelineSpec::logical());
+        let result = run_profile(&s).unwrap();
+        let timeline = result.run.timeline.as_ref().expect("timeline requested");
+        assert!(timeline.deterministic);
+        assert_eq!(
+            timeline.samples.last().map(|s| s.packets),
+            Some(60),
+            "cumulative logical samples end at the packet count"
+        );
     }
 
     #[test]

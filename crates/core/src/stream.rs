@@ -62,15 +62,16 @@
 //! reported error is deterministic.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nettrace::{Packet, PacketSource};
+use npobs::timeline::{Sample, Stage, Timeline};
 use npstream::{BoundedQueue, Chunk, Semaphore, ShardBuffers};
 
 use crate::analysis::StreamAggregate;
 use crate::apps::App;
-use crate::engine::{Engine, WorkerMetrics};
+use crate::engine::{Engine, LaneProbe, LaneTelemetry, WorkerMetrics};
 use crate::error::BenchError;
 use crate::framework::{Detail, PacketBench, PacketRecord};
 
@@ -138,6 +139,13 @@ pub struct StreamRun {
     /// Per-worker telemetry, ordered by worker index. `queue_depth` is
     /// the number of packets enqueued to the worker.
     pub workers: Vec<WorkerMetrics>,
+    /// The in-flight telemetry timeline (reader, worker, and merger
+    /// lanes), present when the engine ran with [`Engine::timeline`].
+    pub timeline: Option<Timeline>,
+    /// Peak resident set of the process at run end, in KiB. `None` when
+    /// the platform exposes no `/proc/self/status` — absent, not zero,
+    /// so reports cannot mistake "unknown" for "tiny".
+    pub peak_rss_kb: Option<u64>,
 }
 
 impl StreamRun {
@@ -171,6 +179,18 @@ enum ChunkOutcome {
     Skipped,
 }
 
+/// The telemetry context a worker hands [`Engine::stream_chunk`] for the
+/// duration of one chunk: the lane being sampled, the cumulative probe,
+/// the worker's input queue (its depth is the lane's backlog), and the
+/// busy-time baseline so mid-chunk samples report honest busy time.
+struct ChunkTelemetry<'a> {
+    lane: &'a mut LaneTelemetry,
+    probe: &'a mut LaneProbe,
+    input: &'a BoundedQueue<(u64, Chunk<Packet>)>,
+    busy_base_ns: u64,
+    busy_start: Instant,
+}
+
 impl Engine {
     /// Streams `source` through the sharded workers with bounded memory
     /// and returns the online aggregate. The aggregate is bit-identical
@@ -195,10 +215,12 @@ impl Engine {
 
         // One permit per in-flight chunk; every queue's capacity matches
         // the permit count so only the semaphore can block the reader and
-        // nothing can block a worker's push (see module docs).
+        // nothing can block a worker's push (see module docs). Chunks
+        // carry their dispatch-order id so worker spans and merger folds
+        // agree on naming.
         let permits = Semaphore::new(max_inflight);
         let order: BoundedQueue<usize> = BoundedQueue::new(max_inflight);
-        let inputs: Vec<BoundedQueue<Chunk<Packet>>> = (0..threads)
+        let inputs: Vec<BoundedQueue<(u64, Chunk<Packet>)>> = (0..threads)
             .map(|_| BoundedQueue::new(max_inflight))
             .collect();
         let results: Vec<BoundedQueue<ChunkOutcome>> = (0..threads)
@@ -208,27 +230,46 @@ impl Engine {
         let source_error: Mutex<Option<BenchError>> = Mutex::new(None);
         let processed = AtomicU64::new(0);
         let done = AtomicBool::new(false);
+        let monitoring = self.progress || self.watch;
+        let status = monitoring.then(|| self.status_line());
+        // The wall-clock sampler lanes: workers 0..threads, the reader at
+        // `threads`, the merger at `threads + 1`. Deterministic timelines
+        // sample only inside workers (per-packet logical deltas).
+        let wall_spec = self.timeline.filter(|s| !s.deterministic);
 
         let mut workers: Vec<WorkerMetrics> = Vec::with_capacity(threads);
+        let mut lanes: Vec<LaneTelemetry> = Vec::new();
         let mut aggregate = StreamAggregate::new();
         let mut chunks = 0u64;
         let mut first_error: Option<BenchError> = None;
+        let mut merger_lane = wall_spec.map(|s| LaneTelemetry::new(s, threads + 1, start));
 
         std::thread::scope(|scope| {
-            let monitor = self.progress.then(|| {
+            let monitor = status.as_ref().map(|status| {
                 let processed = &processed;
                 let done = &done;
+                let watch = self.watch;
+                let status = Arc::clone(status);
                 scope.spawn(move || {
                     while !done.load(Ordering::Acquire) {
                         std::thread::park_timeout(PROGRESS_INTERVAL);
                         let n = processed.load(Ordering::Relaxed);
-                        if !done.load(Ordering::Acquire) && n > 0 {
-                            eprintln!("pb: {n} packets streamed");
+                        if done.load(Ordering::Acquire) || n == 0 {
+                            continue;
                         }
+                        if watch {
+                            let pps = n as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                            status.refresh(&format!("pb: {n} packets streamed {pps:.0} pps"));
+                        } else {
+                            status.emit(&format!("pb: {n} packets streamed"));
+                        }
+                    }
+                    if watch {
+                        status.finish_refresh();
                     }
                 })
             });
-            let counter = self.progress.then_some(&processed);
+            let counter = monitoring.then_some(&processed);
 
             let reader = {
                 let permits = &permits;
@@ -239,27 +280,58 @@ impl Engine {
                 let mut source = source;
                 scope.spawn(move || {
                     let mut buffers: ShardBuffers<Packet> = ShardBuffers::new(threads, chunk_size);
-                    let dispatch = |shard: usize, chunk: Chunk<Packet>| -> bool {
+                    let mut lane = wall_spec.map(|s| LaneTelemetry::new(s, threads, start));
+                    let mut backpressure_ns = 0u64;
+                    let mut chunk_id = 0u64;
+                    let mut dispatch = |shard: usize,
+                                        chunk: Chunk<Packet>,
+                                        lane: &mut Option<LaneTelemetry>,
+                                        backpressure_ns: &mut u64|
+                     -> bool {
+                        let began = Instant::now();
                         permits.acquire();
+                        *backpressure_ns +=
+                            began.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        let id = chunk_id;
+                        chunk_id += 1;
+                        let chunk_packets = chunk.len() as u64;
                         // Input before order: once the merger learns of a
                         // chunk, the chunk is already poppable by its
                         // worker.
-                        inputs[shard].push(chunk).is_ok() && order.push(shard).is_ok()
+                        let ok =
+                            inputs[shard].push((id, chunk)).is_ok() && order.push(shard).is_ok();
+                        if let Some(LaneTelemetry::Wall(_, log)) = lane {
+                            // The read span covers the backpressure wait
+                            // plus the (non-blocking) queue pushes.
+                            log.record(Stage::Read, id, threads, began, chunk_packets);
+                        }
+                        ok
                     };
                     'read: while !cancelled.load(Ordering::Acquire) {
                         match source.next_packet() {
                             Ok(Some(packet)) => {
                                 let shard =
                                     self.shard_of(buffers.next_index() as usize, &packet, threads);
+                                if let Some(LaneTelemetry::Wall(sampler, _)) = &mut lane {
+                                    if sampler.on_packet() {
+                                        let inflight =
+                                            max_inflight.saturating_sub(permits.available());
+                                        sampler.push(Sample {
+                                            queue_depth: inflight as u64,
+                                            backpressure_ns,
+                                            ..Sample::default()
+                                        });
+                                    }
+                                }
                                 if let Some((shard, chunk)) = buffers.push(shard, packet) {
-                                    if !dispatch(shard, chunk) {
+                                    if !dispatch(shard, chunk, &mut lane, &mut backpressure_ns) {
                                         break 'read;
                                     }
                                 }
                             }
                             Ok(None) => {
                                 for (shard, chunk) in buffers.finish() {
-                                    if !dispatch(shard, chunk) {
+                                    if !dispatch(shard, chunk, &mut lane, &mut backpressure_ns) {
                                         break;
                                     }
                                 }
@@ -278,6 +350,7 @@ impl Engine {
                     for input in inputs {
                         input.close();
                     }
+                    lane
                 })
             };
 
@@ -287,7 +360,7 @@ impl Engine {
                     let result = &results[w];
                     let cancelled = &cancelled;
                     scope.spawn(move || {
-                        self.stream_worker(w, input, result, detail, cancelled, counter)
+                        self.stream_worker(w, input, result, detail, cancelled, counter, start)
                     })
                 })
                 .collect();
@@ -295,13 +368,17 @@ impl Engine {
             // The merger runs here, on the caller's thread: fold
             // outcomes in flush order, releasing each chunk's permit.
             while let Some(w) = order.pop() {
+                let fold_began = Instant::now();
                 let outcome = results[w]
                     .pop()
                     .expect("workers push exactly one outcome per chunk");
                 permits.release();
+                let id = chunks;
                 chunks += 1;
+                let mut fold_packets = 0u64;
                 match outcome {
                     ChunkOutcome::Stats(agg) => {
+                        fold_packets = agg.packets();
                         if first_error.is_none() {
                             aggregate.merge(&agg);
                         }
@@ -314,11 +391,25 @@ impl Engine {
                     }
                     ChunkOutcome::Skipped => {}
                 }
+                if let Some(LaneTelemetry::Wall(sampler, log)) = &mut merger_lane {
+                    // The merge span includes the wait for the worker's
+                    // outcome — merger stalls are visible, not hidden.
+                    log.record(Stage::Merge, id, threads + 1, fold_began, fold_packets);
+                    if sampler.on_packets(fold_packets) {
+                        let inflight = max_inflight.saturating_sub(permits.available());
+                        sampler.push(Sample {
+                            queue_depth: inflight as u64,
+                            ..Sample::default()
+                        });
+                    }
+                }
             }
 
-            reader.join().expect("reader thread never panics");
+            lanes.extend(reader.join().expect("reader thread never panics"));
             for handle in handles {
-                workers.push(handle.join().expect("worker threads never panic"));
+                let (metrics, lane) = handle.join().expect("worker threads never panic");
+                workers.push(metrics);
+                lanes.extend(lane);
             }
             done.store(true, Ordering::Release);
             if let Some(monitor) = monitor {
@@ -332,6 +423,21 @@ impl Engine {
         if let Some(e) = source_error.into_inner().unwrap() {
             return Err(e);
         }
+        let timeline = self.timeline.map(|spec| {
+            if spec.deterministic {
+                Timeline::from_logical(lanes.into_iter().map(LaneTelemetry::into_logical).collect())
+            } else {
+                let mut samplers = Vec::new();
+                let mut logs = Vec::new();
+                for lane in lanes.into_iter().chain(merger_lane) {
+                    if let LaneTelemetry::Wall(sampler, log) = lane {
+                        samplers.push(sampler);
+                        logs.push(log);
+                    }
+                }
+                Timeline::from_wall(spec.interval, threads, samplers, logs)
+            }
+        });
         let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         for w in &mut workers {
             w.idle_ns = wall_ns.saturating_sub(w.busy_ns);
@@ -344,6 +450,8 @@ impl Engine {
             chunks,
             elapsed: start.elapsed(),
             workers,
+            timeline,
+            peak_rss_kb: npstream::peak_rss_kb(),
         })
     }
 
@@ -352,29 +460,52 @@ impl Engine {
     /// chunk. The `PacketBench` is built on the first chunk so idle
     /// workers cost nothing; emitted output packets are dropped per chunk
     /// to keep memory bounded.
+    #[allow(clippy::too_many_arguments)]
     fn stream_worker(
         &self,
         worker: usize,
-        input: &BoundedQueue<Chunk<Packet>>,
+        input: &BoundedQueue<(u64, Chunk<Packet>)>,
         result: &BoundedQueue<ChunkOutcome>,
         detail: Detail,
         cancelled: &AtomicBool,
         progress: Option<&AtomicU64>,
-    ) -> WorkerMetrics {
+        run_start: Instant,
+    ) -> (WorkerMetrics, Option<LaneTelemetry>) {
         let mut bench: Option<PacketBench> = None;
         let mut failed = false;
         let mut enqueued = 0u64;
         let mut packets = 0u64;
         let mut busy_ns = 0u64;
-        while let Some(chunk) = input.pop() {
+        let mut lane = self
+            .timeline
+            .map(|spec| LaneTelemetry::new(spec, worker, run_start));
+        let mut probe = LaneProbe::default();
+        while let Some((id, chunk)) = input.pop() {
             enqueued += chunk.len() as u64;
             if failed || cancelled.load(Ordering::Acquire) {
                 let _ = result.push(ChunkOutcome::Skipped);
                 continue;
             }
             let busy_start = Instant::now();
-            let outcome = self.stream_chunk(&mut bench, &chunk, detail, progress, &mut packets);
+            let telemetry = lane.as_mut().map(|lane| ChunkTelemetry {
+                lane,
+                probe: &mut probe,
+                input,
+                busy_base_ns: busy_ns,
+                busy_start,
+            });
+            let outcome = self.stream_chunk(
+                &mut bench,
+                &chunk,
+                detail,
+                progress,
+                &mut packets,
+                telemetry,
+            );
             busy_ns += busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(lane) = &mut lane {
+                lane.finish_exec(id, busy_start, chunk.len() as u64);
+            }
             failed = !matches!(outcome, ChunkOutcome::Stats(_));
             let _ = result.push(outcome);
         }
@@ -382,7 +513,7 @@ impl Engine {
             .as_ref()
             .map(|b| b.memo_counters())
             .unwrap_or_default();
-        WorkerMetrics {
+        let metrics = WorkerMetrics {
             worker,
             packets,
             busy_ns,
@@ -391,7 +522,9 @@ impl Engine {
             memo_hits: memo.hits,
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
-        }
+            block_bailouts: bench.as_ref().map(|b| b.block_bailouts()).unwrap_or(0),
+        };
+        (metrics, lane)
     }
 
     /// Processes one chunk, building the worker's `PacketBench` first if
@@ -403,6 +536,7 @@ impl Engine {
         detail: Detail,
         progress: Option<&AtomicU64>,
         packets: &mut u64,
+        mut telemetry: Option<ChunkTelemetry<'_>>,
     ) -> ChunkOutcome {
         let bench = match bench {
             Some(b) => b,
@@ -439,6 +573,17 @@ impl Engine {
             }
             agg.add_record(&record);
             *packets += 1;
+            if let Some(t) = telemetry.as_mut() {
+                t.probe.observe(
+                    t.lane,
+                    index,
+                    &record,
+                    bench,
+                    t.input.len() as u64,
+                    t.busy_base_ns,
+                    t.busy_start,
+                );
+            }
             if let Some(counter) = progress {
                 counter.fetch_add(1, Ordering::Relaxed);
             }

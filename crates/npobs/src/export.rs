@@ -34,6 +34,10 @@ pub struct WorkerStat {
     /// Memoization cache entries displaced by a colliding key. Zero when
     /// memoization is off.
     pub memo_evictions: u64,
+    /// Superblock executions that bailed back to single-step execution
+    /// (early exit mid-block). Zero when block-level dispatch is off or
+    /// every packet was answered from the memoization cache.
+    pub block_bailouts: u64,
 }
 
 /// A complete, exportable metrics document for one profiling run.
@@ -57,6 +61,24 @@ pub struct MetricsDoc {
     pub hists: PacketHists,
     /// Per-worker telemetry, ordered by worker index.
     pub workers: Vec<WorkerStat>,
+}
+
+/// Escapes a value for use inside a Prometheus label: backslash, double
+/// quote, and newline must be backslash-escaped per the text exposition
+/// format. Application and trace slugs are normally tame, but nothing
+/// upstream *enforces* that, and a malformed label silently corrupts
+/// every series that carries it.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Prints an `f64` the same way on every platform (shortest roundtrip
@@ -119,7 +141,8 @@ impl MetricsDoc {
                 out,
                 "    {{\"worker\": {}, \"packets\": {}, \"busy_ns\": {}, \
                  \"idle_ns\": {}, \"queue_depth\": {}, \"memo_hits\": {}, \
-                 \"memo_misses\": {}, \"memo_evictions\": {}}}",
+                 \"memo_misses\": {}, \"memo_evictions\": {}, \
+                 \"block_bailouts\": {}}}",
                 w.worker,
                 w.packets,
                 w.busy_ns,
@@ -127,7 +150,8 @@ impl MetricsDoc {
                 w.queue_depth,
                 w.memo_hits,
                 w.memo_misses,
-                w.memo_evictions
+                w.memo_evictions,
+                w.block_bailouts
             );
             out.push_str(if i + 1 == self.workers.len() {
                 "\n"
@@ -143,7 +167,11 @@ impl MetricsDoc {
     /// Histograms follow the Prometheus convention: cumulative `_bucket`
     /// series with an `le` upper bound, plus `_sum` and `_count`.
     pub fn to_prometheus(&self) -> String {
-        let labels = format!("app=\"{}\",trace=\"{}\"", self.app, self.trace);
+        let labels = format!(
+            "app=\"{}\",trace=\"{}\"",
+            escape_label(&self.app),
+            escape_label(&self.trace)
+        );
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -262,6 +290,19 @@ impl MetricsDoc {
                 w.worker, w.memo_evictions
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP pb_worker_block_bailouts_total Superblock executions that bailed \
+             back to single-step execution."
+        );
+        let _ = writeln!(out, "# TYPE pb_worker_block_bailouts_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_worker_block_bailouts_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.block_bailouts
+            );
+        }
         out
     }
 }
@@ -295,6 +336,7 @@ mod tests {
                     memo_hits: 1,
                     memo_misses: 1,
                     memo_evictions: 0,
+                    block_bailouts: 4,
                 },
                 WorkerStat {
                     worker: 1,
@@ -314,12 +356,14 @@ mod tests {
         let a = doc.to_json();
         let b = doc.clone().to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains(&format!("\"schema_version\": {METRICS_SCHEMA_VERSION}")));
         assert!(a.contains("\"app\": \"radix\""));
         assert!(a.contains("\"instructions_per_packet\""));
         assert!(a.contains("{\"lo\": 128, \"hi\": 255, \"count\": 2}"));
         assert!(a.contains("\"worker\": 1, \"packets\": 1"));
-        assert!(a.contains("\"memo_hits\": 1, \"memo_misses\": 1, \"memo_evictions\": 0"));
+        assert!(a.contains(
+            "\"memo_hits\": 1, \"memo_misses\": 1, \"memo_evictions\": 0, \"block_bailouts\": 4"
+        ));
         // Crude balance check on the hand-rolled writer.
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
@@ -344,7 +388,9 @@ mod tests {
         assert!(
             prom.contains("pb_worker_packets_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 2")
         );
-        assert!(prom.contains("pb_build_info{schema_version=\"1\",git_commit=\"deterministic\"} 1"));
+        assert!(prom.contains(&format!(
+            "pb_build_info{{schema_version=\"{METRICS_SCHEMA_VERSION}\",git_commit=\"deterministic\"}} 1"
+        )));
         assert!(
             prom.contains("pb_worker_memo_hits_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 1")
         );
@@ -364,5 +410,56 @@ mod tests {
         assert!(prom.contains(
             "pb_instructions_per_packet_bucket{app=\"radix\",trace=\"mra\",le=\"+Inf\"} 0"
         ));
+    }
+
+    #[test]
+    fn empty_worker_set_keeps_metadata_but_emits_no_series() {
+        let mut doc = sample_doc();
+        doc.workers.clear();
+        let json = doc.to_json();
+        // The workers array must still be present (and balanced) even
+        // with no elements.
+        assert!(json.contains("\"workers\": [\n  ]"));
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let prom = doc.to_prometheus();
+        // HELP/TYPE headers stay (scrapers key on them) but no per-worker
+        // sample lines follow.
+        assert!(prom.contains("# TYPE pb_worker_packets_total counter"));
+        assert!(!prom.contains("pb_worker_packets_total{app="));
+        assert!(!prom.contains("pb_worker_block_bailouts_total{app="));
+    }
+
+    #[test]
+    fn prometheus_labels_are_escaped() {
+        assert_eq!(escape_label("radix"), "radix");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        let mut doc = sample_doc();
+        doc.trace = "m\"ra\\x\n".to_string();
+        let prom = doc.to_prometheus();
+        assert!(prom.contains("trace=\"m\\\"ra\\\\x\\n\""));
+        // No raw newline may survive inside a label value: every line
+        // either is a comment or ends in a sample value.
+        for line in prom.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(|c: char| c.is_ascii_digit()),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_version_two_covers_block_bailouts() {
+        // The worker record grew `block_bailouts` (and the JSON/prom
+        // serializers emit it), which is a consumer-visible schema
+        // change: the stamp must say so.
+        assert_eq!(METRICS_SCHEMA_VERSION, 2);
+        let doc = sample_doc();
+        assert_eq!(doc.stamp.schema_version, METRICS_SCHEMA_VERSION);
+        assert!(doc.to_json().contains("\"block_bailouts\""));
+        assert!(doc
+            .to_prometheus()
+            .contains("pb_worker_block_bailouts_total"));
     }
 }

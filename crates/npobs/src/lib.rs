@@ -16,6 +16,13 @@
 //!   the same `L<n>` labels `pb disasm` shows;
 //! * [`export`] — a metrics document with JSON and Prometheus
 //!   text-format serializers;
+//! * [`timeline`] — an in-flight telemetry sampler: per-lane bounded
+//!   rings of timestamped counter snapshots plus stage-span tracing,
+//!   exported as stamped JSON/CSV time series or a Perfetto-loadable
+//!   Chrome trace. A logical clock keyed on global packet order makes
+//!   `--deterministic` timelines byte-identical at any thread count;
+//! * [`status`] — the shared rate-limited stderr line writer that keeps
+//!   progress, memoization, and `--watch` output from interleaving;
 //! * [`stamp`] — schema version, git commit, and ISO-8601 timestamps so
 //!   metrics and benchmark artifacts are traceable across PRs.
 //!
@@ -28,8 +35,14 @@ pub mod export;
 pub mod heat;
 pub mod hist;
 pub mod stamp;
+pub mod status;
+pub mod timeline;
 
 pub use export::MetricsDoc;
 pub use heat::{BlockHeat, HeatObserver};
 pub use hist::{Log2Histogram, PacketHists};
 pub use stamp::Stamp;
+pub use status::StatusLine;
+pub use timeline::{
+    Counters, LogicalSeries, Sample, Span, SpanLog, Stage, Timeline, TimelineSpec, WallSampler,
+};

@@ -11,7 +11,9 @@ use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Version of the metrics-document JSON layout ([`crate::MetricsDoc`]).
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+/// v2 added `block_bailouts` to the per-worker records (JSON and
+/// Prometheus `pb_worker_block_bailouts_total`).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Version of the benchmark JSON layout (`BENCH_throughput.json`,
 /// `BENCH_conform.json`).
@@ -145,8 +147,11 @@ mod tests {
         let s = Stamp::deterministic(METRICS_SCHEMA_VERSION);
         assert_eq!(
             s.json_fields(),
-            "\"schema_version\": 1, \"git_commit\": \"deterministic\", \
-             \"timestamp\": \"1970-01-01T00:00:00Z\""
+            format!(
+                "\"schema_version\": {METRICS_SCHEMA_VERSION}, \
+                 \"git_commit\": \"deterministic\", \
+                 \"timestamp\": \"1970-01-01T00:00:00Z\""
+            )
         );
     }
 

@@ -425,6 +425,11 @@ pub struct Cpu<'p> {
     /// Predecoded superblock table for the block engine, when the caller
     /// shares one (PacketBench builds it once per app).
     blocks: Option<&'p BlockTable>,
+    /// Times the superblock engine bailed out to the per-instruction
+    /// loop (mid-block entry or instruction-budget risk). Telemetry
+    /// only — cumulative across [`Cpu::reset`], never part of
+    /// [`RunStats`], so conformance comparisons stay untouched.
+    block_bailouts: u64,
 }
 
 impl<'p> Cpu<'p> {
@@ -441,6 +446,7 @@ impl<'p> Cpu<'p> {
             program,
             map,
             blocks: None,
+            block_bailouts: 0,
         }
     }
 
@@ -457,6 +463,14 @@ impl<'p> Cpu<'p> {
     /// The memory map in force.
     pub fn map(&self) -> MemoryMap {
         self.map
+    }
+
+    /// Times the superblock engine bailed out to the per-instruction
+    /// loop since construction. Pure telemetry: bail-outs are a
+    /// deterministic function of program + input, and never affect
+    /// [`RunStats`].
+    pub fn block_bailouts(&self) -> u64 {
+        self.block_bailouts
     }
 
     /// Returns to the boot state [`Cpu::new`] leaves the CPU in, so one
@@ -1179,6 +1193,7 @@ impl<'p> Cpu<'p> {
             // Reference semantics finish the run: exact per-access
             // classification, per-instruction budget check and observer
             // hooks, from the current architectural state.
+            self.block_bailouts += 1;
             return self.exec::<false, O>(mem, config, handler, stats, &mut None, obs);
         }
         result

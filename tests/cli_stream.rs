@@ -209,3 +209,112 @@ fn missing_pcap_file_is_a_runtime_error() {
     assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
     assert!(stdout(&out).is_empty());
 }
+
+#[test]
+fn stream_reports_peak_rss_or_says_unavailable() {
+    let out = pb(&["stream", "trie", "synth:mra:seed=2:packets=100"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("peak rss:"),
+        "no peak rss line on stderr: {err}"
+    );
+    // Either a real kB figure or an explicit "unavailable" — never a
+    // silent zero.
+    assert!(
+        err.contains(" kB") || err.contains("unavailable"),
+        "peak rss line is neither a figure nor 'unavailable': {err}"
+    );
+    assert!(!err.contains("peak rss:               0 kB"), "{err}");
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace_file() {
+    let dir = std::env::temp_dir().join("pb_cli_trace_out_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream.trace.json");
+    let path_s = path.to_str().unwrap();
+    let out = pb(&[
+        "stream",
+        "trie",
+        "synth:mra:seed=7:packets=3000",
+        "--threads",
+        "2",
+        "--trace-out",
+        path_s,
+        "--timeline-interval",
+        "64",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("wrote chrome trace"),
+        "{}",
+        stderr(&out)
+    );
+    let body = std::fs::read_to_string(&path).unwrap();
+    // Chrome trace-event envelope with metadata, span, and counter
+    // events, named lanes, and balanced JSON.
+    assert!(body.starts_with("{\"displayTimeUnit\": \"ms\""), "{body}");
+    for needle in [
+        "\"traceEvents\": [",
+        "\"ph\": \"M\"",
+        "\"ph\": \"X\"",
+        "\"ph\": \"C\"",
+        "\"name\": \"reader\"",
+        "\"name\": \"merger\"",
+        "\"name\": \"worker 0\"",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in {body}");
+    }
+    assert_eq!(body.matches('{').count(), body.matches('}').count());
+    assert_eq!(body.matches('[').count(), body.matches(']').count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deterministic_timeline_out_is_thread_invariant_end_to_end() {
+    let dir = std::env::temp_dir().join("pb_cli_timeline_out_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut bodies = Vec::new();
+    for threads in ["1", "4", "7"] {
+        let path = dir.join(format!("tl_{threads}.json"));
+        let path_s = path.to_str().unwrap();
+        let out = pb(&[
+            "stream",
+            "radix",
+            "synth:mra:seed=42:packets=500",
+            "--threads",
+            threads,
+            "--deterministic",
+            "--timeline-out",
+            path_s,
+            "--timeline-interval",
+            "32",
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        bodies.push(std::fs::read_to_string(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+    assert_eq!(bodies[0], bodies[1], "1 vs 4 threads");
+    assert_eq!(bodies[1], bodies[2], "4 vs 7 threads");
+    assert!(
+        bodies[0].contains("\"clock\": \"logical\""),
+        "{}",
+        bodies[0]
+    );
+}
+
+#[test]
+fn deterministic_trace_out_is_a_usage_error() {
+    assert_usage_error(
+        &[
+            "stream",
+            "trie",
+            "synth:mra:packets=10",
+            "--deterministic",
+            "--trace-out",
+            "/tmp/nope.json",
+        ],
+        "--trace-out records wall-clock spans",
+    );
+}

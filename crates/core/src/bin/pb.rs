@@ -12,6 +12,11 @@
 //!           [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
 //!           [--progress] [--watch] [--memo on|off|check]
 //!           [--trace-out <f>] [--timeline-out <f>] [--timeline-interval <n>]
+//! pb live <app> <source> [--threads <n>] [--ring <slots>] [--burst <n>]
+//!         [--rate <pps>|max] [--loops <n>] [--on-full drop|wait]
+//!         [-n <packets>] [--verify] [--uarch] [--progress] [--watch]
+//!         [--memo on|off|check] [--metrics-out <f>] [--metrics-format json|prom]
+//!         [--trace-out <f>] [--timeline-out <f>] [--timeline-interval <n>]
 //! pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
 //!           [--memo on|off|check]
 //! pb report --app <app> (--metrics json|prom | --timeline json|csv)
@@ -35,11 +40,13 @@ use nettrace::synth::{SyntheticTrace, TraceProfile};
 use nettrace::{Limited, Packet, PacketSource};
 use npobs::timeline::{Timeline, TimelineSpec, TIMELINE_SCHEMA_VERSION};
 use npobs::{Stamp, StatusLine};
+use npring::RateSpec;
 use npstream::SourceSpec;
 use packetbench::analysis::StreamAggregate;
 use packetbench::apps::{App, AppId};
 use packetbench::engine::Engine;
 use packetbench::framework::{Detail, MemoMode};
+use packetbench::live::{LiveConfig, OnFull};
 use packetbench::profile::{run_profile, ProfileSpec};
 use packetbench::stream::StreamConfig;
 use packetbench::{report, WorkloadConfig};
@@ -158,6 +165,7 @@ fn run() -> Result<(), CliError> {
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
         "stream" => cmd_stream(&args),
+        "live" => cmd_live(&args),
         "profile" => cmd_profile(&args),
         "report" => cmd_report(&args),
         "conform" => cmd_conform(&args),
@@ -181,6 +189,12 @@ USAGE:
             [--max-inflight <n>] [-n <packets>] [--verify] [--uarch]
             [--progress] [--watch] [--memo on|off|check] [--trace-out <file>]
             [--timeline-out <file>] [--timeline-interval <n>] [--deterministic]
+  pb live <app> <source> [--threads <n>] [--ring <slots>] [--burst <n>]
+          [--rate <pps>|max] [--loops <n>] [--on-full drop|wait]
+          [-n <packets>] [--verify] [--uarch] [--progress] [--watch]
+          [--memo on|off|check] [--metrics-out <file>]
+          [--metrics-format json|prom] [--trace-out <file>]
+          [--timeline-out <file>] [--timeline-interval <n>] [--deterministic]
   pb profile <app> <trace> [-n <packets>] [--seed <n>] [--threads <n>]
              [--progress] [--memo on|off|check]
   pb report --app <app> (--metrics json|prom | --timeline json|csv)
@@ -200,6 +214,19 @@ few megabytes of RAM. The source is a pcap/tsh path or a synthetic spec
 like `synth:mra:seed=42:packets=10000000`. The report on stdout is
 byte-identical to `pb run` over the same packets at any --threads and
 --chunk-size; timing goes to stderr.
+
+`pb live` replays a source through per-worker lock-free ingestion rings
+(a zero-copy mbuf pool per lane) in run-to-completion mode: the producer
+offers packets — optionally paced with `--rate <pps>` and looped with
+`--loops` — and when a lane's pool is full the packet is *dropped* and
+counted (`--on-full drop`, the default) instead of stalling the
+producer; `--on-full wait` applies backpressure instead for a
+deterministic zero-drop replay. The stderr line
+`live: produced N dropped N retired N` satisfies
+`produced == dropped + retired` exactly, and with zero drops the stdout
+report is byte-identical to `pb run` over the same source at any
+--threads. --metrics-out exports the stamped metrics document with the
+ring section (drop counters, occupancy and burst-size histograms).
 
 `pb profile` runs the zero-cost instrumentation layer: per-packet log2
 histograms (instructions, packet vs. non-packet memory, basic blocks)
@@ -609,6 +636,181 @@ fn cmd_stream(args: &Args) -> Result<(), CliError> {
     report_memo(memo, &run.workers, &status);
     write_timeline_outputs(&tl, run.timeline.as_ref(), id, source_arg)?;
     Ok(())
+}
+
+fn cmd_live(args: &Args) -> Result<(), CliError> {
+    let [app_name, source_arg] = args.positional.as_slice() else {
+        return usage_err("usage: pb live <app> <source>");
+    };
+    let Some(id) = AppId::by_name(app_name) else {
+        return usage_err(format!("unknown application `{app_name}`"));
+    };
+    let verify = args.flag("verify");
+    let uarch = args.flag("uarch");
+
+    // Absent options mean "auto"; explicit zeros are mistakes.
+    let threads: usize = args.parse_opt("threads", 0)?;
+    if threads == 0 && args.options.contains_key("threads") {
+        return usage_err("--threads must be at least 1");
+    }
+    let ring: usize = args.parse_opt("ring", 0)?;
+    if ring == 0 && args.options.contains_key("ring") {
+        return usage_err("--ring must be at least 1");
+    }
+    let burst: usize = args.parse_opt("burst", 0)?;
+    if burst == 0 && args.options.contains_key("burst") {
+        return usage_err("--burst must be at least 1");
+    }
+    let loops: u64 = args.parse_opt("loops", 0)?;
+    if loops == 0 && args.options.contains_key("loops") {
+        return usage_err("--loops must be at least 1");
+    }
+    let rate = match args.options.get("rate") {
+        None => RateSpec::Max,
+        Some(v) => RateSpec::parse(v).map_err(|e| CliError::Usage(e.to_string()))?,
+    };
+    let on_full = match args.options.get("on-full") {
+        None => OnFull::Drop,
+        Some(v) => match OnFull::parse(v) {
+            Some(policy) => policy,
+            None => return usage_err(format!("bad --on-full value `{v}` (drop|wait)")),
+        },
+    };
+    let metrics_out = args.options.get("metrics-out").cloned();
+    let metrics_fmt = match args.options.get("metrics-format").map(String::as_str) {
+        None => "json",
+        Some("json") => "json",
+        Some("prom") => "prom",
+        Some(other) => {
+            return usage_err(format!("bad --metrics-format value `{other}` (json|prom)"))
+        }
+    };
+    if metrics_out.is_none() && args.options.contains_key("metrics-format") {
+        return usage_err("--metrics-format needs --metrics-out");
+    }
+
+    let spec = SourceSpec::parse(source_arg).map_err(|e| CliError::Usage(e.to_string()))?;
+    let cap: Option<u64> = match args.options.get("n") {
+        None => None,
+        Some(_) => Some(args.parse_opt("n", 0u64)?),
+    };
+    if spec.is_unbounded() && cap.is_none() {
+        return usage_err(format!(
+            "source `{source_arg}` is unbounded: add `:packets=<n>` or `-n <packets>`"
+        ));
+    }
+
+    let detail = Detail {
+        uarch,
+        ..Detail::counts()
+    };
+    let memo = memo_from(args)?;
+    let tl = timeline_opts(args)?;
+    let status = Arc::new(StatusLine::default());
+    let engine = Engine::with_config(id, WorkloadConfig::default())
+        .verify(verify)
+        .progress(args.flag("progress"))
+        .watch(args.flag("watch"))
+        .status(Arc::clone(&status))
+        .timeline(tl.spec)
+        .memo(memo);
+    let run = engine
+        .run_live(
+            &spec,
+            detail,
+            LiveConfig {
+                threads,
+                ring,
+                burst,
+                rate,
+                loops,
+                on_full,
+                cap,
+                metrics: metrics_out.is_some(),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+
+    // The aggregate over retired packets goes to stdout in the shared
+    // report format: with zero drops it is byte-identical to `pb run`
+    // over the same source. Ingestion accounting goes to stderr.
+    print!(
+        "{}",
+        report::render_aggregate_report(id, &run.aggregate, uarch, verify)
+    );
+    eprintln!(
+        "threads:                {} ({:.1} ms wall, {:.0} packets/sec, \
+         ring {}, burst {}, rate {}, loops {})",
+        run.threads,
+        run.elapsed.as_secs_f64() * 1e3,
+        run.packets_per_sec(),
+        run.ring,
+        run.burst,
+        rate,
+        run.loops
+    );
+    if run.threads > 1 {
+        eprint!("{}", report::render_worker_table(&run.workers));
+    }
+    // One machine-parseable accounting line; the CI soak job asserts
+    // `dropped + retired == produced` from it.
+    eprintln!(
+        "live: produced {} dropped {} retired {} (drop {:.2}%)",
+        run.produced,
+        run.dropped,
+        run.retired,
+        run.drop_fraction() * 100.0
+    );
+    report_memo(memo, &run.workers, &status);
+    write_timeline_outputs(&tl, run.timeline.as_ref(), id, source_arg)?;
+    if let Some(path) = metrics_out {
+        let doc = live_metrics_doc(id, source_arg, &run);
+        let body = match metrics_fmt {
+            "json" => doc.to_json(),
+            _ => doc.to_prometheus(),
+        };
+        std::fs::write(&path, body).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("pb: wrote {metrics_fmt} metrics to {path}");
+    }
+    Ok(())
+}
+
+/// The stamped metrics document for a live run: the shared worker stats
+/// plus the ring section (`pb report` exports carry `"ring": null`).
+fn live_metrics_doc(id: AppId, source: &str, run: &packetbench::LiveRun) -> npobs::MetricsDoc {
+    npobs::MetricsDoc {
+        stamp: Stamp::new(npobs::stamp::METRICS_SCHEMA_VERSION),
+        app: id.slug().to_string(),
+        trace: json_safe_label(source),
+        packets: run.packets(),
+        threads: run.threads,
+        elapsed_ns: run.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        merge_ns: 0,
+        hists: run.hists.clone(),
+        workers: run
+            .workers
+            .iter()
+            .map(|w| npobs::export::WorkerStat {
+                worker: w.worker,
+                packets: w.packets,
+                busy_ns: w.busy_ns,
+                idle_ns: w.idle_ns,
+                queue_depth: w.queue_depth,
+                memo_hits: w.memo_hits,
+                memo_misses: w.memo_misses,
+                memo_evictions: w.memo_evictions,
+                block_bailouts: w.block_bailouts,
+                ring_dropped: w.ring_dropped,
+            })
+            .collect(),
+        ring: Some(npobs::RingDoc {
+            produced: run.produced,
+            dropped: run.dropped,
+            retired: run.retired,
+            occupancy: run.occupancy.clone(),
+            bursts: run.bursts.clone(),
+        }),
+    }
 }
 
 /// Builds a [`ProfileSpec`] from the shared profile/report options.

@@ -48,6 +48,34 @@ use crate::framework::{Detail, MemoMode, PacketBench, PacketRecord};
 /// How often the in-run progress line is refreshed.
 const PROGRESS_INTERVAL: Duration = Duration::from_millis(1000);
 
+/// Shared counters the monitor thread reads to compose the progress and
+/// `--watch` lines. Workers bump them with `Relaxed` increments — they
+/// order nothing and are only touched when monitoring is on.
+#[derive(Default)]
+pub(crate) struct MonitorCounters {
+    /// Packets fully processed so far.
+    pub(crate) processed: AtomicU64,
+    /// Memoization cache hits so far.
+    pub(crate) memo_hits: AtomicU64,
+    /// Memoization cache lookups (hits + misses) so far.
+    pub(crate) memo_lookups: AtomicU64,
+    /// Packets dropped at ring ingestion so far (live mode only).
+    pub(crate) ring_dropped: AtomicU64,
+}
+
+impl MonitorCounters {
+    /// The ` memo NN%` suffix for a status line, or empty before the
+    /// first cache lookup (memo off, or not warmed up yet).
+    pub(crate) fn memo_suffix(&self) -> String {
+        let lookups = self.memo_lookups.load(Ordering::Relaxed);
+        if lookups == 0 {
+            return String::new();
+        }
+        let hits = self.memo_hits.load(Ordering::Relaxed);
+        format!(" memo {:.0}%", hits as f64 / lookups as f64 * 100.0)
+    }
+}
+
 /// A parallel (or serial) runner for one application over a packet trace.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -230,14 +258,14 @@ impl Engine {
             })
             .collect();
         let mut lanes: Vec<LaneTelemetry> = Vec::new();
-        let processed = AtomicU64::new(0);
+        let counters = MonitorCounters::default();
         let done = AtomicBool::new(false);
         let monitoring = self.progress || self.watch;
         let status = monitoring.then(|| self.status_line());
 
         std::thread::scope(|scope| {
             let monitor = status.as_ref().map(|status| {
-                let processed = &processed;
+                let counters = &counters;
                 let done = &done;
                 let total = packets.len();
                 let watch = self.watch;
@@ -245,15 +273,16 @@ impl Engine {
                 scope.spawn(move || {
                     while !done.load(Ordering::Acquire) {
                         std::thread::park_timeout(PROGRESS_INTERVAL);
-                        let n = processed.load(Ordering::Relaxed);
+                        let n = counters.processed.load(Ordering::Relaxed);
                         if done.load(Ordering::Acquire) || n == 0 {
                             continue;
                         }
                         let pct = n as f64 / total.max(1) as f64 * 100.0;
                         if watch {
                             let pps = n as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                            let memo = counters.memo_suffix();
                             status.refresh(&format!(
-                                "pb: {n}/{total} packets ({pct:.1}%) {pps:.0} pps"
+                                "pb: {n}/{total} packets ({pct:.1}%) {pps:.0} pps{memo}"
                             ));
                         } else {
                             status.emit(&format!("pb: {n}/{total} packets ({pct:.1}%)"));
@@ -264,7 +293,7 @@ impl Engine {
                     }
                 })
             });
-            let counter = monitoring.then_some(&processed);
+            let counter = monitoring.then_some(&counters);
             for (worker, stat) in workers.iter_mut().enumerate() {
                 let tx = tx.clone();
                 let indices: Vec<usize> = assignments
@@ -398,6 +427,7 @@ impl Engine {
                     (packets.len() - i - 1) as u64,
                     0,
                     busy_start,
+                    0,
                 );
             }
             if let Some(status) = &status {
@@ -431,6 +461,7 @@ impl Engine {
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
             block_bailouts: bench.block_bailouts(),
+            ring_dropped: 0,
         }];
         let timeline = self.timeline.map(|spec| match lane {
             Some(LaneTelemetry::Logical(series)) => Timeline::from_logical(vec![series]),
@@ -467,7 +498,7 @@ impl Engine {
         packets: &[Packet],
         detail: Detail,
         mut obs: O,
-        progress: Option<&AtomicU64>,
+        progress: Option<&MonitorCounters>,
         run_start: Instant,
     ) -> Result<
         (
@@ -487,6 +518,7 @@ impl Engine {
             .timeline
             .map(|spec| LaneTelemetry::new(spec, worker, run_start));
         let mut probe = LaneProbe::default();
+        let mut last_memo = bench.memo_counters();
         let busy_start = Instant::now();
         for (k, &i) in indices.iter().enumerate() {
             let packet = &packets[i];
@@ -508,10 +540,19 @@ impl Engine {
                     (indices.len() - k - 1) as u64,
                     0,
                     busy_start,
+                    0,
                 );
             }
-            if let Some(counter) = progress {
-                counter.fetch_add(1, Ordering::Relaxed);
+            if let Some(counters) = progress {
+                counters.processed.fetch_add(1, Ordering::Relaxed);
+                let memo = bench.memo_counters();
+                let hits = memo.hits - last_memo.hits;
+                let lookups = (memo.hits + memo.misses) - (last_memo.hits + last_memo.misses);
+                if lookups > 0 {
+                    counters.memo_hits.fetch_add(hits, Ordering::Relaxed);
+                    counters.memo_lookups.fetch_add(lookups, Ordering::Relaxed);
+                }
+                last_memo = memo;
             }
         }
         if let Some(lane) = &mut lane {
@@ -528,6 +569,7 @@ impl Engine {
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
             block_bailouts: bench.block_bailouts(),
+            ring_dropped: 0,
         };
         Ok((batch, obs, metrics, lane))
     }
@@ -584,7 +626,10 @@ impl LaneProbe {
     /// sample is `busy_base_ns` (previous chunks) plus the time since
     /// `busy_start` (the current loop or chunk), so both the batch
     /// engine's one-clock-pair loop and the stream worker's per-chunk
-    /// accumulation report honest busy time.
+    /// accumulation report honest busy time. `ring_dropped` is the
+    /// lane's cumulative ingestion-drop count (always zero outside live
+    /// mode); it lands in wall-clock samples only — drops are a timing
+    /// artifact, so deterministic logical timelines exclude them.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn observe(
         &mut self,
@@ -595,6 +640,7 @@ impl LaneProbe {
         remaining: u64,
         busy_base_ns: u64,
         busy_start: Instant,
+        ring_dropped: u64,
     ) {
         let bailouts = bench.block_bailouts();
         let bail_delta = bailouts - self.last_bailouts;
@@ -629,6 +675,7 @@ impl LaneProbe {
                         memo_misses: memo.misses,
                         memo_evictions: memo.evictions,
                         block_bailouts: bailouts,
+                        ring_dropped,
                         ..Sample::default()
                     });
                 }
@@ -668,6 +715,10 @@ pub struct WorkerMetrics {
     /// tails). Zero on the full-detail paths, which never enter the
     /// block engine.
     pub block_bailouts: u64,
+    /// Packets dropped at this worker's ingestion ring because its pool
+    /// was exhausted. Always zero in batch and stream modes, which
+    /// apply backpressure instead of dropping (`pb live` only).
+    pub ring_dropped: u64,
 }
 
 /// The merged, trace-ordered result of an [`Engine::run`].

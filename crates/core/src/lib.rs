@@ -50,6 +50,7 @@ pub mod conform;
 pub mod engine;
 pub mod error;
 pub mod framework;
+pub mod live;
 pub mod profile;
 pub mod report;
 pub mod stream;
@@ -59,5 +60,6 @@ pub use config::WorkloadConfig;
 pub use engine::{Engine, EngineRun, WorkerMetrics};
 pub use error::BenchError;
 pub use framework::{Detail, MemoMode, PacketBench, PacketRecord, Verdict};
+pub use live::{LiveConfig, LiveRun, OnFull};
 pub use profile::{run_profile, ProfileResult, ProfileSpec};
 pub use stream::{StreamConfig, StreamRun};

@@ -222,8 +222,12 @@ impl ProfileResult {
                     // where cache hits skip simulation and contribute no
                     // bail-outs (see `PacketBench::block_bailouts`).
                     block_bailouts: w.block_bailouts,
+                    ring_dropped: w.ring_dropped,
                 })
                 .collect(),
+            // Batch profiling has no ingestion ring; `pb live` builds
+            // its own MetricsDoc with the ring section filled.
+            ring: None,
         }
     }
 }

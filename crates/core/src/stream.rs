@@ -61,7 +61,7 @@
 //! order and each worker fails at its earliest failing chunk, the
 //! reported error is deterministic.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -71,7 +71,7 @@ use npstream::{BoundedQueue, Chunk, Semaphore, ShardBuffers};
 
 use crate::analysis::StreamAggregate;
 use crate::apps::App;
-use crate::engine::{Engine, LaneProbe, LaneTelemetry, WorkerMetrics};
+use crate::engine::{Engine, LaneProbe, LaneTelemetry, MonitorCounters, WorkerMetrics};
 use crate::error::BenchError;
 use crate::framework::{Detail, PacketBench, PacketRecord};
 
@@ -228,7 +228,7 @@ impl Engine {
             .collect();
         let cancelled = AtomicBool::new(false);
         let source_error: Mutex<Option<BenchError>> = Mutex::new(None);
-        let processed = AtomicU64::new(0);
+        let counters = MonitorCounters::default();
         let done = AtomicBool::new(false);
         let monitoring = self.progress || self.watch;
         let status = monitoring.then(|| self.status_line());
@@ -246,20 +246,21 @@ impl Engine {
 
         std::thread::scope(|scope| {
             let monitor = status.as_ref().map(|status| {
-                let processed = &processed;
+                let counters = &counters;
                 let done = &done;
                 let watch = self.watch;
                 let status = Arc::clone(status);
                 scope.spawn(move || {
                     while !done.load(Ordering::Acquire) {
                         std::thread::park_timeout(PROGRESS_INTERVAL);
-                        let n = processed.load(Ordering::Relaxed);
+                        let n = counters.processed.load(Ordering::Relaxed);
                         if done.load(Ordering::Acquire) || n == 0 {
                             continue;
                         }
                         if watch {
                             let pps = n as f64 / start.elapsed().as_secs_f64().max(1e-9);
-                            status.refresh(&format!("pb: {n} packets streamed {pps:.0} pps"));
+                            let memo = counters.memo_suffix();
+                            status.refresh(&format!("pb: {n} packets streamed {pps:.0} pps{memo}"));
                         } else {
                             status.emit(&format!("pb: {n} packets streamed"));
                         }
@@ -269,7 +270,7 @@ impl Engine {
                     }
                 })
             });
-            let counter = monitoring.then_some(&processed);
+            let counter = monitoring.then_some(&counters);
 
             let reader = {
                 let permits = &permits;
@@ -468,7 +469,7 @@ impl Engine {
         result: &BoundedQueue<ChunkOutcome>,
         detail: Detail,
         cancelled: &AtomicBool,
-        progress: Option<&AtomicU64>,
+        progress: Option<&MonitorCounters>,
         run_start: Instant,
     ) -> (WorkerMetrics, Option<LaneTelemetry>) {
         let mut bench: Option<PacketBench> = None;
@@ -523,6 +524,7 @@ impl Engine {
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
             block_bailouts: bench.as_ref().map(|b| b.block_bailouts()).unwrap_or(0),
+            ring_dropped: 0,
         };
         (metrics, lane)
     }
@@ -534,7 +536,7 @@ impl Engine {
         bench: &mut Option<PacketBench>,
         chunk: &Chunk<Packet>,
         detail: Detail,
-        progress: Option<&AtomicU64>,
+        progress: Option<&MonitorCounters>,
         packets: &mut u64,
         mut telemetry: Option<ChunkTelemetry<'_>>,
     ) -> ChunkOutcome {
@@ -556,6 +558,7 @@ impl Engine {
             }
         };
         let mut agg = StreamAggregate::new();
+        let mut last_memo = bench.memo_counters();
         for &(index, ref packet) in &chunk.items {
             let mut record = PacketRecord::empty();
             let run = bench
@@ -582,10 +585,19 @@ impl Engine {
                     t.input.len() as u64,
                     t.busy_base_ns,
                     t.busy_start,
+                    0,
                 );
             }
-            if let Some(counter) = progress {
-                counter.fetch_add(1, Ordering::Relaxed);
+            if let Some(counters) = progress {
+                counters.processed.fetch_add(1, Ordering::Relaxed);
+                let memo = bench.memo_counters();
+                let hits = memo.hits - last_memo.hits;
+                let lookups = (memo.hits + memo.misses) - (last_memo.hits + last_memo.misses);
+                if lookups > 0 {
+                    counters.memo_hits.fetch_add(hits, Ordering::Relaxed);
+                    counters.memo_lookups.fetch_add(lookups, Ordering::Relaxed);
+                }
+                last_memo = memo;
             }
         }
         // Emitted packets are not part of the aggregate; drop them per

@@ -109,6 +109,18 @@ impl Packet {
         &mut self.data[offset..]
     }
 
+    /// Copies `src` into this packet, reusing the existing `data`
+    /// allocation when its capacity suffices. This is the refill path
+    /// for preallocated packet pools: after warm-up no per-packet
+    /// allocation happens as long as captures fit the retained buffers.
+    pub fn copy_from(&mut self, src: &Packet) {
+        self.ts = src.ts;
+        self.orig_len = src.orig_len;
+        self.link = src.link;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Captured length in bytes.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -160,6 +172,23 @@ mod tests {
             assert_eq!(LinkType::from_pcap_code(link.pcap_code()), Some(link));
         }
         assert_eq!(LinkType::from_pcap_code(999), None);
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity() {
+        let src = Packet::from_l3(Timestamp::new(3, 4), vec![0x45; 40]);
+        let mut dst = Packet::from_l3(Timestamp::default(), Vec::with_capacity(64));
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let ptr_before = dst.data.as_ptr();
+        let smaller = Packet::from_l3(Timestamp::new(5, 6), vec![0x46; 20]);
+        dst.copy_from(&smaller);
+        assert_eq!(dst, smaller);
+        assert_eq!(
+            dst.data.as_ptr(),
+            ptr_before,
+            "shrinking copy must not reallocate"
+        );
     }
 
     #[test]

@@ -38,6 +38,29 @@ pub struct WorkerStat {
     /// (early exit mid-block). Zero when block-level dispatch is off or
     /// every packet was answered from the memoization cache.
     pub block_bailouts: u64,
+    /// Packets dropped at this worker's live-ingestion ring because the
+    /// pool was exhausted. Zero outside `pb live` (batch and stream
+    /// modes apply backpressure instead of dropping).
+    pub ring_dropped: u64,
+}
+
+/// Live-ingestion ring telemetry for one `pb live` run: the exact
+/// offered/dropped/retired accounting plus occupancy and burst-size
+/// distributions. Absent (`None` in [`MetricsDoc::ring`]) for batch and
+/// stream runs, which have no ring.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RingDoc {
+    /// Packets offered to the rings (accepted or dropped).
+    pub produced: u64,
+    /// Packets dropped because a lane's pool was exhausted.
+    pub dropped: u64,
+    /// Packets processed and recycled. `produced == dropped + retired`
+    /// holds exactly after a completed run.
+    pub retired: u64,
+    /// Distribution of ring occupancy observed at each burst dequeue.
+    pub occupancy: Log2Histogram,
+    /// Distribution of burst sizes actually dequeued.
+    pub bursts: Log2Histogram,
 }
 
 /// A complete, exportable metrics document for one profiling run.
@@ -61,6 +84,8 @@ pub struct MetricsDoc {
     pub hists: PacketHists,
     /// Per-worker telemetry, ordered by worker index.
     pub workers: Vec<WorkerStat>,
+    /// Live-ingestion ring telemetry (`pb live` runs only).
+    pub ring: Option<RingDoc>,
 }
 
 /// Escapes a value for use inside a Prometheus label: backslash, double
@@ -142,7 +167,7 @@ impl MetricsDoc {
                 "    {{\"worker\": {}, \"packets\": {}, \"busy_ns\": {}, \
                  \"idle_ns\": {}, \"queue_depth\": {}, \"memo_hits\": {}, \
                  \"memo_misses\": {}, \"memo_evictions\": {}, \
-                 \"block_bailouts\": {}}}",
+                 \"block_bailouts\": {}, \"ring_dropped\": {}}}",
                 w.worker,
                 w.packets,
                 w.busy_ns,
@@ -151,7 +176,8 @@ impl MetricsDoc {
                 w.memo_hits,
                 w.memo_misses,
                 w.memo_evictions,
-                w.block_bailouts
+                w.block_bailouts,
+                w.ring_dropped
             );
             out.push_str(if i + 1 == self.workers.len() {
                 "\n"
@@ -159,7 +185,20 @@ impl MetricsDoc {
                 ",\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        match &self.ring {
+            None => out.push_str("  \"ring\": null\n"),
+            Some(ring) => {
+                out.push_str("  \"ring\": {\n");
+                let _ = writeln!(out, "    \"produced\": {},", ring.produced);
+                let _ = writeln!(out, "    \"dropped\": {},", ring.dropped);
+                let _ = writeln!(out, "    \"retired\": {},", ring.retired);
+                json_hist(&mut out, "    ", "occupancy", &ring.occupancy, false);
+                json_hist(&mut out, "    ", "bursts", &ring.bursts, true);
+                out.push_str("  }\n");
+            }
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -303,6 +342,61 @@ impl MetricsDoc {
                 w.worker, w.block_bailouts
             );
         }
+        if let Some(ring) = &self.ring {
+            let _ = writeln!(
+                out,
+                "# HELP pb_ring_produced_total Packets offered to the live-ingestion rings."
+            );
+            let _ = writeln!(out, "# TYPE pb_ring_produced_total counter");
+            let _ = writeln!(out, "pb_ring_produced_total{{{labels}}} {}", ring.produced);
+            let _ = writeln!(
+                out,
+                "# HELP pb_ring_dropped_total Packets dropped because a ring's pool was \
+                 exhausted."
+            );
+            let _ = writeln!(out, "# TYPE pb_ring_dropped_total counter");
+            let _ = writeln!(out, "pb_ring_dropped_total{{{labels}}} {}", ring.dropped);
+            let _ = writeln!(
+                out,
+                "# HELP pb_ring_retired_total Packets processed and recycled to the pool."
+            );
+            let _ = writeln!(out, "# TYPE pb_ring_retired_total counter");
+            let _ = writeln!(out, "pb_ring_retired_total{{{labels}}} {}", ring.retired);
+            let _ = writeln!(
+                out,
+                "# HELP pb_worker_ring_dropped_total Ring-ingestion drops per worker lane."
+            );
+            let _ = writeln!(out, "# TYPE pb_worker_ring_dropped_total counter");
+            for w in &self.workers {
+                let _ = writeln!(
+                    out,
+                    "pb_worker_ring_dropped_total{{{labels},worker=\"{}\"}} {}",
+                    w.worker, w.ring_dropped
+                );
+            }
+            for (name, h) in [
+                ("pb_ring_occupancy", &ring.occupancy),
+                ("pb_ring_burst_size", &ring.bursts),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Distribution observed at each burst dequeue."
+                );
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for (_, _, hi, count) in h.iter_nonzero() {
+                    cum += count;
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{hi}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {cum}");
+                let _ = writeln!(
+                    out,
+                    "{name}_sum{{{labels}}} {}",
+                    fmt_f64(h.mean() * h.count() as f64)
+                );
+                let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+            }
+        }
         out
     }
 }
@@ -337,6 +431,7 @@ mod tests {
                     memo_misses: 1,
                     memo_evictions: 0,
                     block_bailouts: 4,
+                    ring_dropped: 0,
                 },
                 WorkerStat {
                     worker: 1,
@@ -347,6 +442,7 @@ mod tests {
                     ..WorkerStat::default()
                 },
             ],
+            ring: None,
         }
     }
 
@@ -450,16 +546,58 @@ mod tests {
     }
 
     #[test]
-    fn schema_version_two_covers_block_bailouts() {
-        // The worker record grew `block_bailouts` (and the JSON/prom
-        // serializers emit it), which is a consumer-visible schema
-        // change: the stamp must say so.
-        assert_eq!(METRICS_SCHEMA_VERSION, 2);
+    fn schema_version_three_covers_ring_telemetry() {
+        // v2 grew `block_bailouts`; v3 grew per-worker `ring_dropped`
+        // and the optional `ring` section. Both are consumer-visible
+        // schema changes: the stamp must say so.
+        assert_eq!(METRICS_SCHEMA_VERSION, 3);
         let doc = sample_doc();
         assert_eq!(doc.stamp.schema_version, METRICS_SCHEMA_VERSION);
-        assert!(doc.to_json().contains("\"block_bailouts\""));
+        let json = doc.to_json();
+        assert!(json.contains("\"block_bailouts\""));
+        assert!(json.contains("\"ring_dropped\": 0"));
+        assert!(json.contains("\"ring\": null"));
         assert!(doc
             .to_prometheus()
             .contains("pb_worker_block_bailouts_total"));
+    }
+
+    #[test]
+    fn ring_section_exports_in_both_formats() {
+        let mut doc = sample_doc();
+        let mut occupancy = Log2Histogram::new();
+        let mut bursts = Log2Histogram::new();
+        for v in [3u64, 9, 30] {
+            occupancy.record(v);
+        }
+        for v in [8u64, 32, 32] {
+            bursts.record(v);
+        }
+        doc.workers[1].ring_dropped = 7;
+        doc.ring = Some(RingDoc {
+            produced: 100,
+            dropped: 7,
+            retired: 93,
+            occupancy,
+            bursts,
+        });
+        let json = doc.to_json();
+        assert_eq!(json, doc.clone().to_json(), "byte-stable");
+        assert!(json.contains("\"produced\": 100"));
+        assert!(json.contains("\"dropped\": 7"));
+        assert!(json.contains("\"retired\": 93"));
+        assert!(json.contains("\"occupancy\""));
+        assert!(json.contains("\"bursts\""));
+        assert!(json.contains("\"ring_dropped\": 7"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let prom = doc.to_prometheus();
+        assert!(prom.contains("pb_ring_dropped_total{app=\"radix\",trace=\"mra\"} 7"));
+        assert!(prom.contains("pb_ring_produced_total{app=\"radix\",trace=\"mra\"} 100"));
+        assert!(prom.contains("pb_ring_retired_total{app=\"radix\",trace=\"mra\"} 93"));
+        assert!(prom
+            .contains("pb_worker_ring_dropped_total{app=\"radix\",trace=\"mra\",worker=\"1\"} 7"));
+        assert!(prom.contains("pb_ring_occupancy_bucket"));
+        assert!(prom.contains("pb_ring_burst_size_count{app=\"radix\",trace=\"mra\"} 3"));
     }
 }

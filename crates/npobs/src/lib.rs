@@ -38,7 +38,7 @@ pub mod stamp;
 pub mod status;
 pub mod timeline;
 
-pub use export::MetricsDoc;
+pub use export::{MetricsDoc, RingDoc};
 pub use heat::{BlockHeat, HeatObserver};
 pub use hist::{Log2Histogram, PacketHists};
 pub use stamp::Stamp;

@@ -12,8 +12,10 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Version of the metrics-document JSON layout ([`crate::MetricsDoc`]).
 /// v2 added `block_bailouts` to the per-worker records (JSON and
-/// Prometheus `pb_worker_block_bailouts_total`).
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// Prometheus `pb_worker_block_bailouts_total`); v3 added per-worker
+/// `ring_dropped` and the optional `ring` section (`pb live` telemetry:
+/// `pb_ring_dropped_total`, occupancy and burst-size histograms).
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// Version of the benchmark JSON layout (`BENCH_throughput.json`,
 /// `BENCH_conform.json`).

@@ -35,7 +35,9 @@ use std::time::Instant;
 use crate::stamp::Stamp;
 
 /// Version of the timeline-document JSON/CSV layout.
-pub const TIMELINE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `ring_dropped` to every sample (live-ingestion drops).
+pub const TIMELINE_SCHEMA_VERSION: u32 = 2;
 
 /// Sampler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,10 @@ pub struct Sample {
     pub memo_evictions: u64,
     /// Superblock-engine bail-outs to the per-instruction loop so far.
     pub block_bailouts: u64,
+    /// Packets dropped at the lane's ingestion ring so far (`pb live`
+    /// overload). Zero outside live mode and in deterministic samples —
+    /// drops are a timing artifact, so logical timelines exclude them.
+    pub ring_dropped: u64,
 }
 
 /// Per-packet counter deltas folded into a [`LogicalSeries`] bucket.
@@ -569,7 +575,8 @@ impl Timeline {
                 "    {{\"t\": {}, \"lane\": {}, \"packets\": {}, \"instructions\": {}, \
                  \"mem_packet\": {}, \"mem_non_packet\": {}, \"queue_depth\": {}, \
                  \"busy_ns\": {}, \"backpressure_ns\": {}, \"memo_hits\": {}, \
-                 \"memo_misses\": {}, \"memo_evictions\": {}, \"block_bailouts\": {}}}",
+                 \"memo_misses\": {}, \"memo_evictions\": {}, \"block_bailouts\": {}, \
+                 \"ring_dropped\": {}}}",
                 s.t,
                 s.lane,
                 s.packets,
@@ -582,7 +589,8 @@ impl Timeline {
                 s.memo_hits,
                 s.memo_misses,
                 s.memo_evictions,
-                s.block_bailouts
+                s.block_bailouts,
+                s.ring_dropped
             );
             out.push_str(if i + 1 == self.samples.len() {
                 "\n"
@@ -640,12 +648,13 @@ impl Timeline {
         );
         out.push_str(
             "t,lane,packets,instructions,mem_packet,mem_non_packet,queue_depth,\
-             busy_ns,backpressure_ns,memo_hits,memo_misses,memo_evictions,block_bailouts\n",
+             busy_ns,backpressure_ns,memo_hits,memo_misses,memo_evictions,block_bailouts,\
+             ring_dropped\n",
         );
         for s in &self.samples {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 s.t,
                 s.lane,
                 s.packets,
@@ -658,7 +667,8 @@ impl Timeline {
                 s.memo_hits,
                 s.memo_misses,
                 s.memo_evictions,
-                s.block_bailouts
+                s.block_bailouts,
+                s.ring_dropped
             );
         }
         out
@@ -980,7 +990,8 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let csv = t.to_csv(&stamp, "radix", "mra");
-        assert!(csv.starts_with("# schema_version=1"));
+        assert!(csv.starts_with("# schema_version=2"));
+        assert!(json.contains("\"ring_dropped\": 0"));
         // Header comment lines + column header + one row per sample.
         assert_eq!(csv.lines().count(), 3 + t.samples.len());
     }

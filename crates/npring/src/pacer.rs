@@ -1,0 +1,188 @@
+//! Paced replay: offer packets at a target rate instead of as fast as
+//! the source can be decoded.
+//!
+//! A lab replay at `max` measures the pipeline's ceiling; a paced replay
+//! at a chosen packets/sec measures behaviour *under a specific offered
+//! load* — the regime where drop counters mean something. The pacer is
+//! absolute-schedule based (packet `n` is due at `n / rate` seconds
+//! after start), so short stalls are caught up rather than accumulated
+//! as drift, matching how hardware traffic generators pace.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Sleep when the pacer is further ahead of schedule than this;
+/// spin-wait for anything shorter. OS sleep granularity is about a
+/// millisecond, so sleeping for less would overshoot the schedule.
+const SLEEP_THRESHOLD: Duration = Duration::from_micros(500);
+
+/// The offered-load target for a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateSpec {
+    /// No pacing: offer packets as fast as the source decodes.
+    Max,
+    /// Offer packets at this many packets per second.
+    Pps(u64),
+}
+
+impl RateSpec {
+    /// Parses `max` or a positive packets/sec count.
+    pub fn parse(s: &str) -> Result<RateSpec, RateError> {
+        if s.eq_ignore_ascii_case("max") {
+            return Ok(RateSpec::Max);
+        }
+        match s.parse::<u64>() {
+            Ok(0) | Err(_) => Err(RateError {
+                value: s.to_string(),
+            }),
+            Ok(pps) => Ok(RateSpec::Pps(pps)),
+        }
+    }
+}
+
+impl fmt::Display for RateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateSpec::Max => write!(f, "max"),
+            RateSpec::Pps(pps) => write!(f, "{pps}"),
+        }
+    }
+}
+
+/// A malformed rate; carries the offending value verbatim so error
+/// messages can name it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateError {
+    value: String,
+}
+
+impl RateError {
+    /// The rejected input, verbatim.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for RateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad rate `{}` (expected a packets/sec count or `max`)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for RateError {}
+
+/// Holds a replay to a [`RateSpec`] schedule. Call [`pace`](Pacer::pace)
+/// once per packet *before* offering it.
+pub struct Pacer {
+    rate: RateSpec,
+    started: Option<Instant>,
+    sent: u64,
+}
+
+impl Pacer {
+    /// Creates a pacer for the given rate.
+    pub fn new(rate: RateSpec) -> Pacer {
+        Pacer {
+            rate,
+            started: None,
+            sent: 0,
+        }
+    }
+
+    /// Blocks until the next packet is due. At [`RateSpec::Max`] this is
+    /// a counter bump; at a pps target it sleeps while far ahead of the
+    /// absolute schedule and spins for the final stretch.
+    pub fn pace(&mut self) {
+        let RateSpec::Pps(pps) = self.rate else {
+            self.sent += 1;
+            return;
+        };
+        let started = *self.started.get_or_insert_with(Instant::now);
+        // Packet `sent` is due at sent/pps seconds after start; u128
+        // keeps the product exact out past 10^19 packet-nanoseconds.
+        let due_ns = (self.sent as u128 * 1_000_000_000) / pps as u128;
+        loop {
+            let elapsed_ns = started.elapsed().as_nanos();
+            if elapsed_ns >= due_ns {
+                break;
+            }
+            let ahead = Duration::from_nanos((due_ns - elapsed_ns) as u64);
+            if ahead > SLEEP_THRESHOLD {
+                std::thread::sleep(ahead - SLEEP_THRESHOLD / 2);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.sent += 1;
+    }
+
+    /// Packets paced so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_max_and_pps() {
+        assert_eq!(RateSpec::parse("max"), Ok(RateSpec::Max));
+        assert_eq!(RateSpec::parse("MAX"), Ok(RateSpec::Max));
+        assert_eq!(RateSpec::parse("250000"), Ok(RateSpec::Pps(250_000)));
+    }
+
+    #[test]
+    fn rejects_malformed_rates_naming_the_value() {
+        for bad in ["0", "-5", "fast", "1e6", ""] {
+            let err = RateSpec::parse(bad).unwrap_err();
+            assert_eq!(err.value(), bad);
+            assert!(
+                err.to_string().contains(&format!("`{bad}`")),
+                "message must quote the offending value: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in [RateSpec::Max, RateSpec::Pps(1234)] {
+            assert_eq!(RateSpec::parse(&spec.to_string()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn max_rate_never_blocks() {
+        let mut pacer = Pacer::new(RateSpec::Max);
+        let start = Instant::now();
+        for _ in 0..100_000 {
+            pacer.pace();
+        }
+        assert_eq!(pacer.sent(), 100_000);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn paced_replay_approximates_the_target_rate() {
+        // 10k packets at 100k pps should take right around 100 ms.
+        let mut pacer = Pacer::new(RateSpec::Pps(100_000));
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            pacer.pace();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(95),
+            "finished too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "finished too slow: {elapsed:?}"
+        );
+    }
+}

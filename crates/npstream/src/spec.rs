@@ -30,9 +30,25 @@ use nettrace::TraceError;
 pub enum SpecError {
     /// `synth:<profile>` named a profile that does not exist.
     UnknownProfile(String),
-    /// A `synth:` option was not `seed=<n>` or `packets=<n>` (or, for the
-    /// `zipf` profile, `flows=<n>` or `skew=<s>`).
-    BadSynthOption(String),
+    /// A `synth:` option key is not one the spec grammar knows
+    /// (`seed`, `packets`, and for the `zipf` profile `flows`/`skew`).
+    UnknownOption {
+        /// The option key — the text before `=`, verbatim.
+        key: String,
+        /// The option value — the text after `=`, empty when the option
+        /// had no `=` at all.
+        value: String,
+    },
+    /// A recognized option carried a value that did not parse or was out
+    /// of range.
+    BadOptionValue {
+        /// The recognized option key.
+        key: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
     /// A flow-population option (`flows=` / `skew=`) was given for a
     /// reuse-free paper profile; those options only exist on `zipf`.
     ReuseOption {
@@ -52,11 +68,25 @@ impl fmt::Display for SpecError {
             SpecError::UnknownProfile(name) => {
                 write!(f, "unknown synth profile `{name}` (see `pb traces`)")
             }
-            SpecError::BadSynthOption(opt) => {
+            SpecError::UnknownOption { key, value } => {
+                write!(f, "unknown synth option `{key}`")?;
+                if !value.is_empty() {
+                    write!(f, " (value `{value}`)")?;
+                }
                 write!(
                     f,
-                    "bad synth option `{opt}` (expected seed=<n> or packets=<n>; \
-                     zipf also takes flows=<n> and skew=<s>)"
+                    "; expected seed=<n> or packets=<n>; \
+                     zipf also takes flows=<n> and skew=<s>"
+                )
+            }
+            SpecError::BadOptionValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "bad value `{value}` for synth option `{key}` (expected {expected})"
                 )
             }
             SpecError::ReuseOption { option, profile } => {
@@ -128,15 +158,22 @@ impl SourceSpec {
                 }
             };
             for part in parts {
+                let bad = |key: &'static str, value: &str, expected: &'static str| {
+                    SpecError::BadOptionValue {
+                        key,
+                        value: value.to_string(),
+                        expected,
+                    }
+                };
                 if let Some(value) = part.strip_prefix("seed=") {
                     seed = value
                         .parse()
-                        .map_err(|_| SpecError::BadSynthOption(part.to_string()))?;
+                        .map_err(|_| bad("seed", value, "a 64-bit unsigned integer"))?;
                 } else if let Some(value) = part.strip_prefix("packets=") {
                     packets = Some(
                         value
                             .parse()
-                            .map_err(|_| SpecError::BadSynthOption(part.to_string()))?,
+                            .map_err(|_| bad("packets", value, "a packet count"))?,
                     );
                 } else if let Some(value) = part.strip_prefix("flows=") {
                     reuse_only(part)?;
@@ -144,7 +181,7 @@ impl SourceSpec {
                         .parse()
                         .ok()
                         .filter(|&n| n >= 1)
-                        .ok_or_else(|| SpecError::BadSynthOption(part.to_string()))?;
+                        .ok_or_else(|| bad("flows", value, "a flow count of at least 1"))?;
                     profile = profile.set_zipf_flows(flows);
                 } else if let Some(value) = part.strip_prefix("skew=") {
                     reuse_only(part)?;
@@ -152,10 +189,14 @@ impl SourceSpec {
                         .parse()
                         .ok()
                         .filter(|s: &f64| s.is_finite() && (0.0..=10.0).contains(s))
-                        .ok_or_else(|| SpecError::BadSynthOption(part.to_string()))?;
+                        .ok_or_else(|| bad("skew", value, "a skew exponent in 0.0..=10.0"))?;
                     profile = profile.set_zipf_skew((skew * 100.0).round() as u32);
                 } else {
-                    return Err(SpecError::BadSynthOption(part.to_string()));
+                    let (key, value) = part.split_once('=').unwrap_or((part, ""));
+                    return Err(SpecError::UnknownOption {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    });
                 }
             }
             return Ok(SourceSpec::Synth {
@@ -269,13 +310,34 @@ mod tests {
 
     #[test]
     fn bad_synth_options_are_typed_errors() {
-        assert!(matches!(
+        // Unknown keys carry the key and value separately so the message
+        // can name both.
+        assert_eq!(
             SourceSpec::parse("synth:mra:sed=1"),
-            Err(SpecError::BadSynthOption(_))
-        ));
-        assert!(matches!(
+            Err(SpecError::UnknownOption {
+                key: "sed".to_string(),
+                value: "1".to_string(),
+            })
+        );
+        assert_eq!(
+            SourceSpec::parse("synth:mra:fast"),
+            Err(SpecError::UnknownOption {
+                key: "fast".to_string(),
+                value: String::new(),
+            })
+        );
+        // Known keys with unparseable values name the key and the value.
+        assert_eq!(
             SourceSpec::parse("synth:mra:packets=lots"),
-            Err(SpecError::BadSynthOption(_))
+            Err(SpecError::BadOptionValue {
+                key: "packets",
+                value: "lots".to_string(),
+                expected: "a packet count",
+            })
+        );
+        assert!(matches!(
+            SourceSpec::parse("synth:mra:seed=-3"),
+            Err(SpecError::BadOptionValue { key: "seed", .. })
         ));
     }
 
@@ -299,15 +361,15 @@ mod tests {
         // usage errors, not silent clamps.
         assert!(matches!(
             SourceSpec::parse("synth:zipf:flows=0"),
-            Err(SpecError::BadSynthOption(_))
+            Err(SpecError::BadOptionValue { key: "flows", .. })
         ));
         assert!(matches!(
             SourceSpec::parse("synth:zipf:skew=-1"),
-            Err(SpecError::BadSynthOption(_))
+            Err(SpecError::BadOptionValue { key: "skew", .. })
         ));
         assert!(matches!(
             SourceSpec::parse("synth:zipf:skew=steep"),
-            Err(SpecError::BadSynthOption(_))
+            Err(SpecError::BadOptionValue { key: "skew", .. })
         ));
     }
 
@@ -360,5 +422,26 @@ mod tests {
         assert!(message.contains("wan") && message.contains("pb traces"));
         let message = SpecError::UnknownFormat("x.bin".into()).to_string();
         assert!(message.contains("synth:<profile>"));
+        // Option errors name the offending key and value.
+        let message = SourceSpec::parse("synth:mra:sed=1")
+            .unwrap_err()
+            .to_string();
+        assert!(
+            message.contains("`sed`") && message.contains("`1`"),
+            "{message}"
+        );
+        let message = SourceSpec::parse("synth:mra:packets=lots")
+            .unwrap_err()
+            .to_string();
+        assert!(
+            message.contains("`packets`") && message.contains("`lots`"),
+            "{message}"
+        );
+        // A bare unknown word renders without a dangling empty value.
+        let message = SourceSpec::parse("synth:mra:fast").unwrap_err().to_string();
+        assert!(
+            message.contains("`fast`") && !message.contains("``"),
+            "{message}"
+        );
     }
 }

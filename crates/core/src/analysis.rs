@@ -132,9 +132,11 @@ impl TraceAnalysis {
     ///
     /// Returns `(k, coverage)` for `k` in `1..=num_blocks`.
     pub fn coverage_curve(&self) -> Vec<(usize, f64)> {
-        // Rank blocks by how many packets execute them, descending.
+        // Rank blocks by how many packets execute them, descending, with
+        // block id breaking ties so the ranking (and everything rendered
+        // from it) is byte-stable for equal-probability blocks.
         let mut order: Vec<usize> = (0..self.num_blocks).collect();
-        order.sort_by_key(|&b| std::cmp::Reverse(self.block_packets[b]));
+        order.sort_by_key(|&b| (std::cmp::Reverse(self.block_packets[b]), b));
         let mut rank_of = vec![0usize; self.num_blocks];
         for (rank, &b) in order.iter().enumerate() {
             rank_of[b] = rank;

@@ -230,9 +230,19 @@ ring section (drop counters, occupancy and burst-size histograms).
 
 `pb profile` runs the zero-cost instrumentation layer: per-packet log2
 histograms (instructions, packet vs. non-packet memory, basic blocks)
-plus a basic-block heat map rendered as a table and as
-flamegraph-collapsed lines. Output is byte-identical at every thread
-count for a fixed app/trace/seed.
+plus a basic-block heat map, the hottest block-successor edges, and
+dominant-successor chains, rendered as tables and flamegraph-collapsed
+lines. Output is byte-identical at every thread count for a fixed
+app/trace/seed.
+
+Unobserved counts-only runs (`pb run`, `stream`, `live`) execute on the
+hot-trace engine: after a short warm-up the simulator chains hot
+superblocks into fused traces (one combined statistics delta per trip,
+one guard per internal branch), bit-identical to every other path.
+Per-worker trace-cache counters (traces formed, trips, guard exits,
+budget declines) ride in the exported metrics document (`pb_trace_*`)
+and on the --watch line; profiled runs stay block-granular so heat maps
+are unchanged.
 
 `pb report --metrics` exports the same profile as a stamped JSON or
 Prometheus text-format document (schema version, git commit, ISO-8601
@@ -265,8 +275,9 @@ a fixed flow population under a Zipf popularity law.
 `pb conform` differentially tests the optimized simulator against a
 reference interpreter: a seeded corpus of random programs plus all five
 applications, across the full-detail, counts-only, superblock,
-multi-threaded, and memoization-replay paths. On divergence it exits nonzero and writes a minimized repro to
-the --repro path (default conform_repro.s).
+hot-trace, multi-threaded, and memoization-replay paths. On divergence
+it exits nonzero and writes a minimized repro to the --repro path
+(default conform_repro.s).
 
 Exit codes: 0 success, 1 runtime failure, 2 usage error."
 }
@@ -800,6 +811,10 @@ fn live_metrics_doc(id: AppId, source: &str, run: &packetbench::LiveRun) -> npob
                 memo_misses: w.memo_misses,
                 memo_evictions: w.memo_evictions,
                 block_bailouts: w.block_bailouts,
+                traces_formed: w.traces_formed,
+                trace_hits: w.trace_hits,
+                trace_guard_exits: w.trace_guard_exits,
+                trace_declines: w.trace_declines,
                 ring_dropped: w.ring_dropped,
             })
             .collect(),

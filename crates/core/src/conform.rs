@@ -3,13 +3,16 @@
 //! Where `npconform`'s corpus harness cross-checks the interpreter paths
 //! on *generated* programs, this module replays the five real PacketBench
 //! applications — IPv4 radix, IPv4 trie, flow classification, TSA
-//! anonymization, and IPSec encryption — through five paths:
+//! anonymization, and IPSec encryption — through six paths:
 //!
 //! 1. the reference interpreter ([`npconform::RefCpu`]),
 //! 2. the optimized simulator forced onto its full-detail loop,
 //! 3. the optimized simulator forced onto its counts-only loop,
 //! 4. the optimized simulator forced onto its superblock engine,
-//! 5. the multi-threaded [`Engine`],
+//! 5. the superblock engine with eager hot-trace fusion (the first
+//!    packet trains the formation pass; every later packet replays
+//!    through fused traces),
+//! 6. the multi-threaded [`Engine`],
 //!
 //! each against its own framework instance (own memory, own application
 //! state), asserting bit-identical per-packet statistics, verdicts,
@@ -46,7 +49,7 @@ pub struct AppReport {
     pub packets: usize,
     /// Worker threads used for the engine leg.
     pub threads: usize,
-    /// Named divergences (empty = all five paths bit-identical).
+    /// Named divergences (empty = all six paths bit-identical).
     pub divergences: Vec<String>,
 }
 
@@ -88,7 +91,7 @@ fn run_leg(
 /// diverges on nearly every packet and drowning the report helps nobody.
 const MAX_DIVERGENCES: usize = 24;
 
-/// Replays `packets` through `id` on all five paths and reports every
+/// Replays `packets` through `id` on all six paths and reports every
 /// divergence from the reference interpreter.
 ///
 /// # Errors
@@ -98,7 +101,7 @@ const MAX_DIVERGENCES: usize = 24;
 pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppReport, BenchError> {
     let config = WorkloadConfig::small();
 
-    // Four serial legs, each with its own framework instance. The
+    // Five serial legs, each with its own framework instance. The
     // reference interpreter re-encodes the program and owns the words; the
     // forced CPUs borrow this clone.
     let app = App::build(id, &config)?;
@@ -117,6 +120,18 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
     let table = BlockTable::build(&program);
     let mut interp_block =
         ForcedCpu::new(Cpu::new(&program, map).with_blocks(&table), ExecPath::Block);
+
+    // The trace leg gets its own table with eager formation so fused
+    // dispatch is actually exercised: packet 0 trains, packets 1+ replay
+    // through traces, and guard exits / budget declines occur naturally
+    // on the real applications' data-dependent branches.
+    let mut bench_trace = PacketBench::with_config(App::build(id, &config)?, &config)?;
+    let mut trace_table = BlockTable::build(&program);
+    trace_table.set_trace_params(npsim::TraceParams::eager());
+    let mut interp_trace = ForcedCpu::new(
+        Cpu::new(&program, map).with_blocks(&trace_table),
+        ExecPath::Trace,
+    );
 
     let full_config = RunConfig {
         record_pc_trace: true,
@@ -137,11 +152,13 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
             &counts_config,
         )?;
         let leg_block = run_leg(&mut bench_block, &mut interp_block, packet, &counts_config)?;
+        let leg_trace = run_leg(&mut bench_trace, &mut interp_trace, packet, &counts_config)?;
 
         for (name, leg, level) in [
             ("full", &leg_full, DiffLevel::Full),
             ("counts", &leg_counts, DiffLevel::Counts),
             ("block", &leg_block, DiffLevel::Counts),
+            ("trace", &leg_trace, DiffLevel::Counts),
         ] {
             for d in leg_ref.outcome.diff(&leg.outcome, level) {
                 divergences.push(format!("packet {i} {name}: {d}"));
@@ -173,6 +190,23 @@ pub fn check_app(id: AppId, packets: &[Packet], threads: usize) -> Result<AppRep
     }
     if bench_ref.output_packets() != bench_block.output_packets() {
         divergences.push("block: output packets differ from reference".to_string());
+    }
+    if bench_ref.output_packets() != bench_trace.output_packets() {
+        divergences.push("trace: output packets differ from reference".to_string());
+    }
+    // Agreement is vacuous if fused dispatch never ran: with eager
+    // parameters and at least one replay packet, formation must have
+    // produced traces and dispatch must have reached them at least once
+    // (a completed trip, a guard exit, or a budget decline all count).
+    if packets.len() > 1 {
+        let t = trace_table.trace_stats();
+        if t.formed == 0 || t.hits + t.guard_exits + t.declines == 0 {
+            divergences.push(format!(
+                "trace: fused dispatch never engaged (formed={}, hits={}, \
+                 guard_exits={}, declines={})",
+                t.formed, t.hits, t.guard_exits, t.declines
+            ));
+        }
     }
 
     // Engine leg: the multi-threaded run must reproduce the reference's

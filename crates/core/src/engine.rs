@@ -59,6 +59,10 @@ pub(crate) struct MonitorCounters {
     pub(crate) memo_hits: AtomicU64,
     /// Memoization cache lookups (hits + misses) so far.
     pub(crate) memo_lookups: AtomicU64,
+    /// Complete trace trips so far.
+    pub(crate) trace_hits: AtomicU64,
+    /// Mispredicted trace guards so far.
+    pub(crate) trace_exits: AtomicU64,
     /// Packets dropped at ring ingestion so far (live mode only).
     pub(crate) ring_dropped: AtomicU64,
 }
@@ -74,6 +78,17 @@ impl MonitorCounters {
         let hits = self.memo_hits.load(Ordering::Relaxed);
         format!(" memo {:.0}%", hits as f64 / lookups as f64 * 100.0)
     }
+
+    /// The ` trace NN/NN` (trips/guard-exits) suffix for a status line,
+    /// or empty until the first complete trip.
+    pub(crate) fn trace_suffix(&self) -> String {
+        let hits = self.trace_hits.load(Ordering::Relaxed);
+        if hits == 0 {
+            return String::new();
+        }
+        let exits = self.trace_exits.load(Ordering::Relaxed);
+        format!(" trace {hits}/{exits}")
+    }
 }
 
 /// A parallel (or serial) runner for one application over a packet trace.
@@ -85,6 +100,7 @@ pub struct Engine {
     pub(crate) progress: bool,
     pub(crate) memo: MemoMode,
     pub(crate) timeline: Option<TimelineSpec>,
+    pub(crate) trace_params: Option<npsim::TraceParams>,
     pub(crate) watch: bool,
     pub(crate) status: Option<Arc<StatusLine>>,
 }
@@ -104,6 +120,7 @@ impl Engine {
             progress: false,
             memo: MemoMode::Off,
             timeline: None,
+            trace_params: None,
             watch: false,
             status: None,
         }
@@ -129,6 +146,17 @@ impl Engine {
     /// is a no-op, so `MemoMode::On` is always sound to request.
     pub fn memo(mut self, memo: MemoMode) -> Engine {
         self.memo = memo;
+        self
+    }
+
+    /// Overrides the hot-trace formation parameters for every worker's
+    /// `PacketBench`. `None` (the default) keeps
+    /// [`npsim::TraceParams::default`]; pass
+    /// [`npsim::TraceParams::disabled`] to benchmark the plain superblock
+    /// engine with trace fusion off. Either way results are bit-identical
+    /// — only the dispatch strategy changes.
+    pub fn trace_params(mut self, params: Option<npsim::TraceParams>) -> Engine {
+        self.trace_params = params;
         self
     }
 
@@ -281,8 +309,9 @@ impl Engine {
                         if watch {
                             let pps = n as f64 / start.elapsed().as_secs_f64().max(1e-9);
                             let memo = counters.memo_suffix();
+                            let trace = counters.trace_suffix();
                             status.refresh(&format!(
-                                "pb: {n}/{total} packets ({pct:.1}%) {pps:.0} pps{memo}"
+                                "pb: {n}/{total} packets ({pct:.1}%) {pps:.0} pps{memo}{trace}"
                             ));
                         } else {
                             status.emit(&format!("pb: {n}/{total} packets ({pct:.1}%)"));
@@ -407,6 +436,9 @@ impl Engine {
         let app = App::build(self.id, &self.config)?;
         let mut bench = PacketBench::with_config(app, &self.config)?;
         bench.set_memo(self.memo);
+        if let Some(params) = self.trace_params {
+            bench.set_trace_params(params);
+        }
         let mut records = Vec::with_capacity(packets.len());
         let mut lane = self.timeline.map(|spec| LaneTelemetry::new(spec, 0, start));
         let mut probe = LaneProbe::default();
@@ -451,6 +483,7 @@ impl Engine {
         let busy_ns = busy_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let memo = bench.memo_counters();
+        let tstats = bench.trace_stats();
         let workers = vec![WorkerMetrics {
             worker: 0,
             packets: packets.len() as u64,
@@ -461,6 +494,10 @@ impl Engine {
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
             block_bailouts: bench.block_bailouts(),
+            traces_formed: tstats.formed,
+            trace_hits: tstats.hits,
+            trace_guard_exits: tstats.guard_exits,
+            trace_declines: tstats.declines,
             ring_dropped: 0,
         }];
         let timeline = self.timeline.map(|spec| match lane {
@@ -513,12 +550,16 @@ impl Engine {
         let app = App::build(self.id, &self.config).map_err(|e| (first, e))?;
         let mut bench = PacketBench::with_config(app, &self.config).map_err(|e| (first, e))?;
         bench.set_memo(self.memo);
+        if let Some(params) = self.trace_params {
+            bench.set_trace_params(params);
+        }
         let mut batch = Vec::with_capacity(indices.len());
         let mut lane = self
             .timeline
             .map(|spec| LaneTelemetry::new(spec, worker, run_start));
         let mut probe = LaneProbe::default();
         let mut last_memo = bench.memo_counters();
+        let mut last_trace = bench.trace_stats();
         let busy_start = Instant::now();
         for (k, &i) in indices.iter().enumerate() {
             let packet = &packets[i];
@@ -553,12 +594,23 @@ impl Engine {
                     counters.memo_lookups.fetch_add(lookups, Ordering::Relaxed);
                 }
                 last_memo = memo;
+                let tstats = bench.trace_stats();
+                let trips = tstats.hits - last_trace.hits;
+                let exits = tstats.guard_exits - last_trace.guard_exits;
+                if trips > 0 {
+                    counters.trace_hits.fetch_add(trips, Ordering::Relaxed);
+                }
+                if exits > 0 {
+                    counters.trace_exits.fetch_add(exits, Ordering::Relaxed);
+                }
+                last_trace = tstats;
             }
         }
         if let Some(lane) = &mut lane {
             lane.finish_exec(worker as u64, busy_start, indices.len() as u64);
         }
         let memo = bench.memo_counters();
+        let tstats = bench.trace_stats();
         let metrics = WorkerMetrics {
             worker,
             packets: indices.len() as u64,
@@ -569,6 +621,10 @@ impl Engine {
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
             block_bailouts: bench.block_bailouts(),
+            traces_formed: tstats.formed,
+            trace_hits: tstats.hits,
+            trace_guard_exits: tstats.guard_exits,
+            trace_declines: tstats.declines,
             ring_dropped: 0,
         };
         Ok((batch, obs, metrics, lane))
@@ -715,6 +771,17 @@ pub struct WorkerMetrics {
     /// tails). Zero on the full-detail paths, which never enter the
     /// block engine.
     pub block_bailouts: u64,
+    /// Hot traces formed by this worker's one-shot formation pass. Zero
+    /// until warm-up completes, and on paths that never enter the trace
+    /// engine (full-detail and profiled runs stay block-granular).
+    pub traces_formed: u64,
+    /// Complete trips through formed traces (one fused delta each).
+    pub trace_hits: u64,
+    /// Trips that fell off mid-trace on a mispredicted guard.
+    pub trace_guard_exits: u64,
+    /// Trace dispatches declined for instruction-budget risk (the block
+    /// path ran instead).
+    pub trace_declines: u64,
     /// Packets dropped at this worker's ingestion ring because its pool
     /// was exhausted. Always zero in batch and stream modes, which
     /// apply backpressure instead of dropping (`pb live` only).

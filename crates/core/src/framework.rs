@@ -510,6 +510,23 @@ impl PacketBench {
         self.block_bailouts
     }
 
+    /// Cumulative hot-trace telemetry (traces formed, complete trips,
+    /// guard exits, budget declines) across all packets so far. Like
+    /// [`PacketBench::block_bailouts`], a deterministic function of
+    /// program + packets; zeros while the table is still warming up or
+    /// when trace formation is disabled.
+    pub fn trace_stats(&self) -> npsim::TraceStats {
+        self.block_table.trace_stats()
+    }
+
+    /// Replaces the hot-trace formation thresholds (and resets warm-up
+    /// state and telemetry). [`npsim::TraceParams::disabled`] pins the
+    /// framework to pure block-level execution — the bench uses that for
+    /// its block-vs-trace comparison.
+    pub fn set_trace_params(&mut self, params: npsim::TraceParams) {
+        self.block_table.set_trace_params(params);
+    }
+
     /// Runs one packet through the application.
     ///
     /// # Errors

@@ -149,11 +149,15 @@ pub fn profile_packets(
     })
 }
 
+/// Rows shown in the hottest-edges table of `pb profile`.
+const EDGE_TABLE_LIMIT: usize = 20;
+
 impl ProfileResult {
     /// Renders the profile as plain text: header, the four per-packet
-    /// log2 histograms, the block heat table, and the flamegraph-collapsed
-    /// heat lines. Contains no timing, thread count, or timestamp — the
-    /// output is byte-identical at every engine thread count.
+    /// log2 histograms, the block heat table, the hottest successor
+    /// edges, and the flamegraph-collapsed heat and chain lines.
+    /// Contains no timing, thread count, or timestamp — the output is
+    /// byte-identical at every engine thread count.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -170,8 +174,14 @@ impl ProfileResult {
         out.push_str("basic-block heat (hottest first)\n");
         out.push_str(&self.heat.render_table());
         out.push('\n');
+        out.push_str("hottest edges (block successor transitions)\n");
+        out.push_str(&self.heat.render_edges(EDGE_TABLE_LIMIT));
+        out.push('\n');
         out.push_str("flamegraph-collapsed (block instructions)\n");
         out.push_str(&self.heat.render_collapsed(self.app.slug()));
+        out.push('\n');
+        out.push_str("flamegraph-collapsed chains (dominant successor walks)\n");
+        out.push_str(&self.heat.render_chains(self.app.slug()));
         out
     }
 
@@ -222,6 +232,13 @@ impl ProfileResult {
                     // where cache hits skip simulation and contribute no
                     // bail-outs (see `PacketBench::block_bailouts`).
                     block_bailouts: w.block_bailouts,
+                    // Trace-cache counters are likewise trace-determined:
+                    // formation and guard outcomes depend only on the packet
+                    // sequence each worker saw.
+                    traces_formed: w.traces_formed,
+                    trace_hits: w.trace_hits,
+                    trace_guard_exits: w.trace_guard_exits,
+                    trace_declines: w.trace_declines,
                     ring_dropped: w.ring_dropped,
                 })
                 .collect(),

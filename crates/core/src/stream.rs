@@ -514,6 +514,7 @@ impl Engine {
             .as_ref()
             .map(|b| b.memo_counters())
             .unwrap_or_default();
+        let tstats = bench.as_ref().map(|b| b.trace_stats()).unwrap_or_default();
         let metrics = WorkerMetrics {
             worker,
             packets,
@@ -524,6 +525,10 @@ impl Engine {
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
             block_bailouts: bench.as_ref().map(|b| b.block_bailouts()).unwrap_or(0),
+            traces_formed: tstats.formed,
+            trace_hits: tstats.hits,
+            trace_guard_exits: tstats.guard_exits,
+            trace_declines: tstats.declines,
             ring_dropped: 0,
         };
         (metrics, lane)

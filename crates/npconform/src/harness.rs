@@ -2,7 +2,7 @@
 //! compare, shrink.
 //!
 //! One corpus item is one seeded random program plus one boundary-case
-//! packet. Each item runs through four interpreter paths on identically
+//! packet. Each item runs through five interpreter paths on identically
 //! staged memory:
 //!
 //! 1. the reference interpreter ([`crate::RefCpu`]) with full tracing,
@@ -10,6 +10,8 @@
 //! 3. the optimized simulator forced onto its counts-only loop,
 //! 4. the optimized simulator forced onto its superblock engine
 //!    (block-level dispatch with fused accounting),
+//! 5. the superblock engine with the hot-trace layer, eagerly trained on
+//!    one extra capture so the measured run replays through fused traces,
 //!
 //! and any divergence from the reference — result, statistics, registers,
 //! memory digest, traces — fails the item. Failing programs are shrunk
@@ -28,7 +30,7 @@ use nprng::{SeedableRng, StdRng};
 use npsim::isa::{reg, Inst};
 use npsim::{
     BlockTable, Cpu, ExecPath, Interpreter, Memory, MemoryMap, Program, RunConfig, RunStats,
-    SimError, SysHandler, SysOutcome,
+    SimError, SysHandler, SysOutcome, TraceParams,
 };
 
 /// A deterministic `sys` handler for generated programs.
@@ -203,7 +205,7 @@ impl CorpusReport {
     }
 }
 
-/// Runs one program/packet pair through all four paths and returns the
+/// Runs one program/packet pair through all five paths and returns the
 /// named divergences from the reference (empty = conformant).
 ///
 /// Memory is staged identically for every path: the packet at
@@ -265,6 +267,25 @@ pub fn check_program(insts: &[Inst], packet: &[u8], config: &ConformConfig) -> V
     let mut block = ForcedCpu::new(Cpu::new(&program, map).with_blocks(&table), ExecPath::Block);
     let block = capture(&mut block, &counts_config);
 
+    // The trace leg: eager formation parameters, so one capture trains
+    // the warm-up counters and forms traces, and a second capture of the
+    // *same* packet replays through them — exercising trace dispatch,
+    // fused deltas, and guard exits on every corpus item.
+    let mut trace_table = BlockTable::build(&program);
+    trace_table.set_trace_params(TraceParams::eager());
+    {
+        let mut warm = ForcedCpu::new(
+            Cpu::new(&program, map).with_blocks(&trace_table),
+            ExecPath::Trace,
+        );
+        let _ = capture(&mut warm, &counts_config);
+    }
+    let mut traced = ForcedCpu::new(
+        Cpu::new(&program, map).with_blocks(&trace_table),
+        ExecPath::Trace,
+    );
+    let traced = capture(&mut traced, &counts_config);
+
     let mut divergences = Vec::new();
     divergences.extend(
         reference
@@ -283,6 +304,12 @@ pub fn check_program(insts: &[Inst], packet: &[u8], config: &ConformConfig) -> V
             .diff(&block, DiffLevel::Counts)
             .into_iter()
             .map(|d| format!("block: {d}")),
+    );
+    divergences.extend(
+        reference
+            .diff(&traced, DiffLevel::Counts)
+            .into_iter()
+            .map(|d| format!("trace: {d}")),
     );
     divergences
 }

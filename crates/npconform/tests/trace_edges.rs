@@ -1,0 +1,169 @@
+//! Trace-boundary edge cases through the full five-path differ.
+//!
+//! `check_program` trains the trace leg eagerly (one warm-up capture,
+//! then a measured capture that replays through formed traces), so each
+//! program here is shaped to stress one seam of the hot-trace layer —
+//! self-looping single-block traces under budget sweeps, indirect entry
+//! into the interior of a formed chain, guards that mispredict on every
+//! internal branch, and budget exhaustion landing at every offset inside
+//! a fused trip. Every one must produce bit-identical `RunStats` against
+//! the reference interpreter on all paths.
+
+use npconform::{check_program, ConformConfig};
+use npsim::isa::{reg, Inst, Op};
+
+/// A small deterministic packet; contents only matter insofar as every
+/// path stages the same bytes.
+fn packet() -> Vec<u8> {
+    (0u8..64).collect()
+}
+
+fn assert_conformant(insts: Vec<Inst>, config: &ConformConfig) {
+    let divergences = check_program(&insts, &packet(), config);
+    assert!(
+        divergences.is_empty(),
+        "paths diverged: {divergences:#?}\nprogram: {insts:#?}"
+    );
+}
+
+#[test]
+fn self_loop_trace_unrolls_and_exits_identically() {
+    // A single-block self-loop: eager formation unrolls it to the member
+    // cap, so replay takes complete fused trips plus one mispredicted
+    // tail trip. Iteration counts around the unroll factor probe every
+    // exit position.
+    for iters in [1, 2, 7, 8, 9, 16, 30] {
+        assert_conformant(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, iters),
+                Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1), // loop head
+                Inst::branch(Op::Bne, reg::T0, reg::ZERO, -8),  // -> 1
+                Inst::jr(reg::RA),
+            ],
+            &ConformConfig::default(),
+        );
+    }
+}
+
+#[test]
+fn indirect_entry_into_trace_interior() {
+    // `jr s2` enters the loop at inst 8 — an interior member of the
+    // chain headed by the loop head at inst 4. Traces are only entered
+    // through their head block, so the mid-chain entry must land on
+    // plain block dispatch and still agree bit-for-bit. Layout (4-byte
+    // instructions from text base):
+    //
+    //   0  lui  s1, 1          s1 = 0x10000 = text base
+    //   1  addi s2, s1, 32     s2 = &inst 8
+    //   2  addi t0, zero, 6
+    //   3  jr   s2             enter the loop mid-chain
+    //   4  addi t1, t1, 1      loop head
+    //   5  beq  t1, t0, 16     rare exit -> 10
+    //   6  lw   t2, 0(a0)
+    //   7  sw   t2, -4(sp)
+    //   8  addi t3, t3, 1      indirect target, chain interior
+    //   9  j    -24            -> 4
+    //  10  jr   ra
+    assert_conformant(
+        vec![
+            Inst::lui(reg::S1, 1),
+            Inst::with_imm(Op::Addi, reg::S2, reg::S1, 32),
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 6),
+            Inst::jr(reg::S2),
+            Inst::with_imm(Op::Addi, reg::T1, reg::T1, 1),
+            Inst::branch(Op::Beq, reg::T1, reg::T0, 16),
+            Inst::with_imm(Op::Lw, reg::T2, reg::A0, 0),
+            Inst::store(Op::Sw, reg::T2, reg::SP, -4),
+            Inst::with_imm(Op::Addi, reg::T3, reg::T3, 1),
+            Inst::jump(Op::J, -24),
+            Inst::jr(reg::RA),
+        ],
+        &ConformConfig::default(),
+    );
+}
+
+#[test]
+fn alternating_branches_mispredict_every_guard() {
+    // Two internal branches keyed to counter bits 0 and 1: both flip
+    // within the run, so whichever direction the eager trainer chains,
+    // every internal guard mispredicts repeatedly during replay — the
+    // worst case for exit-point accounting. Layout:
+    //
+    //   0  addi t0, zero, 12
+    //   1  andi t1, t0, 1      loop head
+    //   2  bne  t1, zero, 8    parity branch -> 5
+    //   3  addi t3, t3, 1      even arm
+    //   4  j    4              -> 6
+    //   5  addi t4, t4, 1      odd arm
+    //   6  andi t2, t0, 2      join
+    //   7  bne  t2, zero, 8    bit-1 branch -> 10
+    //   8  addi t5, t5, 1
+    //   9  j    4              -> 11
+    //  10  addi t6, t6, 1
+    //  11  addi t0, t0, -1     join
+    //  12  bne  t0, zero, -48  -> 1
+    //  13  jr   ra
+    assert_conformant(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 12),
+            Inst::with_imm(Op::Andi, reg::T1, reg::T0, 1),
+            Inst::branch(Op::Bne, reg::T1, reg::ZERO, 8),
+            Inst::with_imm(Op::Addi, reg::T3, reg::T3, 1),
+            Inst::jump(Op::J, 4),
+            Inst::with_imm(Op::Addi, reg::T4, reg::T4, 1),
+            Inst::with_imm(Op::Andi, reg::T2, reg::T0, 2),
+            Inst::branch(Op::Bne, reg::T2, reg::ZERO, 8),
+            Inst::with_imm(Op::Addi, reg::T5, reg::T5, 1),
+            Inst::jump(Op::J, 4),
+            Inst::with_imm(Op::Addi, reg::T6, reg::T6, 1),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+            Inst::branch(Op::Bne, reg::T0, reg::ZERO, -48),
+            Inst::jr(reg::RA),
+        ],
+        &ConformConfig::default(),
+    );
+}
+
+#[test]
+fn budget_sweep_exhausts_inside_fused_trips() {
+    // A hot memory-touching loop under a sweep of budgets that land at
+    // every offset within a fused trip: the trace layer must decline
+    // risky dispatches, the block path must bail to per-instruction for
+    // the tail, and the budget error must hit the exact instruction the
+    // reference hits.
+    let program = vec![
+        Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 50),
+        Inst::with_imm(Op::Lw, reg::T1, reg::A0, 0), // loop head
+        Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+        Inst::branch(Op::Bne, reg::T0, reg::ZERO, -12), // -> 1
+        Inst::jr(reg::RA),
+    ];
+    for budget in (1..=40).chain([97, 151, 152]) {
+        assert_conformant(
+            program.clone(),
+            &ConformConfig {
+                max_instructions: budget,
+                ..ConformConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn sys_and_halt_blocks_never_chain() {
+    // `sys` and `halt` terminators are unchainable: the hot loop around
+    // them still forms traces, but the trap block itself must be entered
+    // at block level with handler effects (register and memory digest)
+    // identical everywhere.
+    assert_conformant(
+        vec![
+            Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 8),
+            Inst::with_imm(Op::Addi, reg::A0, reg::A0, 3), // loop head
+            Inst::sys(2),
+            Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+            Inst::branch(Op::Bne, reg::T0, reg::ZERO, -16), // -> 1
+            Inst::halt(),
+        ],
+        &ConformConfig::default(),
+    );
+}

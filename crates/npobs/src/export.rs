@@ -38,6 +38,15 @@ pub struct WorkerStat {
     /// (early exit mid-block). Zero when block-level dispatch is off or
     /// every packet was answered from the memoization cache.
     pub block_bailouts: u64,
+    /// Hot traces formed by the worker's one-shot formation pass. Zero
+    /// until warm-up completes and on paths without the trace layer.
+    pub traces_formed: u64,
+    /// Complete trips through formed traces (one fused delta each).
+    pub trace_hits: u64,
+    /// Trips that fell off mid-trace on a mispredicted guard.
+    pub trace_guard_exits: u64,
+    /// Trace dispatches declined for instruction-budget risk.
+    pub trace_declines: u64,
     /// Packets dropped at this worker's live-ingestion ring because the
     /// pool was exhausted. Zero outside `pb live` (batch and stream
     /// modes apply backpressure instead of dropping).
@@ -167,7 +176,9 @@ impl MetricsDoc {
                 "    {{\"worker\": {}, \"packets\": {}, \"busy_ns\": {}, \
                  \"idle_ns\": {}, \"queue_depth\": {}, \"memo_hits\": {}, \
                  \"memo_misses\": {}, \"memo_evictions\": {}, \
-                 \"block_bailouts\": {}, \"ring_dropped\": {}}}",
+                 \"block_bailouts\": {}, \"traces_formed\": {}, \
+                 \"trace_hits\": {}, \"trace_guard_exits\": {}, \
+                 \"trace_declines\": {}, \"ring_dropped\": {}}}",
                 w.worker,
                 w.packets,
                 w.busy_ns,
@@ -177,6 +188,10 @@ impl MetricsDoc {
                 w.memo_misses,
                 w.memo_evictions,
                 w.block_bailouts,
+                w.traces_formed,
+                w.trace_hits,
+                w.trace_guard_exits,
+                w.trace_declines,
                 w.ring_dropped
             );
             out.push_str(if i + 1 == self.workers.len() {
@@ -342,6 +357,58 @@ impl MetricsDoc {
                 w.worker, w.block_bailouts
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP pb_trace_formed_total Hot traces formed by the one-shot \
+             formation pass."
+        );
+        let _ = writeln!(out, "# TYPE pb_trace_formed_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_trace_formed_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.traces_formed
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_trace_hits_total Complete trips through formed traces \
+             (one fused delta each)."
+        );
+        let _ = writeln!(out, "# TYPE pb_trace_hits_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_trace_hits_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.trace_hits
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_trace_guard_exits_total Trips that fell off mid-trace \
+             on a mispredicted guard."
+        );
+        let _ = writeln!(out, "# TYPE pb_trace_guard_exits_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_trace_guard_exits_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.trace_guard_exits
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP pb_trace_declines_total Trace dispatches declined for \
+             instruction-budget risk."
+        );
+        let _ = writeln!(out, "# TYPE pb_trace_declines_total counter");
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "pb_trace_declines_total{{{labels},worker=\"{}\"}} {}",
+                w.worker, w.trace_declines
+            );
+        }
         if let Some(ring) = &self.ring {
             let _ = writeln!(
                 out,
@@ -431,6 +498,10 @@ mod tests {
                     memo_misses: 1,
                     memo_evictions: 0,
                     block_bailouts: 4,
+                    traces_formed: 2,
+                    trace_hits: 9,
+                    trace_guard_exits: 3,
+                    trace_declines: 1,
                     ring_dropped: 0,
                 },
                 WorkerStat {
@@ -546,20 +617,32 @@ mod tests {
     }
 
     #[test]
-    fn schema_version_three_covers_ring_telemetry() {
+    fn schema_version_four_covers_trace_telemetry() {
         // v2 grew `block_bailouts`; v3 grew per-worker `ring_dropped`
-        // and the optional `ring` section. Both are consumer-visible
-        // schema changes: the stamp must say so.
-        assert_eq!(METRICS_SCHEMA_VERSION, 3);
+        // and the optional `ring` section; v4 grew the trace-cache
+        // counters. All are consumer-visible schema changes: the stamp
+        // must say so.
+        assert_eq!(METRICS_SCHEMA_VERSION, 4);
         let doc = sample_doc();
         assert_eq!(doc.stamp.schema_version, METRICS_SCHEMA_VERSION);
         let json = doc.to_json();
         assert!(json.contains("\"block_bailouts\""));
+        assert!(json.contains(
+            "\"traces_formed\": 2, \"trace_hits\": 9, \
+             \"trace_guard_exits\": 3, \"trace_declines\": 1"
+        ));
         assert!(json.contains("\"ring_dropped\": 0"));
         assert!(json.contains("\"ring\": null"));
-        assert!(doc
-            .to_prometheus()
-            .contains("pb_worker_block_bailouts_total"));
+        let prom = doc.to_prometheus();
+        assert!(prom.contains("pb_worker_block_bailouts_total"));
+        assert!(prom.contains("pb_trace_formed_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 2"));
+        assert!(prom.contains("pb_trace_hits_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 9"));
+        assert!(
+            prom.contains("pb_trace_guard_exits_total{app=\"radix\",trace=\"mra\",worker=\"0\"} 3")
+        );
+        assert!(
+            prom.contains("pb_trace_declines_total{app=\"radix\",trace=\"mra\",worker=\"1\"} 0")
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use npsim::bblock::BlockMap;
 use npsim::isa::Inst;
 use npsim::obs::Observer;
 use npsim::Program;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Streams block entries and per-block instruction counts off the
@@ -32,6 +33,11 @@ pub struct HeatObserver {
     entries: Vec<u64>,
     /// Per-block retired-instruction counts.
     instructions: Vec<u64>,
+    /// Block-to-successor transition counts, keyed `(from, to)`. Every
+    /// block entry with a known predecessor records one edge, so edge
+    /// counts are the data trace formation selects chains from (see
+    /// `npsim::trace`). A `BTreeMap` keeps iteration deterministic.
+    edges: BTreeMap<(u32, u32), u64>,
     /// Block executing at the previous retired instruction
     /// (`u32::MAX` = none, reset at every run start).
     prev: u32,
@@ -50,6 +56,7 @@ impl HeatObserver {
             is_leader,
             entries: vec![0; block_map.num_blocks()],
             instructions: vec![0; block_map.num_blocks()],
+            edges: BTreeMap::new(),
             prev: u32::MAX,
         }
     }
@@ -67,6 +74,11 @@ impl HeatObserver {
     /// Total instructions observed.
     pub fn total_instructions(&self) -> u64 {
         self.instructions.iter().sum()
+    }
+
+    /// Block-to-successor transition counts, keyed `(from, to)`.
+    pub fn edges(&self) -> &BTreeMap<(u32, u32), u64> {
+        &self.edges
     }
 
     /// Adds another observer's counts into this one. Merging is additive
@@ -88,6 +100,9 @@ impl HeatObserver {
         for (a, b) in self.instructions.iter_mut().zip(&other.instructions) {
             *a += b;
         }
+        for (edge, count) in &other.edges {
+            *self.edges.entry(*edge).or_insert(0) += count;
+        }
     }
 
     /// Freezes the counts into a labelled, renderable [`BlockHeat`].
@@ -99,6 +114,7 @@ impl HeatObserver {
                 .collect(),
             entries: self.entries,
             instructions: self.instructions,
+            edges: self.edges,
         }
     }
 }
@@ -124,6 +140,9 @@ impl Observer for HeatObserver {
         // in a different block than the previous instruction's (entry
         // points that are not static leaders).
         if self.is_leader[index] || block != self.prev {
+            if self.prev != u32::MAX {
+                *self.edges.entry((self.prev, block)).or_insert(0) += 1;
+            }
             self.entries[block as usize] += 1;
             self.prev = block;
         }
@@ -132,6 +151,9 @@ impl Observer for HeatObserver {
 
     #[inline(always)]
     fn on_block(&mut self, block: usize, _first: usize, len: usize) {
+        if self.prev != u32::MAX {
+            *self.edges.entry((self.prev, block as u32)).or_insert(0) += 1;
+        }
         self.entries[block] += 1;
         self.instructions[block] += len as u64;
         self.prev = block as u32;
@@ -158,6 +180,7 @@ pub struct BlockHeat {
     lengths: Vec<u64>,
     entries: Vec<u64>,
     instructions: Vec<u64>,
+    edges: BTreeMap<(u32, u32), u64>,
 }
 
 impl BlockHeat {
@@ -227,6 +250,97 @@ impl BlockHeat {
             if self.instructions[b] > 0 {
                 let _ = writeln!(out, "{app};{} {}", self.labels[b], self.instructions[b]);
             }
+        }
+        out
+    }
+
+    /// Block-to-successor transition counts, keyed `(from, to)`.
+    pub fn edges(&self) -> &BTreeMap<(u32, u32), u64> {
+        &self.edges
+    }
+
+    /// Renders the hottest block-to-successor edges as a fixed-width
+    /// table, most-travelled first (ties broken by `(from, to)` block
+    /// ids so output is fully deterministic). These counts are what
+    /// hot-trace formation selects chains from; a near-100% share on an
+    /// edge means the pair fuses into one trace.
+    pub fn render_edges(&self, limit: usize) -> String {
+        let total: u64 = self.edges.values().sum();
+        let total = total.max(1) as f64;
+        let mut order: Vec<(&(u32, u32), &u64)> = self.edges.iter().collect();
+        order.sort_by_key(|&(edge, count)| (std::cmp::Reverse(*count), *edge));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<8} {:>6} {:<8} {:>12} {:>7}",
+            "from", "label", "to", "label", "count", "share"
+        );
+        for (&(from, to), &count) in order.into_iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<8} {:>6} {:<8} {:>12} {:>6.2}%",
+                from,
+                self.labels[from as usize],
+                to,
+                self.labels[to as usize],
+                count,
+                count as f64 / total * 100.0
+            );
+        }
+        out
+    }
+
+    /// Renders dominant block chains as flamegraph-collapsed text: from
+    /// each block (hottest first) not yet claimed by a chain, follow the
+    /// most-travelled outgoing edge (ties broken by successor id),
+    /// stopping after the first already-claimed block (a repeated frame
+    /// for self-loops, a join frame otherwise), then emit one
+    /// `app;label;label;... count` line weighted by the chain's weakest
+    /// edge. This is a rendering of the greedy walk trace formation
+    /// performs, so the flamegraph shows the chains the trace engine
+    /// fuses.
+    pub fn render_chains(&self, app: &str) -> String {
+        let n = self.num_blocks();
+        // Dominant successor per block, by (count desc, successor id).
+        let mut best: Vec<Option<(u32, u64)>> = vec![None; n];
+        for (&(from, to), &count) in &self.edges {
+            let slot = &mut best[from as usize];
+            let better = match *slot {
+                None => true,
+                Some((bt, bc)) => count > bc || (count == bc && to < bt),
+            };
+            if better {
+                *slot = Some((to, count));
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&b| (std::cmp::Reverse(self.instructions[b]), b));
+        let mut claimed = vec![false; n];
+        let mut out = String::new();
+        for head in order {
+            if claimed[head] || self.entries[head] == 0 {
+                continue;
+            }
+            claimed[head] = true;
+            let mut frames = vec![self.labels[head].as_str()];
+            let mut weight = u64::MAX;
+            let mut cur = head;
+            while let Some((next, count)) = best[cur] {
+                weight = weight.min(count);
+                frames.push(self.labels[next as usize].as_str());
+                // A block already claimed (including `head` itself, for
+                // self-loops) ends the chain as a terminal frame showing
+                // where this chain joins a hotter one.
+                if claimed[next as usize] {
+                    break;
+                }
+                claimed[next as usize] = true;
+                cur = next as usize;
+            }
+            if frames.len() < 2 {
+                continue;
+            }
+            let _ = writeln!(out, "{app};{} {}", frames.join(";"), weight);
         }
         out
     }
@@ -313,6 +427,33 @@ mod tests {
         assert_eq!(heat.label(0), "b0");
         assert_eq!(heat.label(1), "L0");
         assert_eq!(heat.label(2), "b2");
+    }
+
+    #[test]
+    fn edges_count_transitions_identically_on_both_loops() {
+        let (obs, program, blocks) = run_heat(1);
+        // b0 -> L0 once, L0 -> L0 four times, L0 -> b2 once.
+        assert_eq!(obs.edges().get(&(0, 1)), Some(&1));
+        assert_eq!(obs.edges().get(&(1, 1)), Some(&4));
+        assert_eq!(obs.edges().get(&(1, 2)), Some(&1));
+        assert_eq!(obs.edges().len(), 3);
+        let heat = obs.into_heat(&program, &blocks);
+        // Hottest edge first: the loop's self-edge.
+        let edges = heat.render_edges(10);
+        let first = edges.lines().nth(1).unwrap();
+        assert!(first.contains("L0") && first.contains('4'), "{edges}");
+        // The dominant chain is the self-looping loop head.
+        let chains = heat.render_chains("demo");
+        assert_eq!(chains, "demo;L0;L0 4\ndemo;b0;L0 1\n");
+    }
+
+    #[test]
+    fn edge_merge_is_additive() {
+        let (mut a, _, _) = run_heat(2);
+        let (b, _, _) = run_heat(3);
+        a.merge(&b);
+        let (whole, _, _) = run_heat(5);
+        assert_eq!(a.edges(), whole.edges());
     }
 
     #[test]

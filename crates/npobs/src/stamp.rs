@@ -14,8 +14,11 @@ use std::time::{SystemTime, UNIX_EPOCH};
 /// v2 added `block_bailouts` to the per-worker records (JSON and
 /// Prometheus `pb_worker_block_bailouts_total`); v3 added per-worker
 /// `ring_dropped` and the optional `ring` section (`pb live` telemetry:
-/// `pb_ring_dropped_total`, occupancy and burst-size histograms).
-pub const METRICS_SCHEMA_VERSION: u32 = 3;
+/// `pb_ring_dropped_total`, occupancy and burst-size histograms); v4
+/// added the per-worker trace-cache counters (`traces_formed`,
+/// `trace_hits`, `trace_guard_exits`, `trace_declines`; Prometheus
+/// `pb_trace_*_total`).
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// Version of the benchmark JSON layout (`BENCH_throughput.json`,
 /// `BENCH_conform.json`).

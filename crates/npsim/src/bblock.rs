@@ -25,6 +25,7 @@ use std::ops::Range;
 
 use crate::cpu::Program;
 use crate::isa::{Op, OpClass};
+use crate::trace::{TraceParams, TraceState, TraceStats};
 use crate::uarch::OpMix;
 use crate::util::BitSet;
 
@@ -326,6 +327,48 @@ pub(crate) enum UOpKind {
     /// Merged by the post-pass when the constant destination feeds the
     /// add in place and the load displacement is zero.
     MovAddLbu,
+    // ------------------------------------------------------------------
+    // Trace-formation superops. The block decoder never emits the kinds
+    // below: they are produced only by the trace peephole
+    // (`trace::peephole`), which re-fuses a hot chain's flattened
+    // micro-op stream one more time. All are pure ALU — no memory
+    // access, no classification — and every architecturally-live write
+    // still lands (dual destinations via `rd2` where the pattern's
+    // intermediate register survives), so fusing them is unobservable.
+    // ------------------------------------------------------------------
+    /// Fused xorshift (`slli x, s, a; srli y, s, b; xor x, x, y` — the
+    /// TEA/Feistel mixing idiom): `rd2 = rs2 >> b`, `rd = (rs1 << a) ^
+    /// rd2`, with `imm = a | b << 5` (the two shift sources are usually
+    /// the same register, but need not be).
+    XorShifts,
+    /// Fused `andi rd, rs1, m` + `slli rd, rd, s` field scale:
+    /// `rd = (rs1 & imm) << (rs2 as shift)`.
+    AndShl,
+    /// Fused `srli rd, rs1, s` + `andi rd, rd, m` field extract:
+    /// `rd = (rs1 >> (rs2 as shift)) & imm`.
+    SrlImmAnd,
+    /// Fused `add a, rs1, rs2` + `xor b, c, a` accumulate-mix:
+    /// `rd2 = rs1 + rs2`, `rd = regs[imm] ^ rd2` (`imm` carries the
+    /// xor's other source, read before either write lands).
+    AddXor,
+    /// Fused `addi rd, zero, k` + `sll rd, rd, rs2` constant shift:
+    /// `rd = imm << (rs2 & 31)`.
+    MovShl,
+    /// Fused `xor x, rs1, rs2` + `sll x, x, c` mix-position:
+    /// `rd = (rs1 ^ rs2) << (regs[imm] & 31)`.
+    XorSll,
+    /// Fused `RsbImm d, rs1` + `srl e, s, d` bit-offset shift (the
+    /// big-endian bit-walk idiom): `rd2 = imm - rs1`,
+    /// `rd = rs2 >> (rd2 & 31)`.
+    RsbSrl,
+    /// Fused `RsbImm d, rs1` + `SrlAnd e, s, d, m` bit-offset extract
+    /// (the bit-walk's flip + extract back to back): `rd2 = (imm &
+    /// 0xffff) - rs1`, `rd = (rs2 >> (rd2 & 31)) & (imm >> 16)`. Both
+    /// constants fit 16 bits by the fusion guard.
+    RsbSrlAnd,
+    /// Fused `slli rd, rs1, s` + `or rd, rd, rs2` byte-assembly:
+    /// `rd = (rs1 << imm) | rs2`.
+    ShlOr,
 }
 
 /// One predecoded micro-op. Register fields are pre-extracted indices
@@ -403,6 +446,10 @@ pub struct BlockTable {
     /// once per seen block at run end, instead of seven u64 adds per
     /// retire.
     retires: RefCell<Vec<u64>>,
+    /// The hot-trace layer: warm-up counters, formed traces, per-run
+    /// trace retires, telemetry. Lives on the table (not the `Cpu`) so it
+    /// persists across per-packet CPU reconstruction and across runs.
+    trace: RefCell<TraceState>,
 }
 
 impl BlockTable {
@@ -421,6 +468,7 @@ impl BlockTable {
             .collect();
         let seen = RefCell::new(BitSet::new(map.num_blocks()));
         let retires = RefCell::new(vec![0u64; map.num_blocks()]);
+        let trace = RefCell::new(TraceState::new(map.num_blocks(), TraceParams::default()));
         BlockTable {
             map,
             is_leader,
@@ -428,7 +476,31 @@ impl BlockTable {
             uops,
             seen,
             retires,
+            trace,
         }
+    }
+
+    /// Replaces the trace layer's formation parameters, resetting any
+    /// warm-up progress and formed traces. The conformance harness runs
+    /// with [`TraceParams::eager`]; the bench's block-vs-trace comparison
+    /// pins one engine to [`TraceParams::disabled`].
+    pub fn set_trace_params(&mut self, params: TraceParams) {
+        *self.trace.borrow_mut() = TraceState::new(self.map.num_blocks(), params);
+    }
+
+    /// A copy of the trace layer's cumulative telemetry counters.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace.borrow().stats
+    }
+
+    /// Borrows the trace layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous borrow is still live (the block engine is not
+    /// reentrant over one table).
+    pub(crate) fn trace_scratch(&self) -> RefMut<'_, TraceState> {
+        self.trace.borrow_mut()
     }
 
     fn decode_block(

@@ -13,6 +13,7 @@ use crate::error::SimError;
 use crate::isa::{Inst, Op, Reg};
 use crate::mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};
 use crate::obs::{NullObserver, Observer};
+use crate::trace::{Guard, TraceEntry};
 use crate::uarch::{OpMix, Uarch, UarchConfig};
 use crate::util::BitSet;
 use crate::RETURN_SENTINEL;
@@ -371,7 +372,22 @@ pub enum ExecPath {
     /// Trace flags and uarch models are ignored, as with
     /// [`ExecPath::Counts`]; per-instruction observer hooks only fire on
     /// the engine's fallback paths (see [`Observer::BLOCK_LEVEL`]).
+    /// Hot-trace formation stays off: this is the pure block-level leg.
     Block,
+    /// Force the superblock engine *with* the hot-trace layer: after the
+    /// table's warm-up, biased block chains fuse into traces retired with
+    /// one delta per complete trip (see [`crate::trace`]). Observable
+    /// outcomes are bit-identical to [`ExecPath::Block`]; this is the
+    /// trace engine's differential-conformance leg.
+    Trace,
+}
+
+/// Where control lands after a trip through a fused trace: either at a
+/// known block leader (stay in the chained dispatch loop) or at a pc the
+/// table has no leader for (fall back to cold per-instruction dispatch).
+enum TraceExit {
+    Block(usize),
+    Cold,
 }
 
 /// A pluggable NP32 interpreter: anything that can boot, be seeded, run a
@@ -622,7 +638,7 @@ impl<'p> Cpu<'p> {
             ExecPath::Auto => {
                 config.uarch.is_none() && !config.record_pc_trace && !config.record_mem_trace
             }
-            ExecPath::Counts | ExecPath::Block => true,
+            ExecPath::Counts | ExecPath::Block | ExecPath::Trace => true,
             ExecPath::Full => false,
         };
         // Counts-only runs step up to block granularity when a predecoded
@@ -630,7 +646,16 @@ impl<'p> Cpu<'p> {
         // the conformance harness can also force the engine outright.
         let use_blocks = match path {
             ExecPath::Auto => counts_only && O::BLOCK_LEVEL && self.blocks.is_some(),
-            ExecPath::Block => true,
+            ExecPath::Block | ExecPath::Trace => true,
+            _ => false,
+        };
+        // And further up to trace granularity when the observer needs no
+        // events at all inside fused trips; [`ExecPath::Block`] stays
+        // trace-free so the pure block leg remains differentially
+        // testable on its own.
+        let use_traces = match path {
+            ExecPath::Auto => use_blocks && O::TRACE_LEVEL,
+            ExecPath::Trace => true,
             _ => false,
         };
         let mut uarch = if counts_only {
@@ -640,10 +665,18 @@ impl<'p> Cpu<'p> {
         };
         if use_blocks {
             if let Some(table) = self.blocks {
-                self.exec_blocks(mem, config, handler, stats, table, obs)?;
+                if use_traces {
+                    self.exec_blocks::<true, O>(mem, config, handler, stats, table, obs)?;
+                } else {
+                    self.exec_blocks::<false, O>(mem, config, handler, stats, table, obs)?;
+                }
             } else {
                 let table = BlockTable::build(self.program);
-                self.exec_blocks(mem, config, handler, stats, &table, obs)?;
+                if use_traces {
+                    self.exec_blocks::<true, O>(mem, config, handler, stats, &table, obs)?;
+                } else {
+                    self.exec_blocks::<false, O>(mem, config, handler, stats, &table, obs)?;
+                }
             }
         } else if counts_only {
             self.exec::<false, O>(mem, config, handler, stats, &mut uarch, obs)?;
@@ -910,7 +943,17 @@ impl<'p> Cpu<'p> {
     /// the reference semantics — so every observable outcome (stats,
     /// registers, PC, memory, errors) is bit-identical to
     /// `exec::<false, _>`. See DESIGN.md ("Superblock engine").
-    fn exec_blocks<O: Observer>(
+    ///
+    /// With `TRACES` compiled in, the table's hot-trace layer sits on
+    /// top: warm-up runs count per-block heat and branch directions,
+    /// then formed traces (see [`crate::trace`]) dispatch at chain heads
+    /// and retire whole biased chains with one fused delta per trip. A
+    /// trip that might cross the instruction budget is declined up front
+    /// (the block path places the budget error exactly); a mispredicted
+    /// guard retires the executed prefix at block granularity and falls
+    /// off to this block-level loop — so `TRACES = true` is observably
+    /// identical to `TRACES = false`. See DESIGN.md ("Trace fusion").
+    fn exec_blocks<const TRACES: bool, O: Observer>(
         &mut self,
         mem: &mut Memory,
         config: &RunConfig,
@@ -941,6 +984,27 @@ impl<'p> Cpu<'p> {
         // would over-mark.
         let mut seen = table.seen_scratch();
         let mut retires = table.retire_scratch();
+        let mut tstate = table.trace_scratch();
+        if TRACES {
+            tstate.tick(table, text_base);
+        }
+        // Split the trace layer's fields so formed entries stay readable
+        // while the counters mutate. All dead code when `!TRACES`.
+        let crate::trace::TraceState {
+            traces,
+            trace_of,
+            retires: trace_retires,
+            exit_retires,
+            exited,
+            stats: tstats,
+            heat,
+            taken,
+            not_taken,
+            formed,
+            ..
+        } = &mut *tstate;
+        // Warm-up profiling is active only until the formation pass runs.
+        let train = TRACES && !*formed;
         let mut result: Result<(), SimError> = Ok(());
         // When set, the per-instruction counts loop finishes the run.
         let mut bail = false;
@@ -972,6 +1036,36 @@ impl<'p> Cpu<'p> {
             }
             let mut b = table.block_map().block_of(index);
             'chain: loop {
+                if TRACES && *formed {
+                    // Trace dispatch: one load + compare per chain head.
+                    let t = trace_of[b];
+                    if t != u32::MAX {
+                        let tr = &traces[t as usize];
+                        if stats.instret + tr.total_len > max_instructions {
+                            // A complete trip might cross the budget; the
+                            // block path below places the budget error at
+                            // exactly the right instruction.
+                            tstats.declines += 1;
+                        } else {
+                            tstats.hits += 1;
+                            match self.exec_trace(
+                                tr,
+                                mem,
+                                stats,
+                                &mut exit_retires[t as usize],
+                                &mut exited[t as usize],
+                                &mut trace_retires[t as usize],
+                                &mut tstats.guard_exits,
+                            ) {
+                                TraceExit::Block(nb) => {
+                                    b = nb;
+                                    continue 'chain;
+                                }
+                                TraceExit::Cold => continue 'run,
+                            }
+                        }
+                    }
+                }
                 let entry = table.entry(b);
                 let len = entry.len as u64;
                 if stats.instret + len > max_instructions {
@@ -990,6 +1084,9 @@ impl<'p> Cpu<'p> {
                 stats.instret += len;
                 retires[b] += 1;
                 seen.insert(b);
+                if train {
+                    heat[b] += 1;
+                }
                 obs.on_block(b, entry.first as usize, entry.len as usize);
 
                 // Runtime region gate over the statically-grouped
@@ -1062,6 +1159,13 @@ impl<'p> Cpu<'p> {
                             Op::Bltu => rs1 < rs2,
                             _ => rs1 >= rs2,
                         };
+                        if train {
+                            if t {
+                                taken[b] += 1;
+                            } else {
+                                not_taken[b] += 1;
+                            }
+                        }
                         if t {
                             self.pc = taken_pc;
                             if taken_block != u32::MAX {
@@ -1174,6 +1278,31 @@ impl<'p> Cpu<'p> {
             }
         }
 
+        // Guard-exited trace prefixes were deferred to O(1) per-exit-point
+        // counters during the run; fold each touched exit point as one
+        // scaled merge of its precomputed prefix mix plus coverage over
+        // the prefix's distinct blocks — never a per-block retire walk.
+        // `exited` keeps the fold from scanning untouched traces.
+        if TRACES {
+            for (t, tr) in traces.iter().enumerate() {
+                if std::mem::take(&mut exited[t]) == 0 {
+                    continue;
+                }
+                for (i, times) in exit_retires[t].iter_mut().enumerate() {
+                    let times = std::mem::take(times);
+                    if times == 0 {
+                        continue;
+                    }
+                    stats.op_mix.merge_scaled(&tr.prefix_mix[i], times);
+                    let hi = tr.segs[i].distinct_hi as usize;
+                    for &blk in &tr.blocks[..hi] {
+                        for idx in table.block_map().block_range(blk as usize) {
+                            stats.executed.insert(idx);
+                        }
+                    }
+                }
+            }
+        }
         // Expand fully-retired blocks into per-instruction coverage bits
         // and fold the deferred op-mix deltas — on every exit, including
         // faults, so partial runs compare equal to the per-instruction
@@ -1186,8 +1315,27 @@ impl<'p> Cpu<'p> {
             let times = std::mem::take(&mut retires[b]);
             stats.op_mix.merge_scaled(&table.entry(b).mix, times);
         }
+        // Fold complete trace trips the same way: one scaled mix merge
+        // per trace plus member-block coverage expansion (instret was
+        // already added per trip). Traces are few, so iterating them all
+        // is cheaper than tracking a seen set.
+        if TRACES {
+            for (t, tr) in traces.iter().enumerate() {
+                let times = std::mem::take(&mut trace_retires[t]);
+                if times == 0 {
+                    continue;
+                }
+                stats.op_mix.merge_scaled(&tr.mix, times);
+                for &blk in &tr.blocks {
+                    for i in table.block_map().block_range(blk as usize) {
+                        stats.executed.insert(i);
+                    }
+                }
+            }
+        }
         drop(seen);
         drop(retires);
+        drop(tstate);
 
         if bail {
             // Reference semantics finish the run: exact per-access
@@ -1197,6 +1345,114 @@ impl<'p> Cpu<'p> {
             return self.exec::<false, O>(mem, config, handler, stats, &mut None, obs);
         }
         result
+    }
+
+    /// One trip through a formed trace: every member's interior runs
+    /// exactly as the block path would run it (region gate, micro-ops),
+    /// but the micro-ops and groups stream out of the trace's own
+    /// flattened arrays — a trip never touches the block table — and the
+    /// per-block retire bookkeeping and terminator dispatch are replaced
+    /// by the member's guard. Nothing inside a trip can fault or observe
+    /// statistics (micro-ops never fault, `sys` is never trace-internal,
+    /// the budget was pre-checked), so deferring the whole trip's
+    /// instret/mix/coverage to one fused delta at completion is
+    /// unobservable. A mispredicted guard exits with the architectural
+    /// state the block path would have had at the same point; its prefix
+    /// retire is itself deferred — one bump of the member's exit counter
+    /// here, folded as a precomputed prefix delta at run end — so
+    /// falling off a trace costs O(1), not O(prefix).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_trace(
+        &mut self,
+        tr: &TraceEntry,
+        mem: &mut Memory,
+        stats: &mut RunStats,
+        exit_retires: &mut [u64],
+        exited: &mut u64,
+        trace_retire: &mut u64,
+        guard_exits: &mut u64,
+    ) -> TraceExit {
+        let mut uop_start = 0usize;
+        let mut group_start = 0usize;
+        for (i, seg) in tr.segs.iter().enumerate() {
+            // Same runtime region gate as the block path: fuse the
+            // member's grouped access counts only when every group
+            // provably stays inside one interval region.
+            let groups = &tr.groups[group_start..seg.group_end as usize];
+            group_start = seg.group_end as usize;
+            let mut fused = true;
+            let mut regions = [Region::Other; crate::bblock::MAX_GROUPS];
+            for (slot, g) in regions.iter_mut().zip(groups) {
+                let lo = self.regs[g.base as usize].wrapping_add(g.kmin);
+                match self.uniform_region(lo, lo.wrapping_add(g.span_m1)) {
+                    Some(r) => *slot = r,
+                    None => {
+                        fused = false;
+                        break;
+                    }
+                }
+            }
+            if fused {
+                for (g, &r) in groups.iter().zip(&regions) {
+                    stats.mem.record_group(r, g.reads as u64, g.writes as u64);
+                }
+            }
+            for u in &tr.uops[uop_start..seg.uop_end as usize] {
+                self.exec_uop(u, fused, mem, stats);
+            }
+            uop_start = seg.uop_end as usize;
+
+            match seg.guard {
+                Guard::Fall => {}
+                Guard::Jump { link, ret_pc } => {
+                    if link {
+                        self.regs[crate::reg::RA.index()] = ret_pc;
+                    }
+                }
+                Guard::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    expect,
+                    exit_block,
+                    exit_pc,
+                } => {
+                    let a = self.regs[(rs1 & 31) as usize];
+                    let b = self.regs[(rs2 & 31) as usize];
+                    let t = match op {
+                        Op::Beq => a == b,
+                        Op::Bne => a != b,
+                        Op::Blt => (a as i32) < (b as i32),
+                        Op::Bge => (a as i32) >= (b as i32),
+                        Op::Bltu => a < b,
+                        _ => a >= b,
+                    };
+                    if t != expect {
+                        // Mispredict: fall off the trace. The prefix
+                        // retire is deferred to the run-end fold, which
+                        // applies this exit point's precomputed prefix
+                        // mix and coverage in one merge.
+                        *guard_exits += 1;
+                        *exited += 1;
+                        exit_retires[i] += 1;
+                        stats.instret += seg.prefix_len;
+                        self.pc = exit_pc;
+                        return if exit_block == u32::MAX {
+                            TraceExit::Cold
+                        } else {
+                            TraceExit::Block(exit_block as usize)
+                        };
+                    }
+                }
+            }
+        }
+
+        // Complete trip: one fused delta (mix and coverage fold at run
+        // end through the per-trace retire count).
+        stats.instret += tr.total_len;
+        *trace_retire += 1;
+        self.pc = tr.next_pc;
+        TraceExit::Block(tr.next_block as usize)
     }
 
     /// One predecoded micro-op inside a fully-retired block.
@@ -1360,6 +1616,39 @@ impl<'p> Cpu<'p> {
                 classify!(addr2, AccessKind::Read);
                 self.regs[(u.rd2 & 31) as usize] = mem.read_u32(addr2);
             }
+            // Trace-peephole superops (see `trace::peephole`). Sources are
+            // all read before any write lands, and `rd != rd2` wherever
+            // both are written, so pattern-internal aliasing matches the
+            // unfused sequences exactly.
+            K::XorShifts => {
+                let y = rs2.wrapping_shr((imm >> 5) & 31);
+                self.regs[(u.rd2 & 31) as usize] = y;
+                self.regs[rd] = rs1.wrapping_shl(imm & 31) ^ y;
+            }
+            K::AndShl => self.regs[rd] = (rs1 & imm).wrapping_shl(u.rs2 as u32),
+            K::SrlImmAnd => self.regs[rd] = rs1.wrapping_shr(u.rs2 as u32) & imm,
+            K::AddXor => {
+                let sum = rs1.wrapping_add(rs2);
+                let other = self.regs[(imm & 31) as usize];
+                self.regs[(u.rd2 & 31) as usize] = sum;
+                self.regs[rd] = other ^ sum;
+            }
+            K::MovShl => self.regs[rd] = imm.wrapping_shl(rs2 & 31),
+            K::XorSll => {
+                let sh = self.regs[(imm & 31) as usize] & 31;
+                self.regs[rd] = (rs1 ^ rs2).wrapping_shl(sh);
+            }
+            K::RsbSrl => {
+                let d = imm.wrapping_sub(rs1);
+                self.regs[(u.rd2 & 31) as usize] = d;
+                self.regs[rd] = rs2.wrapping_shr(d & 31);
+            }
+            K::RsbSrlAnd => {
+                let d = (imm & 0xffff).wrapping_sub(rs1);
+                self.regs[(u.rd2 & 31) as usize] = d;
+                self.regs[rd] = rs2.wrapping_shr(d & 31) & (imm >> 16);
+            }
+            K::ShlOr => self.regs[rd] = rs1.wrapping_shl(imm) | rs2,
         }
     }
 
@@ -1786,6 +2075,180 @@ mod tests {
 
     fn no_sys() -> Box<dyn SysHandler> {
         Box::new(NoSys)
+    }
+
+    /// Runs `insts` `runs` times under the forced counts loop and the
+    /// forced trace engine (eager formation: run 1 trains, run 2 onward
+    /// replays through formed traces) with identical per-run seeding and
+    /// asserts every observable is bit-identical on every run. Returns
+    /// the last run's outcome plus the trace table's telemetry.
+    fn assert_trace_matches_counts(
+        insts: Vec<Inst>,
+        config: &RunConfig,
+        handler_factory: impl Fn() -> Box<dyn SysHandler>,
+        setup: impl Fn(&mut Cpu, &mut Memory),
+        runs: u64,
+    ) -> (Result<(), SimError>, RunStats, crate::trace::TraceStats) {
+        let program = Program::new(insts, map().text_base);
+        let mut table = crate::bblock::BlockTable::build(&program);
+        table.set_trace_params(crate::trace::TraceParams::eager());
+        let mut last = None;
+        for run in 0..runs {
+            let mut outcomes = Vec::new();
+            for path in [ExecPath::Counts, ExecPath::Trace] {
+                let mut mem = Memory::new();
+                let mut cpu = Cpu::new(&program, map()).with_blocks(&table);
+                setup(&mut cpu, &mut mem);
+                let mut stats = RunStats::for_program(program.len());
+                let mut handler = handler_factory();
+                let result =
+                    cpu.run_into_path(&mut mem, config, handler.as_mut(), &mut stats, path);
+                outcomes.push((result, stats, cpu.state(), mem.digest()));
+            }
+            let (r0, s0, st0, d0) = outcomes.remove(0);
+            let (r1, s1, st1, d1) = outcomes.remove(0);
+            assert_eq!(r0, r1, "run {run}: result");
+            assert_eq!(s0.instret, s1.instret, "run {run}: instret");
+            assert_eq!(s0.op_mix, s1.op_mix, "run {run}: op mix");
+            assert_eq!(s0.executed, s1.executed, "run {run}: executed set");
+            assert_eq!(s0.mem, s1.mem, "run {run}: mem counts");
+            assert_eq!(s0.halt, s1.halt, "run {run}: halt reason");
+            assert_eq!(st0, st1, "run {run}: architectural state");
+            assert_eq!(d0, d1, "run {run}: memory digest");
+            last = Some((r0, s0));
+        }
+        let (r, s) = last.unwrap();
+        (r, s, table.trace_stats())
+    }
+
+    #[test]
+    fn trace_engine_matches_counts_on_hot_loop() {
+        // The canonical hot loop: fall into a self-branching body, exit
+        // to an indirect return. The body's trace replays the taken
+        // direction and guard-exits on the final iteration.
+        let m = map();
+        let (result, stats, tstats) = assert_trace_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 4),
+                Inst::with_imm(Op::Lw, reg::T1, reg::A0, 0),
+                Inst::with_imm(Op::Lw, reg::T2, reg::A0, 4),
+                Inst::store(Op::Sw, reg::T1, reg::SP, -8),
+                Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+                Inst::branch(Op::Bne, reg::T0, reg::ZERO, -20),
+                Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            move |cpu, _| cpu.set_reg(reg::A0, m.packet_base),
+            3,
+        );
+        result.unwrap();
+        assert_eq!(stats.instret, 1 + 4 * 5 + 1);
+        assert_eq!(stats.halt, HaltReason::Returned);
+        assert!(tstats.formed >= 1, "no trace formed: {tstats:?}");
+        assert!(tstats.hits >= 1, "no trace trip: {tstats:?}");
+        assert!(tstats.guard_exits >= 1, "no guard exit: {tstats:?}");
+    }
+
+    #[test]
+    fn trace_engine_self_loop_unrolls_and_exits_identically() {
+        // A single-block self-loop: the trace unrolls it up to the
+        // member cap, so one run takes complete trips (fused deltas) and
+        // a final mispredicted trip.
+        let (result, stats, tstats) = assert_trace_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 21),
+                Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+                Inst::branch(Op::Bne, reg::T0, reg::ZERO, -8), // -> 1
+                Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+            2,
+        );
+        result.unwrap();
+        assert_eq!(stats.instret, 1 + 21 * 2 + 1);
+        assert!(tstats.hits >= 1, "no complete trip: {tstats:?}");
+        assert!(tstats.guard_exits >= 1, "no guard exit: {tstats:?}");
+    }
+
+    #[test]
+    fn trace_engine_not_taken_biased_branch_and_static_jump() {
+        // Loop shaped the other way: a rarely-taken forward exit branch
+        // (guard expects not-taken) and a static backward jump — both
+        // chain, and the final taken exit mispredicts out of the trace.
+        let (result, stats, tstats) = assert_trace_matches_counts(
+            vec![
+                /* 0 */ Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 5),
+                /* 1 */ Inst::branch(Op::Beq, reg::T0, reg::ZERO, 8), // -> 4
+                /* 2 */ Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+                /* 3 */ Inst::jump(Op::J, -12), // -> 1
+                /* 4 */ Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+            3,
+        );
+        result.unwrap();
+        assert_eq!(stats.instret, 1 + 6 + 5 * 2 + 1);
+        assert!(tstats.hits >= 1, "no complete trip: {tstats:?}");
+        assert!(tstats.guard_exits >= 1, "no guard exit: {tstats:?}");
+    }
+
+    #[test]
+    fn trace_engine_link_jump_writes_return_address() {
+        // A `jal` inside a trace must write `ra` exactly as the block
+        // path does: the trace chains callsite -> callee, the callee
+        // returns through `jr ra` (cold, indirect terminators never
+        // chain), and the landing pad's halt ends the run with `ra`
+        // compared in the architectural state.
+        let (result, _, tstats) = assert_trace_matches_counts(
+            vec![
+                /* 0 */ Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1),
+                /* 1 */ Inst::jump(Op::Jal, 8), // -> 4
+                /* 2 */ Inst::with_imm(Op::Addi, reg::T2, reg::ZERO, 7), // landing pad
+                /* 3 */ Inst::halt(),
+                /* 4 */ Inst::with_imm(Op::Addi, reg::T1, reg::T1, 1),
+                /* 5 */ Inst::jump(Op::J, 0), // -> 6
+                /* 6 */ Inst::jr(reg::RA),
+            ],
+            &RunConfig::default(),
+            no_sys,
+            |_, _| {},
+            2,
+        );
+        result.unwrap();
+        assert!(tstats.formed >= 1, "no trace formed: {tstats:?}");
+    }
+
+    #[test]
+    fn trace_engine_budget_decline_matches_counts() {
+        // A budget that lands mid-loop: dispatches whose full trip might
+        // cross it must decline to the block path and fail at the exact
+        // same instruction as the counts loop.
+        let (result, stats, tstats) = assert_trace_matches_counts(
+            vec![
+                Inst::with_imm(Op::Addi, reg::T0, reg::ZERO, 1000),
+                Inst::with_imm(Op::Addi, reg::T0, reg::T0, -1),
+                Inst::branch(Op::Bne, reg::T0, reg::ZERO, -4),
+                Inst::jr(reg::RA),
+            ],
+            &RunConfig {
+                max_instructions: 97,
+                ..RunConfig::default()
+            },
+            no_sys,
+            |_, _| {},
+            3,
+        );
+        assert!(matches!(
+            result,
+            Err(SimError::InstructionBudgetExceeded { limit: 97 })
+        ));
+        assert_eq!(stats.instret, 97);
+        assert!(tstats.declines >= 1, "no budget decline: {tstats:?}");
     }
 
     #[test]

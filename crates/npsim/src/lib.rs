@@ -68,6 +68,7 @@ pub mod isa;
 pub mod mem;
 pub mod memo;
 pub mod obs;
+pub mod trace;
 pub mod uarch;
 pub mod util;
 
@@ -81,6 +82,7 @@ pub use isa::{reg, Inst, Op, Reg};
 pub use mem::{AccessKind, MemEvent, Memory, MemoryMap, Region};
 pub use memo::{analyze_writes, MemoCache, MemoCounters, WriteAnalysis};
 pub use obs::{NullObserver, Observer};
+pub use trace::{TraceParams, TraceStats};
 
 /// Address the simulator treats as "return to framework".
 ///

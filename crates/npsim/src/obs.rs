@@ -34,6 +34,20 @@ pub trait Observer {
     /// per-instruction loop and sees every event, exactly as before.
     const BLOCK_LEVEL: bool = false;
 
+    /// Whether the observer additionally tolerates *trace*-granular
+    /// retires: inside a complete trip through a fused hot trace the
+    /// engine fires no callbacks at all — not even
+    /// [`Observer::on_block`] — and folds the whole trip's accounting
+    /// into one delta. Only meaningful when [`Observer::BLOCK_LEVEL`] is
+    /// also `true`.
+    ///
+    /// Defaults to `false`, so block-granular observers (the `npobs`
+    /// heat profiler) keep seeing every block retire and profiles stay
+    /// block-accurate; only the [`NullObserver`] opts in, which is what
+    /// routes unobserved counts-only production runs through the trace
+    /// engine under `ExecPath::Auto`.
+    const TRACE_LEVEL: bool = false;
+
     /// A run (one packet, in PacketBench terms) is about to start.
     /// Per-run observer state (like the current basic block) resets here.
     #[inline(always)]
@@ -71,6 +85,7 @@ pub struct NullObserver;
 
 impl Observer for NullObserver {
     const BLOCK_LEVEL: bool = true;
+    const TRACE_LEVEL: bool = true;
 }
 
 #[cfg(test)]

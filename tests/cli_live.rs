@@ -137,8 +137,9 @@ fn metrics_out_carries_the_ring_section() {
     assert!(out.status.success(), "{}", stderr(&out));
     let body = std::fs::read_to_string(&path).unwrap();
     for needle in [
-        "\"schema_version\": 3",
+        "\"schema_version\": 4",
         "\"ring\": {",
+        "\"traces_formed\":",
         "\"produced\": 200",
         "\"dropped\": 0",
         "\"retired\": 200",
